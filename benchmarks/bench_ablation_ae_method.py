@@ -1,0 +1,49 @@
+"""Ablation: AE's exponential approximation vs the exact fixed point.
+
+Section 5.3 derives two forms of the AE equation — the exact
+``(1 - i/r)^r`` terms and the exponential approximation ``e^{-i}`` —
+and says "solving either of these equations ... using standard
+numerical methods".  This ablation runs both across the skew sweep and
+confirms they are interchangeable in accuracy (the approximation is
+what the default AE uses; the exact form costs more per solve).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ae import AE
+from repro.data import zipf_column
+from repro.experiments import SeriesTable, config, evaluate_column
+
+
+def _method_errors() -> SeriesTable:
+    rng = np.random.default_rng(19)
+    n = config.scaled_rows(1_000_000, keep_divisible_by=100)
+    approx = AE(method="approx")
+    exact = AE(method="exact")
+    table = SeriesTable(
+        title=f"AE approx vs exact fixed point (n={n:,}, rate=0.8%)",
+        x_name="Z",
+        x_values=[f"{z:g}" for z in (0.0, 1.0, 2.0)],
+    )
+    rows = {approx.name: [], exact.name: []}
+    for z in (0.0, 1.0, 2.0):
+        column = zipf_column(n, z, duplication=100, rng=rng)
+        result = evaluate_column(
+            column, [approx, exact], rng, fraction=0.008, trials=config.trials()
+        )
+        rows[approx.name].append(result[approx.name].mean_ratio_error)
+        rows[exact.name].append(result[exact.name].mean_ratio_error)
+    for name, values in rows.items():
+        table.add_series(name, values)
+    return table
+
+
+def test_ae_method_ablation(benchmark):
+    table = benchmark.pedantic(_method_errors, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    approx_series, exact_series = table.series.values()
+    for a, e in zip(approx_series, exact_series):
+        assert abs(a - e) < 0.3, "approx and exact AE diverge"

@@ -1,0 +1,60 @@
+"""Ablation: the significance level of HYBGEE's chi-squared skew gate.
+
+HYBSKEW/HYBGEE route samples through "the standard chi-squared test"
+(paper §5) but the significance level is a free parameter.  This
+ablation sweeps alpha and measures HYBGEE's error on a low-skew and a
+high-skew workload: the gate should be insensitive over a wide range,
+because genuinely uniform and genuinely Zipfian samples sit far from
+the decision boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hybgee import HybridGEE
+from repro.data import zipf_column
+from repro.experiments import SeriesTable, config, evaluate_column
+
+ALPHAS = (0.001, 0.01, 0.05, 0.2)
+
+
+def _alpha_errors() -> SeriesTable:
+    rng = np.random.default_rng(11)
+    n = config.scaled_rows(1_000_000, keep_divisible_by=100)
+    workloads = [
+        zipf_column(n, z=0.0, duplication=100, rng=rng, name="Z=0"),
+        zipf_column(n, z=2.0, duplication=100, rng=rng, name="Z=2"),
+    ]
+    table = SeriesTable(
+        title=f"HYBGEE mean ratio error by chi-squared alpha (n={n:,}, rate=0.8%)",
+        x_name="alpha",
+        x_values=[f"{a:g}" for a in ALPHAS],
+    )
+    # All alpha variants are evaluated on the SAME samples, so any
+    # spread is the gate's doing, not sampling noise.
+    estimators = []
+    for alpha in ALPHAS:
+        estimator = HybridGEE(alpha=alpha)
+        estimator.name = f"HYBGEE(a={alpha:g})"
+        estimators.append(estimator)
+    for column in workloads:
+        result = evaluate_column(
+            column, estimators, rng, fraction=0.008, trials=config.trials()
+        )
+        table.add_series(
+            column.name,
+            [result[estimator.name].mean_ratio_error for estimator in estimators],
+        )
+    return table
+
+
+def test_chi2_alpha_ablation(benchmark):
+    table = benchmark.pedantic(_alpha_errors, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    # The gate is insensitive across two orders of magnitude of alpha:
+    # every alpha classifies both workloads the same way, so the error
+    # spread within each row stays small.
+    for name, values in table.series.items():
+        assert max(values) - min(values) < 0.5, name

@@ -1,0 +1,61 @@
+"""Ablation: the GEE singleton coefficient ``(n/r)^a``.
+
+GEE scales its singleton count by sqrt(n/r) — the geometric mean of the
+two extreme bounds f1 and (n/r) f1 — "in order to minimize the ratio
+error" (paper §4).  This ablation sweeps the exponent ``a`` and measures
+the worst-case mean ratio error over a basket of adversarially different
+distributions; the geometric-mean choice (a = 0.5) should minimize the
+worst case, while a = 0 undershoots on distinct-heavy data and a = 1
+overshoots on duplicated data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gee import GEE
+from repro.data import uniform_column, zipf_column
+from repro.experiments import SeriesTable, config, evaluate_column
+
+EXPONENTS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _worst_case_errors() -> SeriesTable:
+    rng = np.random.default_rng(42)
+    n = config.scaled_rows(1_000_000, keep_divisible_by=1000)
+    basket = [
+        uniform_column(n, n, rng=rng, name="all-distinct"),
+        uniform_column(n, n // 100, rng=rng, name="dup-100"),
+        zipf_column(n, z=1.0, rng=rng),
+        zipf_column(n, z=2.0, duplication=100, rng=rng),
+    ]
+    estimators = [GEE(exponent=a) for a in EXPONENTS]
+    table = SeriesTable(
+        title=f"worst-case mean ratio error of GEE((n/r)^a) over 4 distributions (n={n:,}, rate=1%)",
+        x_name="a",
+        x_values=[f"{a:g}" for a in EXPONENTS],
+    )
+    worst = [0.0] * len(EXPONENTS)
+    per_column = {column.name: [0.0] * len(EXPONENTS) for column in basket}
+    for column in basket:
+        result = evaluate_column(
+            column, estimators, rng, fraction=0.01, trials=config.trials()
+        )
+        for i, estimator in enumerate(estimators):
+            error = result[estimator.name].mean_ratio_error
+            per_column[column.name][i] = error
+            worst[i] = max(worst[i], error)
+    for name, values in per_column.items():
+        table.add_series(name, values)
+    table.add_series("WORST", worst)
+    return table
+
+
+def test_gee_coefficient_ablation(benchmark):
+    table = benchmark.pedantic(_worst_case_errors, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    worst = dict(zip(table.x_values, table.series["WORST"]))
+    # The paper's geometric-mean exponent minimizes the worst case.
+    assert worst["0.5"] <= min(worst["0"], worst["1"])
+    assert worst["0.5"] == min(worst.values())

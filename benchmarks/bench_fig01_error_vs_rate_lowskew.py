@@ -1,0 +1,23 @@
+"""Figure 1: error vs sampling rate on low-skew data (Z=0, dup=100, n=1M).
+
+Paper findings this bench checks:
+* HYBGEE performs as well as HYBSKEW (both take the smoothed-jackknife
+  branch, so the curves overlap);
+* GEE is clearly worse than the hybrids at low rates (its guaranteed
+  worst case costs accuracy on easy data);
+* AE stays close to 1 throughout.
+"""
+
+from __future__ import annotations
+
+
+def test_fig1_error_vs_rate_lowskew(exhibit):
+    table = exhibit("fig1")
+    rates = table.x_values
+    for rate in rates:
+        hybgee = table.value("HYBGEE", rate)
+        hybskew = table.value("HYBSKEW", rate)
+        assert hybgee == hybskew, "low skew: both hybrids take the SJ branch"
+    assert table.value("GEE", rates[0]) > 1.5 * table.value("HYBGEE", rates[0])
+    for rate in rates:
+        assert table.value("AE", rate) < 1.5

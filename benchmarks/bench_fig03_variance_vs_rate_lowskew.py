@@ -1,0 +1,14 @@
+"""Figure 3: estimator stddev (fraction of D) vs sampling rate, Z=0.
+
+Paper findings: all variances fall as the rate grows, and the absolute
+standard deviations are small in the low-skew case.
+"""
+
+from __future__ import annotations
+
+
+def test_fig3_variance_vs_rate_lowskew(exhibit):
+    table = exhibit("fig3")
+    for name, values in table.series.items():
+        assert values[-1] <= values[0] + 0.02, name
+        assert values[-1] < 0.2, name

@@ -1,0 +1,16 @@
+"""Figure 4: estimator stddev (fraction of D) vs sampling rate, Z=2.
+
+Paper findings: variances fall with the rate; HYBSKEW's variance is the
+highest among the estimators in the high-skew case (its two branches
+return very different values and samples flip between them).
+"""
+
+from __future__ import annotations
+
+
+def test_fig4_variance_vs_rate_highskew(exhibit):
+    table = exhibit("fig4")
+    for name, values in table.series.items():
+        assert values[-1] <= values[0] + 0.05, name
+    # HYBSKEW's variance peaks at least as high as the stable AE's.
+    assert max(table.series["HYBSKEW"]) >= max(table.series["AE"])

@@ -1,0 +1,16 @@
+"""Figure 6: error vs skew at the high sampling rate (6.4%, dup=100, n=1M).
+
+Paper findings: "the ratio error of all estimators is extremely close
+to 1" at this rate, with GEE and HYBGEE showing extremely small errors.
+"""
+
+from __future__ import annotations
+
+
+def test_fig6_error_vs_skew_highrate(exhibit):
+    table = exhibit("fig6")
+    for name in ("GEE", "AE", "HYBGEE", "HYBSKEW", "DUJ2A"):
+        assert max(table.series[name]) < 1.5, name
+    # GEE/HYBGEE: extremely small errors.
+    assert max(table.series["GEE"]) < 1.15
+    assert max(table.series["HYBGEE"]) < 1.15

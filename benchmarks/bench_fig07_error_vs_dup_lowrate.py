@@ -1,0 +1,24 @@
+"""Figure 7: error vs duplication factor (Z=1, rate=0.8%, n=1M).
+
+Paper findings: HYBGEE significantly outperforms HYBSKEW over the whole
+duplication range; except for dup=1, AE beats both; HYBSKEW's error
+*rises* from dup=1 to dup=10 (Shlosser's invalid derivation assumptions).
+"""
+
+from __future__ import annotations
+
+
+def test_fig7_error_vs_dup_lowrate(exhibit):
+    table = exhibit("fig7")
+    # HYBGEE beats HYBSKEW wherever duplication is present.  (At dup=1
+    # our Shlosser genuinely outperforms GEE on this text-like workload,
+    # so HYBSKEW wins that corner — a documented deviation from the
+    # paper's blanket claim; see EXPERIMENTS.md.)
+    for dup in ("10", "100", "1000"):
+        assert table.value("HYBGEE", dup) <= table.value("HYBSKEW", dup) * 1.05, dup
+    # The Shlosser pathology: error goes UP from dup=1 to dup=10.
+    assert table.value("HYBSKEW", "10") > table.value("HYBSKEW", "1")
+    # AE beats both hybrids away from the no-duplicates corner.
+    for dup in ("100", "1000"):
+        assert table.value("AE", dup) <= table.value("HYBSKEW", dup) * 1.05
+        assert table.value("AE", dup) <= table.value("HYBGEE", dup) * 1.05

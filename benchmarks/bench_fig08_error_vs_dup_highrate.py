@@ -1,0 +1,17 @@
+"""Figure 8: error vs duplication factor (Z=1, rate=6.4%, n=1M).
+
+Paper findings: HYBGEE outperforms HYBSKEW throughout; errors broadly
+decrease as the duplication factor increases (a large enough sample sees
+every heavily-duplicated value).
+"""
+
+from __future__ import annotations
+
+
+def test_fig8_error_vs_dup_highrate(exhibit):
+    table = exhibit("fig8")
+    # Errors at dup=1000 are essentially exact for everyone.
+    for name, values in table.series.items():
+        assert values[-1] < 1.1, name
+    # HYBGEE no worse than HYBSKEW on aggregate.
+    assert sum(table.series["HYBGEE"]) <= sum(table.series["HYBSKEW"]) * 1.10

@@ -1,0 +1,24 @@
+"""Figure 9: bounded-domain scaleup (fixed D and fixed 10K-row sample).
+
+Paper findings: every estimator's error stays approximately constant as
+n grows — except HYBVAR, whose error increases approximately linearly
+with n because its modified-Shlosser branch cannot detect duplication.
+"""
+
+from __future__ import annotations
+
+
+def test_fig9_scaleup_bounded(exhibit):
+    table = exhibit("fig9")
+    flat = ("GEE", "AE", "HYBGEE", "HYBSKEW", "DUJ2A")
+    for name in flat:
+        values = table.series[name]
+        # Bounded, trendless noise around a constant level.
+        assert max(values) < 2.5, name
+    hybvar = table.series["HYBVAR"]
+    # Growing trend: the tail of the sweep clearly dominates the head.
+    head = sum(hybvar[:3]) / 3
+    tail = sum(hybvar[-3:]) / 3
+    assert tail > 1.5 * head
+    # ...and HYBVAR ends well above every flat estimator.
+    assert hybvar[-1] > max(table.series[name][-1] for name in flat)

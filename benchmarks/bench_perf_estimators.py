@@ -1,0 +1,35 @@
+"""Compute-cost benchmark: time per estimate for every registered estimator.
+
+The estimators are all cheap relative to sampling (they consume only the
+sparse frequency profile), but the hybrids pay for their inner branches
+and AE pays for its root find.  This bench times each estimator on a
+realistic profile from a 1M-row Zipf column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import available_estimators, make_estimator
+from repro.data import zipf_column
+from repro.experiments import config
+from repro.sampling import UniformWithoutReplacement
+
+
+def _profile_and_n():
+    rng = np.random.default_rng(5)
+    n = config.scaled_rows(1_000_000, keep_divisible_by=10)
+    column = zipf_column(n, z=1.0, duplication=10, rng=rng)
+    profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.01)
+    return profile, n
+
+
+PROFILE, N_ROWS = _profile_and_n()
+
+
+@pytest.mark.parametrize("name", available_estimators())
+def test_estimator_compute_cost(benchmark, name):
+    estimator = make_estimator(name)
+    result = benchmark(lambda: estimator.estimate(PROFILE, N_ROWS).value)
+    assert PROFILE.distinct <= result <= N_ROWS

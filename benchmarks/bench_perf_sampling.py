@@ -1,0 +1,59 @@
+"""Compute-cost benchmark: the sampling schemes and exact counters.
+
+Sampling dominates ANALYZE's cost (the estimators are microseconds, see
+``bench_perf_estimators.py``); this bench times each scheme drawing a 1%
+sample from a 1M-row column, alongside the two exact full-scan counters
+they replace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import zipf_column
+from repro.db import exact_distinct_hash, exact_distinct_sort
+from repro.experiments import config
+from repro.sampling import (
+    Bernoulli,
+    Block,
+    Reservoir,
+    UniformWithReplacement,
+    UniformWithoutReplacement,
+)
+
+
+def _column():
+    rng = np.random.default_rng(9)
+    n = config.scaled_rows(1_000_000, keep_divisible_by=10)
+    return zipf_column(n, z=1.0, duplication=10, rng=rng)
+
+
+COLUMN = _column()
+RNG = np.random.default_rng(10)
+
+SCHEMES = {
+    "srswor": UniformWithoutReplacement(),
+    "srswr": UniformWithReplacement(),
+    "bernoulli": Bernoulli(),
+    "reservoir": Reservoir(),
+    "block": Block(block_size=100),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+def test_sampler_cost(benchmark, name):
+    sampler = SCHEMES[name]
+    sample = benchmark(
+        lambda: sampler.sample(COLUMN.values, RNG, fraction=0.01)
+    )
+    assert sample.size >= 1
+
+
+@pytest.mark.parametrize(
+    "name,counter",
+    [("sort", exact_distinct_sort), ("hash", exact_distinct_hash)],
+)
+def test_exact_counter_cost(benchmark, name, counter):
+    result = benchmark(lambda: counter(COLUMN.values))
+    assert result == COLUMN.distinct_count

@@ -1,0 +1,29 @@
+"""Table 1: GEE's error guarantee [LOWER, UPPER] on Z=0, dup=100, n=1M.
+
+Paper findings: the actual count (10,000) always lies in the interval,
+and the interval collapses sharply as the rate grows.  At full paper
+scale our numbers land within a few percent of the published table
+(e.g. paper LOWER/UPPER at 0.2%: 1814 / 817300).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import config
+
+
+def test_table1_gee_interval_lowskew(exhibit):
+    table = exhibit("table1")
+    rows = range(len(table.x_values))
+    for i in rows:
+        assert (
+            table.series["LOWER"][i]
+            <= table.series["ACTUAL"][i]
+            <= table.series["UPPER"][i]
+        )
+    widths = [table.series["UPPER"][i] - table.series["LOWER"][i] for i in rows]
+    assert widths == sorted(widths, reverse=True)
+    if config.scale_divisor() == 1:
+        # Full paper scale: check against the published Table 1 values.
+        assert abs(table.value("LOWER", "0.2%") - 1814) / 1814 < 0.05
+        assert abs(table.value("UPPER", "0.2%") - 817_300) / 817_300 < 0.05
+        assert abs(table.value("UPPER", "6.4%") - 11_306) / 11_306 < 0.05

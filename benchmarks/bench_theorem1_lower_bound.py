@@ -1,0 +1,20 @@
+"""Section 3's numeric check: the Theorem 1 floor vs observed errors.
+
+The paper compares its lower bound (1.18 at r = 0.2 n, gamma = 1/2)
+with the worst errors observed for the VLDB'95 estimators.  This bench
+materializes the adversarial Scenario A/B pair and verifies that every
+estimator in the suite incurs at least (a statistical shade below) the
+floor on one of the two scenarios.
+"""
+
+from __future__ import annotations
+
+from conftest import run_exhibit
+
+
+def test_theorem1_adversarial_floor(benchmark):
+    table = run_exhibit(benchmark, "theorem1", fraction=0.05)
+    floor = table.series["theorem1_floor"][0]
+    assert floor > 1.0
+    for name, worst in zip(table.x_values, table.series["worst"]):
+        assert worst >= 0.8 * floor, name

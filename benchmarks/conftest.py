@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` file regenerates one exhibit (table or figure) of the
+paper's Section 6 and prints the same series the paper plots.  The
+pytest-benchmark fixture times the full experiment; the assertions check
+the *shape* findings the paper reports (who wins, what grows, what
+collapses), not absolute numbers.
+
+Scale knobs (see ``benchmarks/README.md``):
+
+* ``REPRO_SCALE``  — divide all row counts (default 1 = paper scale);
+* ``REPRO_TRIALS`` — samples per configuration (default 10, the paper's).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.report import SeriesTable
+
+
+def run_exhibit(benchmark, exhibit_id: str, **kwargs) -> SeriesTable:
+    """Run one registered exhibit under the benchmark timer and print it."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(exhibit_id, **kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def exhibit(benchmark):
+    """Fixture wrapping :func:`run_exhibit` with the benchmark bound."""
+
+    def runner(exhibit_id: str, **kwargs) -> SeriesTable:
+        return run_exhibit(benchmark, exhibit_id, **kwargs)
+
+    return runner
+
+
+def series_is_nonincreasing(values, slack: float = 0.05) -> bool:
+    """True when the series trends down (allowing per-step noise)."""
+    return all(b <= a + slack for a, b in zip(values, values[1:]))

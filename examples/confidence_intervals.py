@@ -1,0 +1,65 @@
+"""GEE's error guarantee in action (the paper's Tables 1 and 2).
+
+GEE returns not just an estimate but an interval [LOWER, UPPER] that
+contains the true distinct count with high probability (paper §4).
+This example reproduces both tables side by side — low skew (Z=0) and
+high skew (Z=2) — and prints how the interval collapses onto the truth
+as the sampling fraction grows, plus the empirical coverage over many
+repeated samples.
+
+Run:  python examples/confidence_intervals.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GEE, zipf_column
+from repro.sampling import UniformWithoutReplacement
+
+
+def interval_table(z: float, rng: np.random.Generator) -> None:
+    column = zipf_column(1_000_000, z=z, duplication=100, rng=rng)
+    sampler = UniformWithoutReplacement()
+    gee = GEE()
+    print(
+        f"Z={z:g}, dup=100, n={column.n_rows:,} "
+        f"(ACTUAL = {column.distinct_count:,})"
+    )
+    print(f"{'rate':>6}  {'LOWER':>10}  {'GEE':>10}  {'UPPER':>10}  {'width':>12}")
+    for fraction in (0.002, 0.004, 0.008, 0.016, 0.032, 0.064):
+        profile = sampler.profile(column.values, rng, fraction=fraction)
+        result = gee.estimate(profile, column.n_rows)
+        interval = result.interval
+        print(
+            f"{fraction:>6.1%}  {interval.lower:>10,.0f}  {result.value:>10,.0f}  "
+            f"{interval.upper:>10,.0f}  {interval.width:>12,.0f}"
+        )
+    print()
+
+
+def empirical_coverage(rng: np.random.Generator, trials: int = 200) -> None:
+    column = zipf_column(200_000, z=1.0, duplication=10, rng=rng)
+    sampler = UniformWithoutReplacement()
+    gee = GEE()
+    hits = 0
+    for _ in range(trials):
+        profile = sampler.profile(column.values, rng, fraction=0.01)
+        result = gee.estimate(profile, column.n_rows)
+        hits += result.interval.contains(column.distinct_count)
+    print(
+        f"empirical coverage over {trials} independent 1% samples "
+        f"(Z=1, dup=10): {hits}/{trials} intervals contained the truth"
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    print("Table 1 / Table 2 reproduction: GEE's [LOWER, UPPER] guarantee\n")
+    interval_table(0.0, rng)
+    interval_table(2.0, rng)
+    empirical_coverage(rng)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""A tour of every estimator in the library across the skew spectrum.
+
+Runs the full registry — the paper's six (GEE, AE, HYBGEE, HYBSKEW,
+HYBVAR, DUJ2A), the jackknife family, Shlosser's estimators, and the
+classical species-richness baselines — on four very different columns
+at a 1% sample, printing each estimator's mean ratio error.  This is
+the quickest way to see the paper's central observation: most
+estimators are excellent somewhere and terrible somewhere else, while
+AE stays uniformly close to the truth and GEE stays within its
+guarantee everywhere.
+
+Run:  python examples/estimator_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import available_estimators, make_estimator
+from repro.data import uniform_column, zipf_column
+from repro.experiments import evaluate_column
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n = 500_000
+    workloads = [
+        uniform_column(n, n, rng=rng, name="all-distinct"),
+        uniform_column(n, n // 100, rng=rng, name="uniform dup=100"),
+        zipf_column(n, z=1.0, rng=rng, name="zipf Z=1"),
+        zipf_column(n, z=2.0, duplication=100, rng=rng, name="zipf Z=2 dup=100"),
+    ]
+    estimators = [make_estimator(name) for name in available_estimators()]
+
+    header = f"{'estimator':>12}" + "".join(
+        f"  {column.name:>18}" for column in workloads
+    )
+    print("mean ratio error at a 1% sample (5 trials); truth per column:")
+    print(
+        f"{'D =':>12}"
+        + "".join(f"  {column.distinct_count:>18,}" for column in workloads)
+    )
+    print()
+    print(header)
+    print("-" * len(header))
+
+    results = {
+        column.name: evaluate_column(
+            column, estimators, rng, fraction=0.01, trials=5
+        )
+        for column in workloads
+    }
+    rows = []
+    for estimator in estimators:
+        errors = [
+            results[column.name][estimator.name].mean_ratio_error
+            for column in workloads
+        ]
+        rows.append((max(errors), estimator.name, errors))
+    # Print best-worst-case first: the paper's point in one sort order.
+    for _, name, errors in sorted(rows):
+        print(
+            f"{name:>12}" + "".join(f"  {error:>18.2f}" for error in errors)
+        )
+    print()
+    print(
+        "sorted by worst-case error: the adaptive and guaranteed-error\n"
+        "estimators top the list; single-model estimators excel on the\n"
+        "distribution they assume and fail badly off it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+"""Why distinct-value estimates matter: the optimizer scenario from §1.
+
+"A principled choice of an execution plan by an optimizer depends
+heavily on the availability of statistical summaries ... In particular,
+accuracy of distinct values estimation greatly impacts the query
+optimizer's ability to generate good plans."
+
+This example builds a small star schema in the mini database substrate
+and ANALYZEs the fact table from a 1% sample twice: once with GEE and
+once with the naive d * n/r scale-up.  The fact table's product key is
+heavily duplicated — exactly the case where the naive estimator
+overestimates by orders of magnitude — and that single bad statistic
+makes the optimizer (a) join the unselective dimension first, producing
+a plan ~10x more expensive when re-costed with exact statistics, and
+(b) choose a needless sort aggregate for a GROUP BY that fits in memory.
+
+Run:  python examples/optimizer_statistics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import GEE
+from repro.data import column_with_distinct, zipf_column
+from repro.db import (
+    Catalog,
+    ColumnStatistics,
+    JoinPredicate,
+    Table,
+    analyze,
+    choose_aggregate_strategy,
+    choose_join_order,
+    enumerate_left_deep_plans,
+)
+from repro.estimators import NaiveScaleUp
+
+N_FACTS = 400_000
+N_CUSTOMERS = 200_000
+N_PRODUCTS = 200
+
+PREDICATES = [
+    JoinPredicate("sales", "customer_id", "customers", "id"),
+    JoinPredicate("sales", "product_id", "products", "id"),
+]
+
+
+def build_schema(rng: np.random.Generator) -> Catalog:
+    """A sales fact table with a selective customer dimension."""
+    facts = Table(
+        name="sales",
+        columns={
+            # ~200K distinct customers, Zipf-popular.
+            "customer_id": column_with_distinct(
+                N_FACTS, N_CUSTOMERS, z=1.0, rng=rng
+            ).values,
+            # Only 200 products: every key duplicated ~2000x — the naive
+            # estimator's worst case.
+            "product_id": zipf_column(
+                N_FACTS, z=0.0, duplication=N_FACTS // N_PRODUCTS, rng=rng
+            ).values,
+        },
+    )
+    # The query's customers table holds only 5% of the customer ids
+    # (say, one region) — joining it FIRST filters the facts 20x.
+    customers = Table(name="customers", columns={"id": np.arange(10_000)})
+    # The products table holds every product: joining it first filters
+    # nothing.
+    products = Table(name="products", columns={"id": np.arange(N_PRODUCTS)})
+    catalog = Catalog()
+    for table in (facts, customers, products):
+        catalog.register(table)
+    return catalog
+
+
+def exact_statistics(catalog: Catalog) -> Catalog:
+    """A reference catalog holding exact distinct counts."""
+    exact = Catalog()
+    for table in catalog.tables.values():
+        exact.register(table)
+        for name in table.column_names:
+            exact.put_statistics(
+                ColumnStatistics(
+                    table=table.name,
+                    column=name,
+                    n_rows=table.n_rows,
+                    distinct_estimate=float(np.unique(table.column(name)).size),
+                    sample_size=table.n_rows,
+                    estimator="exact",
+                )
+            )
+    return exact
+
+
+def copy_dimension_statistics(exact: Catalog, catalog: Catalog) -> None:
+    """Dimensions are small; real systems keep exact stats for them."""
+    for (table, column), stats in exact.statistics.items():
+        if table != "sales":
+            catalog.put_statistics(stats)
+
+
+def report(catalog: Catalog, exact: Catalog, label: str) -> None:
+    from repro.db import execute_join_plan
+
+    plan = choose_join_order(catalog, PREDICATES)
+    true_cost = next(
+        p.cost
+        for p in enumerate_left_deep_plans(exact, PREDICATES)
+        if p.order == plan.order
+    )
+    best_cost = choose_join_order(exact, PREDICATES).cost
+    # Not just modeled: actually run the chosen plan and count rows.
+    _, measured = execute_join_plan(catalog, plan, PREDICATES)
+    aggregate = choose_aggregate_strategy(
+        catalog, "sales", "product_id", memory_budget_groups=1000
+    )
+    print(f"--- statistics from {label} ---")
+    for column in ("customer_id", "product_id"):
+        stats = catalog.column_statistics("sales", column)
+        print(
+            f"  D(sales.{column}) = {stats.distinct_estimate:>12,.0f}   "
+            f"(exact {exact.distinct_count('sales', column):,.0f})"
+        )
+    print(f"  chosen join order    : {' > '.join(plan.order)}")
+    print(
+        f"  plan cost, re-costed with exact statistics: {true_cost:,.0f} rows "
+        f"(optimal {best_cost:,.0f} -> {true_cost / best_cost:.1f}x)"
+    )
+    print(
+        f"  plan cost, MEASURED by executing it       : "
+        f"{measured.total_intermediate:,} intermediate rows"
+    )
+    correct = "correct" if aggregate == "hash" else "needless sort!"
+    print(
+        f"  GROUP BY product_id, 1000-group memory budget: "
+        f"{aggregate} aggregate ({correct})"
+    )
+    print()
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    catalog = build_schema(rng)
+    exact = exact_statistics(catalog)
+    copy_dimension_statistics(exact, catalog)
+
+    for estimator, label in (
+        (GEE(), "ANALYZE with GEE, 1% sample"),
+        (NaiveScaleUp(), "ANALYZE with naive scale-up, 1% sample"),
+    ):
+        analyze(catalog, "sales", rng, estimator=estimator, fraction=0.01)
+        report(catalog, exact, label)
+
+    best = choose_join_order(exact, PREDICATES)
+    print("--- exact statistics (reference) ---")
+    print(f"  optimal join order: {' > '.join(best.order)}")
+    print(f"  optimal cost      : {best.cost:,.0f} rows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Sampling vs probabilistic counting (the paper's §1.1 trade-off).
+
+The paper dismisses "probabilistic counting" sketches for its setting —
+not because they are inaccurate (they are excellent) but because "they
+still involve a full scan of the table".  This example makes the
+trade-off concrete on a 2M-row column: sketches read every row and land
+within a couple percent; GEE and AE read 1% of the rows and pay the
+sampling error the paper characterizes — but finish a scan-free
+ANALYZE two orders of magnitude cheaper in rows touched.
+
+Run:  python examples/sketch_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import AE, GEE, zipf_column
+from repro.core import ratio_error
+from repro.sampling import UniformWithoutReplacement
+from repro.sketches import (
+    FlajoletMartin,
+    HyperLogLog,
+    KMinimumValues,
+    LinearCounting,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    column = zipf_column(2_000_000, z=1.0, duplication=10, rng=rng)
+    truth = column.distinct_count
+    print(f"column: {column.name}, exact D = {truth:,}\n")
+    print(
+        f"{'method':>18}  {'estimate':>10}  {'ratio err':>9}  "
+        f"{'rows read':>10}  {'memory':>10}  {'time':>8}"
+    )
+
+    for sketch in (
+        HyperLogLog(precision=14),
+        LinearCounting(bits=1 << 20),
+        FlajoletMartin(bitmaps=1024),
+        KMinimumValues(k=4096),
+    ):
+        start = time.perf_counter()
+        sketch.add(column.values)
+        estimate = sketch.estimate()
+        elapsed = time.perf_counter() - start
+        print(
+            f"{sketch.name:>18}  {estimate:>10,.0f}  "
+            f"{ratio_error(estimate, truth):>9.3f}  {column.n_rows:>10,}  "
+            f"{sketch.memory_bytes:>9,}B  {elapsed:>7.2f}s"
+        )
+
+    sampler = UniformWithoutReplacement()
+    for estimator in (GEE(), AE()):
+        start = time.perf_counter()
+        profile = sampler.profile(column.values, rng, fraction=0.01)
+        estimate = estimator.estimate(profile, column.n_rows).value
+        elapsed = time.perf_counter() - start
+        print(
+            f"{estimator.name + ' @ 1%':>18}  {estimate:>10,.0f}  "
+            f"{ratio_error(estimate, truth):>9.3f}  {profile.sample_size:>10,}  "
+            f"{len(profile.counts) * 16:>9,}B  {elapsed:>7.2f}s"
+        )
+
+    print(
+        "\nsketches: near-exact, but every row must be read (a full scan);\n"
+        "sampling: reads 100x fewer rows at the accuracy the paper analyzes."
+    )
+
+
+if __name__ == "__main__":
+    main()

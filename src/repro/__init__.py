@@ -1,0 +1,96 @@
+"""repro — a reproduction of "Towards Estimation Error Guarantees for
+Distinct Values" (Charikar, Chaudhuri, Motwani, Narasayya; PODS 2000).
+
+Quickstart::
+
+    import numpy as np
+    from repro import GEE, AE, zipf_column
+    from repro.sampling import UniformWithoutReplacement
+
+    rng = np.random.default_rng(0)
+    column = zipf_column(n_rows=1_000_000, z=1.0, duplication=10, rng=rng)
+    profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.01)
+    print(GEE().estimate(profile, column.n_rows))
+    print(AE().estimate(profile, column.n_rows))
+    print("truth:", column.distinct_count)
+
+The package layout follows the paper:
+
+* :mod:`repro.core`        — GEE, AE, HYBGEE, Theorem 1 (the contribution);
+* :mod:`repro.estimators`  — the prior-art baselines (§1.1, §6);
+* :mod:`repro.frequency`   — frequency profiles and sample statistics (§2);
+* :mod:`repro.sampling`    — row-sampling schemes (§2);
+* :mod:`repro.data`        — Zipfian synthetics and real-data surrogates (§6);
+* :mod:`repro.db`          — the mini database substrate (ANALYZE, catalog,
+  optimizer) playing SQL Server's role;
+* :mod:`repro.sketches`    — full-scan probabilistic counting comparators;
+* :mod:`repro.experiments` — the harness regenerating every table/figure.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    AE,
+    GEE,
+    PAPER_ESTIMATORS,
+    ConfidenceInterval,
+    DistinctValueEstimator,
+    Estimate,
+    HybridGEE,
+    adversarial_pair,
+    available_estimators,
+    gee_interval,
+    lower_bound_error,
+    make_estimator,
+    make_estimators,
+    ratio_error,
+)
+from repro.data import (
+    Column,
+    Dataset,
+    census,
+    covertype,
+    mssales,
+    zipf_column,
+)
+from repro.errors import (
+    CatalogError,
+    DataGenerationError,
+    EstimationError,
+    InvalidParameterError,
+    InvalidSampleError,
+    ReproError,
+    SolverError,
+)
+from repro.frequency import FrequencyProfile
+
+__all__ = [
+    "__version__",
+    "AE",
+    "GEE",
+    "HybridGEE",
+    "PAPER_ESTIMATORS",
+    "ConfidenceInterval",
+    "DistinctValueEstimator",
+    "Estimate",
+    "adversarial_pair",
+    "available_estimators",
+    "gee_interval",
+    "lower_bound_error",
+    "make_estimator",
+    "make_estimators",
+    "ratio_error",
+    "Column",
+    "Dataset",
+    "census",
+    "covertype",
+    "mssales",
+    "zipf_column",
+    "FrequencyProfile",
+    "ReproError",
+    "InvalidParameterError",
+    "InvalidSampleError",
+    "EstimationError",
+    "SolverError",
+    "CatalogError",
+    "DataGenerationError",
+]

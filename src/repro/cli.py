@@ -1,0 +1,322 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-estimators``
+    Show every registered estimator name.
+``generate``
+    Write a synthetic Zipfian column (the §6 generator) to a ``.npy``
+    or text file.
+``estimate``
+    Sample a column from a file and print one or more estimators'
+    distinct-count estimates (with GEE-family confidence intervals).
+``exhibit``
+    Regenerate one of the paper's tables/figures (``fig1`` ... ``fig16``,
+    ``table1``, ``table2``, ``theorem1``) and print or CSV-export it.
+``bound``
+    Evaluate the Theorem 1 lower bound, or invert it: how many rows must
+    be examined to permit a target accuracy.
+``plan``
+    Bracket the sample size for a target error: Theorem 1's necessary
+    rows vs GEE's Theorem 2 sufficient rows.
+``report``
+    Regenerate every paper exhibit into a directory (rendered text plus
+    one CSV per exhibit).
+``sql``
+    Run a micro-SQL statement (``SELECT COUNT(DISTINCT c) FROM t
+    [SAMPLE p%] [USING est] [WHERE ...]``) against CSV tables loaded
+    with ``--load name=path``.
+
+Examples
+--------
+::
+
+    python -m repro generate --rows 1000000 --z 1 --duplication 10 --out col.npy
+    python -m repro estimate col.npy --fraction 0.01 --estimator GEE AE
+    python -m repro exhibit fig2
+    python -m repro bound --rows 1000000 --target-error 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    available_estimators,
+    lower_bound_error,
+    make_estimator,
+    minimum_sample_size_for_error,
+)
+from repro.data import zipf_column
+from repro.errors import ReproError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.sampling import UniformWithoutReplacement
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_column(path: str, csv_column: str | None = None) -> np.ndarray:
+    """Load a column from ``.npy``, ``.csv`` (with --column), or text."""
+    from repro.data.io import load_column
+
+    return load_column(path, column=csv_column).values
+
+
+def _save_column(values: np.ndarray, path: str) -> None:
+    file_path = Path(path)
+    if file_path.suffix == ".npy":
+        np.save(file_path, values)
+    else:
+        with open(file_path, "w") as handle:
+            handle.writelines(f"{value}\n" for value in values)
+
+
+def _cmd_list_estimators(_args: argparse.Namespace) -> int:
+    for name in available_estimators():
+        print(name)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    column = zipf_column(
+        args.rows, z=args.z, duplication=args.duplication, rng=rng
+    )
+    _save_column(column.values, args.out)
+    print(
+        f"wrote {column.n_rows:,} rows, {column.distinct_count:,} distinct "
+        f"values to {args.out}"
+    )
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    values = _load_column(args.column, csv_column=args.csv_column)
+    rng = np.random.default_rng(args.seed)
+    sampler = UniformWithoutReplacement()
+    profile = sampler.profile(values, rng, fraction=args.fraction)
+    n = values.size
+    print(
+        f"n={n:,} rows, sampled r={profile.sample_size:,} "
+        f"(d={profile.distinct:,}, f1={profile.f1:,})"
+    )
+    for name in args.estimator:
+        result = make_estimator(name).estimate(profile, n)
+        line = f"{name:>12}: {result.value:,.0f}"
+        if result.interval is not None:
+            line += (
+                f"   [{result.interval.lower:,.0f}, {result.interval.upper:,.0f}]"
+            )
+        print(line)
+    if args.exact:
+        from repro.db import exact_distinct_sort
+
+        print(f"{'exact':>12}: {exact_distinct_sort(values):,} (full scan)")
+    return 0
+
+
+def _cmd_exhibit(args: argparse.Namespace) -> int:
+    table = run_experiment(args.id, seed=args.seed)
+    if args.csv:
+        Path(args.csv).write_text(table.to_csv())
+        print(f"wrote {args.csv}")
+    else:
+        print(table.render())
+    return 0
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    if args.target_error is not None:
+        needed = minimum_sample_size_for_error(
+            args.rows, args.target_error, gamma=args.gamma
+        )
+        print(
+            f"guaranteeing ratio error <= {args.target_error:g} with "
+            f"confidence {1 - args.gamma:.0%} requires examining at least "
+            f"{needed:,} of {args.rows:,} rows ({needed / args.rows:.2%})"
+        )
+        return 0
+    if args.sample_size is None:
+        raise ReproError("provide --sample-size or --target-error")
+    floor = lower_bound_error(args.rows, args.sample_size, gamma=args.gamma)
+    print(
+        f"examining {args.sample_size:,} of {args.rows:,} rows: no estimator "
+        f"can guarantee ratio error below {floor:.3f} "
+        f"(with probability {args.gamma:g})"
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.planner import plan_sample_size
+
+    plan = plan_sample_size(args.rows, args.target_error, gamma=args.gamma)
+    print(
+        f"target ratio error {plan.target_error:g} on a {plan.population_size:,}-row "
+        f"column (confidence {1 - plan.gamma:.0%}):"
+    )
+    print(
+        f"  necessary (Theorem 1) : {plan.necessary_rows:>12,} rows "
+        f"({plan.necessary_fraction:.2%}) — below this, no estimator can"
+    )
+    print(
+        f"  sufficient (GEE)      : {plan.sufficient_rows:>12,} rows "
+        f"({plan.sufficient_fraction:.2%}) — at this, GEE guarantees it"
+    )
+    if plan.full_scan_needed:
+        print("  note: the sufficient bound is a full scan for this target")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    exhibits = args.only if args.only else sorted(EXPERIMENTS)
+    summary_lines = []
+    for exhibit_id in exhibits:
+        table = run_experiment(exhibit_id, seed=args.seed)
+        (out_dir / f"{exhibit_id}.csv").write_text(table.to_csv())
+        rendered = table.render()
+        (out_dir / f"{exhibit_id}.txt").write_text(rendered)
+        summary_lines.append(f"### {exhibit_id}\n{rendered}")
+        print(f"wrote {exhibit_id} ({table.title})")
+    (out_dir / "REPORT.txt").write_text("\n".join(summary_lines))
+    print(f"report written to {out_dir}/")
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro.data.io import load_csv_table
+    from repro.db import Catalog, Table
+    from repro.db.sql import execute_sql
+
+    catalog = Catalog()
+    for spec in args.load:
+        if "=" not in spec:
+            raise ReproError(f"--load expects name=path, got {spec!r}")
+        table_name, path = spec.split("=", 1)
+        catalog.register(Table(name=table_name, columns=load_csv_table(path)))
+    rng = np.random.default_rng(args.seed)
+    result = execute_sql(catalog, args.statement, rng)
+    if result.kind == "groupby":
+        for group, count in sorted(result.groups.items()):
+            print(f"{group}\t{count}")
+        print(f"({len(result.groups)} groups)")
+        return 0
+    line = f"{result.value:,.0f}"
+    if result.estimator and result.estimator != "exact":
+        line += f"   (estimated by {result.estimator} from {result.rows_read:,} rows"
+        if result.interval is not None:
+            line += (
+                f"; interval [{result.interval.lower:,.0f}, "
+                f"{result.interval.upper:,.0f}]"
+            )
+        line += ")"
+    else:
+        line += f"   (exact, {result.rows_read:,} rows scanned)"
+    print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distinct-values estimation (PODS 2000 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "list-estimators", help="show registered estimator names"
+    ).set_defaults(func=_cmd_list_estimators)
+
+    generate = sub.add_parser("generate", help="write a synthetic Zipf column")
+    generate.add_argument("--rows", type=int, default=1_000_000)
+    generate.add_argument("--z", type=float, default=1.0)
+    generate.add_argument("--duplication", type=int, default=1)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help=".npy or text path")
+    generate.set_defaults(func=_cmd_generate)
+
+    estimate = sub.add_parser("estimate", help="estimate distinct values of a column")
+    estimate.add_argument(
+        "column", help=".npy, .csv (with --csv-column), or one-value-per-line text"
+    )
+    estimate.add_argument(
+        "--csv-column", help="column name when the input is a CSV file"
+    )
+    estimate.add_argument("--fraction", type=float, default=0.01)
+    estimate.add_argument(
+        "--estimator",
+        nargs="+",
+        default=["GEE", "AE"],
+        choices=list(available_estimators()),
+    )
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument(
+        "--exact", action="store_true", help="also run the exact full scan"
+    )
+    estimate.set_defaults(func=_cmd_estimate)
+
+    exhibit = sub.add_parser("exhibit", help="regenerate a paper table/figure")
+    exhibit.add_argument("id", choices=sorted(EXPERIMENTS))
+    exhibit.add_argument("--seed", type=int, default=0)
+    exhibit.add_argument("--csv", help="write CSV here instead of printing")
+    exhibit.set_defaults(func=_cmd_exhibit)
+
+    bound = sub.add_parser("bound", help="Theorem 1 lower-bound calculator")
+    bound.add_argument("--rows", type=int, required=True)
+    bound.add_argument("--sample-size", type=int)
+    bound.add_argument("--target-error", type=float)
+    bound.add_argument("--gamma", type=float, default=0.5)
+    bound.set_defaults(func=_cmd_bound)
+
+    plan = sub.add_parser(
+        "plan", help="bracket the sample size for a target error"
+    )
+    plan.add_argument("--rows", type=int, required=True)
+    plan.add_argument("--target-error", type=float, required=True)
+    plan.add_argument("--gamma", type=float, default=0.5)
+    plan.set_defaults(func=_cmd_plan)
+
+    report = sub.add_parser(
+        "report", help="regenerate every paper exhibit into a directory"
+    )
+    report.add_argument("--out", required=True, help="output directory")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--only", nargs="*", choices=sorted(EXPERIMENTS), help="subset of exhibits"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    sql = sub.add_parser("sql", help="run a micro-SQL statement on CSV tables")
+    sql.add_argument("statement", help="the SQL text")
+    sql.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register a CSV file as a table (repeatable)",
+    )
+    sql.add_argument("--seed", type=int, default=0)
+    sql.set_defaults(func=_cmd_sql)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

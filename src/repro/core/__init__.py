@@ -1,0 +1,106 @@
+"""The paper's primary contributions: GEE, AE, HYBGEE, and Theorem 1.
+
+* :class:`~repro.core.GEE` — the Guaranteed-Error Estimator (§4), with
+  its ``[LOWER, UPPER]`` confidence interval.
+* :class:`~repro.core.AE` — the Adaptive Estimator (§5.2–5.3).
+* :class:`~repro.core.HybridGEE` — HYBSKEW with GEE on the high-skew
+  branch (§5.1).
+* :mod:`~repro.core.theory` — the Theorem 1 lower bound and its
+  adversarial scenario generators (§3).
+"""
+
+from repro.core.ae import AE, ae_estimate, solve_low_frequency_count
+from repro.core.base import (
+    ConfidenceInterval,
+    DistinctValueEstimator,
+    Estimate,
+    clamp_estimate,
+    ratio_error,
+    relative_error,
+)
+from repro.core.bounds import gee_interval, gee_lower_bound, gee_upper_bound
+from repro.core.gee import GEE, gee_coefficient, gee_estimate
+from repro.core.hybgee import HybridGEE
+from repro.core.registry import (
+    ESTIMATOR_FACTORIES,
+    PAPER_ESTIMATORS,
+    available_estimators,
+    make_estimator,
+    make_estimators,
+)
+from repro.core.expectations import (
+    expected_distinct,
+    expected_frequency_count,
+    expected_gee,
+    expected_profile,
+    unbiased_singleton_coefficient,
+)
+from repro.core.planner import (
+    SamplingPlan,
+    gee_sufficient_sample_size,
+    plan_sample_size,
+)
+from repro.core.theorem2 import (
+    contribution_lower_bound,
+    contribution_upper_bound,
+    per_class_contribution,
+    worst_case_ratio,
+)
+from repro.core.theory import (
+    AdversarialPair,
+    adversarial_k,
+    adversarial_pair,
+    lower_bound_error,
+    minimum_sample_size_for_error,
+)
+from repro.core.uncertainty import (
+    BootstrapSummary,
+    bootstrap_estimate,
+    bootstrap_profile,
+    coefficient_of_variation,
+)
+
+__all__ = [
+    "AE",
+    "GEE",
+    "HybridGEE",
+    "ConfidenceInterval",
+    "DistinctValueEstimator",
+    "Estimate",
+    "clamp_estimate",
+    "ratio_error",
+    "relative_error",
+    "gee_interval",
+    "gee_lower_bound",
+    "gee_upper_bound",
+    "gee_coefficient",
+    "gee_estimate",
+    "ae_estimate",
+    "solve_low_frequency_count",
+    "ESTIMATOR_FACTORIES",
+    "PAPER_ESTIMATORS",
+    "available_estimators",
+    "make_estimator",
+    "make_estimators",
+    "AdversarialPair",
+    "adversarial_k",
+    "adversarial_pair",
+    "lower_bound_error",
+    "minimum_sample_size_for_error",
+    "SamplingPlan",
+    "gee_sufficient_sample_size",
+    "plan_sample_size",
+    "expected_distinct",
+    "expected_frequency_count",
+    "expected_gee",
+    "expected_profile",
+    "unbiased_singleton_coefficient",
+    "contribution_lower_bound",
+    "contribution_upper_bound",
+    "per_class_contribution",
+    "worst_case_ratio",
+    "BootstrapSummary",
+    "bootstrap_estimate",
+    "bootstrap_profile",
+    "coefficient_of_variation",
+]

@@ -1,0 +1,89 @@
+"""Sample-size planning from the paper's two theorems.
+
+A statistics collector has to decide *how many rows to read* before it
+knows anything about the column.  The paper brackets that decision:
+
+* **Necessary** (Theorem 1): fewer than
+  ``r_min = n L / (2 err^2 + L)`` rows (``L = ln(1/gamma)``) and *no*
+  estimator can guarantee ratio error ``err`` with confidence
+  ``1 - gamma``.
+* **Sufficient** (Theorem 2): GEE's expected ratio error is at most
+  ``~ e * sqrt(n / r)``, so ``r_suf = ceil(e^2 n / err^2)`` rows
+  suffice for GEE to promise ``err`` *in expectation* on every input.
+
+Between the two lies the design space; the planner reports both ends
+plus the implied sampling fractions, and refuses targets that would
+require a full scan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.theory import minimum_sample_size_for_error
+from repro.errors import InvalidParameterError
+
+__all__ = ["SamplingPlan", "plan_sample_size", "gee_sufficient_sample_size"]
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """The bracketed sample-size recommendation for one target error."""
+
+    population_size: int
+    target_error: float
+    gamma: float
+    necessary_rows: int
+    sufficient_rows: int
+    full_scan_needed: bool
+
+    @property
+    def necessary_fraction(self) -> float:
+        return self.necessary_rows / self.population_size
+
+    @property
+    def sufficient_fraction(self) -> float:
+        return min(1.0, self.sufficient_rows / self.population_size)
+
+
+def gee_sufficient_sample_size(population_size: int, target_error: float) -> int:
+    """Rows at which GEE's Theorem 2 envelope ``e*sqrt(n/r)`` meets the target.
+
+    Returns a value capped at ``n`` (a full scan is always sufficient —
+    GEE with ``r = n`` returns ``d = D`` exactly).
+    """
+    if population_size < 1:
+        raise InvalidParameterError(
+            f"population size must be >= 1, got {population_size}"
+        )
+    if target_error < 1.0:
+        raise InvalidParameterError(
+            f"ratio errors are >= 1 by definition, got {target_error}"
+        )
+    rows = math.ceil(math.e**2 * population_size / target_error**2)
+    return min(rows, population_size)
+
+
+def plan_sample_size(
+    population_size: int, target_error: float, gamma: float = 0.5
+) -> SamplingPlan:
+    """Bracket the sample size needed for a target worst-case ratio error.
+
+    ``full_scan_needed`` is set when even the *sufficient* bound demands
+    the entire table (targets tighter than ``e`` always do: the Theorem 2
+    envelope cannot go below ``e`` at ``r = n``; exactness then comes
+    from the sanity bounds, i.e. from actually scanning).
+    """
+    necessary = minimum_sample_size_for_error(
+        population_size, target_error, gamma=gamma
+    )
+    sufficient = gee_sufficient_sample_size(population_size, target_error)
+    return SamplingPlan(
+        population_size=int(population_size),
+        target_error=float(target_error),
+        gamma=float(gamma),
+        necessary_rows=necessary,
+        sufficient_rows=sufficient,
+        full_scan_needed=sufficient >= population_size,
+    )

@@ -1,0 +1,102 @@
+"""Registry of estimators by name.
+
+Experiments, benchmarks, and examples refer to estimators by their short
+names (``"GEE"``, ``"AE"``, ...); this registry is the single mapping
+from names to constructors.  The default estimator set — the six the
+paper's §6 experiments compare — is exposed as :data:`PAPER_ESTIMATORS`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.ae import AE
+from repro.core.base import DistinctValueEstimator
+from repro.core.gee import GEE
+from repro.core.hybgee import HybridGEE
+from repro.errors import InvalidParameterError
+from repro.estimators.classical import (
+    Bootstrap,
+    Chao,
+    ChaoLee,
+    Goodman,
+    HorvitzThompson,
+    NaiveScaleUp,
+    SampleDistinct,
+)
+from repro.estimators.extrapolation import GoodTuring
+from repro.estimators.hybskew import HybridSkew
+from repro.estimators.hybvar import HybridVariance
+from repro.estimators.jackknife import (
+    DUJ2A,
+    FirstOrderJackknife,
+    MethodOfMoments,
+    SecondOrderJackknife,
+    SmoothedJackknife,
+    UnsmoothedSecondOrderJackknife,
+)
+from repro.estimators.shlosser import ModifiedShlosser, Shlosser
+
+__all__ = [
+    "ESTIMATOR_FACTORIES",
+    "PAPER_ESTIMATORS",
+    "make_estimator",
+    "make_estimators",
+    "available_estimators",
+]
+
+ESTIMATOR_FACTORIES: dict[str, Callable[[], DistinctValueEstimator]] = {
+    "GEE": GEE,
+    "AE": AE,
+    "HYBGEE": HybridGEE,
+    "HYBSKEW": HybridSkew,
+    "HYBVAR": HybridVariance,
+    "DUJ2A": DUJ2A,
+    "SJ": SmoothedJackknife,
+    "MM": MethodOfMoments,
+    "UJ2": UnsmoothedSecondOrderJackknife,
+    "JK1": FirstOrderJackknife,
+    "JK2": SecondOrderJackknife,
+    "Shlosser": Shlosser,
+    "ModShlosser": ModifiedShlosser,
+    "Chao84": Chao,
+    "ChaoLee": ChaoLee,
+    "Goodman": Goodman,
+    "Bootstrap": Bootstrap,
+    "GT": GoodTuring,
+    "HT": HorvitzThompson,
+    "Scale": NaiveScaleUp,
+    "d": SampleDistinct,
+}
+
+#: The six estimators compared throughout the paper's Section 6.
+PAPER_ESTIMATORS: tuple[str, ...] = (
+    "GEE",
+    "AE",
+    "HYBGEE",
+    "HYBSKEW",
+    "HYBVAR",
+    "DUJ2A",
+)
+
+
+def make_estimator(name: str) -> DistinctValueEstimator:
+    """Instantiate an estimator by registry name."""
+    try:
+        factory = ESTIMATOR_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(ESTIMATOR_FACTORIES))
+        raise InvalidParameterError(
+            f"unknown estimator {name!r}; known estimators: {known}"
+        ) from None
+    return factory()
+
+
+def make_estimators(names) -> list[DistinctValueEstimator]:
+    """Instantiate several estimators by name, preserving order."""
+    return [make_estimator(name) for name in names]
+
+
+def available_estimators() -> tuple[str, ...]:
+    """All registered estimator names, sorted."""
+    return tuple(sorted(ESTIMATOR_FACTORIES))

@@ -1,0 +1,165 @@
+"""Theorem 1 machinery: the lower bound on distinct-values estimation.
+
+Theorem 1 (paper §3): any estimator — adaptive and randomized included —
+that examines at most ``r`` of ``n`` rows must, for every
+``gamma > e^{-r}``, incur on some input a ratio error of at least
+
+    ``sqrt((n - r) / (2 r) * ln(1 / gamma))``
+
+with probability at least ``gamma``.  The proof constructs two
+indistinguishable scenarios over a column ``C``:
+
+* **Scenario A** — a single value ``x`` fills all ``n`` rows (``D = 1``);
+* **Scenario B** — ``x`` fills ``n - k`` rows and ``k`` fresh singleton
+  values sit in ``k`` uniformly random rows (``D = k + 1``), with
+  ``k = (n - r) / (2 r) * ln(1 / gamma)``.
+
+With probability ``>= gamma`` an estimator sees ``r`` copies of ``x`` in
+either scenario and must answer identically; whatever it answers, it is
+off by ``>= sqrt(k + 1)`` on one of the two.
+
+This module provides the bound itself, the largest adversarial ``k``,
+generators for both scenarios (so the negative result can be *run*, not
+just stated), and the paper's §3 numeric comparison against the observed
+errors of real estimators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "lower_bound_error",
+    "adversarial_k",
+    "minimum_sample_size_for_error",
+    "AdversarialPair",
+    "adversarial_pair",
+]
+
+
+def _validate_n_r(population_size: int, sample_size: int) -> None:
+    if population_size <= 0:
+        raise InvalidParameterError(
+            f"population size must be positive, got {population_size}"
+        )
+    if not 0 < sample_size < population_size:
+        raise InvalidParameterError(
+            f"sample size must be in (0, n), got r={sample_size}, n={population_size}"
+        )
+
+
+def lower_bound_error(
+    population_size: int, sample_size: int, gamma: float = 0.5
+) -> float:
+    """The Theorem 1 error floor ``sqrt((n - r)/(2 r) * ln(1/gamma))``.
+
+    Parameters
+    ----------
+    population_size, sample_size:
+        ``n`` and ``r``.
+    gamma:
+        Probability with which the error must be incurred; must satisfy
+        ``e^{-r} < gamma < 1``.
+
+    Returns
+    -------
+    float
+        A ratio-error value; note Theorem 1 only yields a nontrivial
+        bound (``> 1``) once ``k >= 1``.
+    """
+    _validate_n_r(population_size, sample_size)
+    if not 0.0 < gamma < 1.0:
+        raise InvalidParameterError(f"gamma must be in (0, 1), got {gamma}")
+    if gamma <= math.exp(-float(sample_size)):
+        raise InvalidParameterError(
+            f"gamma must exceed e^-r = e^-{sample_size} for the bound to apply"
+        )
+    k = adversarial_k(population_size, sample_size, gamma)
+    return math.sqrt(max(k, 0.0))
+
+
+def adversarial_k(population_size: int, sample_size: int, gamma: float = 0.5) -> float:
+    """The Scenario-B singleton count ``k = (n - r)/(2 r) * ln(1/gamma)``."""
+    _validate_n_r(population_size, sample_size)
+    if not 0.0 < gamma < 1.0:
+        raise InvalidParameterError(f"gamma must be in (0, 1), got {gamma}")
+    return (population_size - sample_size) / (2.0 * sample_size) * math.log(1.0 / gamma)
+
+
+def minimum_sample_size_for_error(
+    population_size: int, target_error: float, gamma: float = 0.5
+) -> int:
+    """Smallest ``r`` for which Theorem 1 *permits* ratio error <= ``target_error``.
+
+    Inverting the bound: ``error^2 = (n - r) ln(1/gamma) / (2 r)`` gives
+    ``r = n L / (2 error^2 + L)`` with ``L = ln(1/gamma)``.  Any
+    estimator sampling fewer rows provably cannot guarantee the target
+    error with confidence ``1 - gamma``.  This is the "how much must I
+    scan" planning primitive for a statistics collector.
+    """
+    if target_error < 1.0:
+        raise InvalidParameterError(
+            f"ratio errors are >= 1 by definition, got {target_error}"
+        )
+    if population_size <= 0:
+        raise InvalidParameterError(
+            f"population size must be positive, got {population_size}"
+        )
+    if not 0.0 < gamma < 1.0:
+        raise InvalidParameterError(f"gamma must be in (0, 1), got {gamma}")
+    load = math.log(1.0 / gamma)
+    r = population_size * load / (2.0 * target_error**2 + load)
+    return min(population_size, max(1, math.ceil(r)))
+
+
+@dataclass(frozen=True)
+class AdversarialPair:
+    """The two Theorem-1 scenarios, materialized as concrete columns."""
+
+    scenario_a: np.ndarray
+    scenario_b: np.ndarray
+    k: int
+
+    @property
+    def distinct_a(self) -> int:
+        """True distinct count of Scenario A (always 1)."""
+        return 1
+
+    @property
+    def distinct_b(self) -> int:
+        """True distinct count of Scenario B (``k + 1``)."""
+        return self.k + 1
+
+    @property
+    def indistinguishability_floor(self) -> float:
+        """``sqrt(k + 1)``: the error some answer must incur on A or B."""
+        return math.sqrt(self.k + 1)
+
+
+def adversarial_pair(
+    population_size: int,
+    sample_size: int,
+    gamma: float = 0.5,
+    rng: np.random.Generator | None = None,
+) -> AdversarialPair:
+    """Materialize the Theorem 1 scenario pair for given ``(n, r, gamma)``.
+
+    Scenario A is ``n`` copies of the value 0.  Scenario B places
+    ``k = floor((n-r)/(2r) ln(1/gamma))`` distinct singleton values
+    ``1..k`` at uniformly random row positions of an otherwise constant
+    column, exactly as the proof prescribes.
+    """
+    _validate_n_r(population_size, sample_size)
+    rng = rng if rng is not None else np.random.default_rng()
+    k = int(adversarial_k(population_size, sample_size, gamma))
+    k = min(k, population_size - 1)
+    scenario_a = np.zeros(population_size, dtype=np.int64)
+    scenario_b = np.zeros(population_size, dtype=np.int64)
+    positions = rng.choice(population_size, size=k, replace=False)
+    scenario_b[positions] = np.arange(1, k + 1, dtype=np.int64)
+    return AdversarialPair(scenario_a=scenario_a, scenario_b=scenario_b, k=k)

@@ -1,0 +1,66 @@
+"""The Column abstraction shared by generators, the DB substrate, and experiments.
+
+A column is just a named 1-D array of values together with cached ground
+truth (the true distinct count and class sizes) so experiments never
+recompute exact answers per trial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.frequency.profile import FrequencyProfile
+
+__all__ = ["Column"]
+
+
+@dataclass
+class Column:
+    """A named column of values with cached ground-truth statistics."""
+
+    name: str
+    values: np.ndarray
+    _distinct: int | None = field(default=None, repr=False)
+    _class_sizes: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values)
+        if self.values.ndim != 1:
+            raise InvalidParameterError(
+                f"column {self.name!r} must be 1-D, got shape {self.values.shape}"
+            )
+        if self.values.size == 0:
+            raise InvalidParameterError(f"column {self.name!r} must be non-empty")
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows, ``n``."""
+        return int(self.values.size)
+
+    @property
+    def class_sizes(self) -> np.ndarray:
+        """Per-distinct-value multiplicities ``n_j`` (computed once)."""
+        if self._class_sizes is None:
+            _, counts = np.unique(self.values, return_counts=True)
+            self._class_sizes = counts
+        return self._class_sizes
+
+    @property
+    def distinct_count(self) -> int:
+        """The exact number of distinct values ``D`` (computed once)."""
+        if self._distinct is None:
+            self._distinct = int(self.class_sizes.size)
+        return self._distinct
+
+    def population_profile(self) -> FrequencyProfile:
+        """Frequency profile of the *entire* column (ground truth spectrum)."""
+        return FrequencyProfile.from_multiplicities(self.class_sizes.tolist())
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Column(name={self.name!r}, n_rows={self.n_rows})"

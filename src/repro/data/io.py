@@ -1,0 +1,92 @@
+"""Loading real columns from disk (CSV / text / ``.npy``).
+
+A downstream user's data lives in files, not generators.  These loaders
+return :class:`~repro.data.Column` objects ready for the samplers and
+estimators; values parse as integers when possible, floats next, and
+fall back to strings (which every sampler and the hashing layer accept).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.column import Column
+from repro.errors import DataGenerationError
+
+__all__ = ["load_column", "load_csv_column", "load_csv_table"]
+
+
+def _parse_values(raw: list[str]) -> np.ndarray:
+    try:
+        return np.array([int(value) for value in raw], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.array([float(value) for value in raw], dtype=np.float64)
+    except ValueError:
+        return np.array(raw, dtype=object)
+
+
+def load_csv_column(path, column: str, name: str | None = None) -> Column:
+    """Load one named column from a headered CSV file."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataGenerationError(f"no such file: {path}")
+    with open(file_path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or column not in reader.fieldnames:
+            available = ", ".join(reader.fieldnames or [])
+            raise DataGenerationError(
+                f"{path} has no column {column!r}; columns: {available or '(none)'}"
+            )
+        raw = [row[column] for row in reader]
+    if not raw:
+        raise DataGenerationError(f"{path} has no data rows")
+    return Column(name=name or column, values=_parse_values(raw))
+
+
+def load_csv_table(path, name: str | None = None) -> dict[str, np.ndarray]:
+    """Load every column of a headered CSV as ``{name: array}``.
+
+    The result plugs straight into :class:`repro.db.Table`::
+
+        Table(name="people", columns=load_csv_table("people.csv"))
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataGenerationError(f"no such file: {path}")
+    with open(file_path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if not reader.fieldnames:
+            raise DataGenerationError(f"{path} has no header row")
+        raw: dict[str, list[str]] = {field: [] for field in reader.fieldnames}
+        for row in reader:
+            for field in reader.fieldnames:
+                raw[field].append(row[field])
+    if not next(iter(raw.values()), []):
+        raise DataGenerationError(f"{path} has no data rows")
+    return {field: _parse_values(values) for field, values in raw.items()}
+
+
+def load_column(path, column: str | None = None, name: str | None = None) -> Column:
+    """Load a column from ``.npy``, ``.csv`` (requires ``column=``), or text.
+
+    Text files hold one value per line; blank lines are skipped.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataGenerationError(f"no such file: {path}")
+    if file_path.suffix == ".npy":
+        return Column(name=name or file_path.stem, values=np.load(file_path))
+    if file_path.suffix == ".csv":
+        if column is None:
+            raise DataGenerationError("CSV files need a column= name")
+        return load_csv_column(file_path, column, name=name)
+    with open(file_path) as handle:
+        raw = [line.strip() for line in handle if line.strip()]
+    if not raw:
+        raise DataGenerationError(f"{path} has no data rows")
+    return Column(name=name or file_path.stem, values=_parse_values(raw))

@@ -1,0 +1,107 @@
+"""The mini database substrate: tables, catalog, ANALYZE, exact scans,
+and the toy optimizer that consumes distinct-value statistics.
+
+This package plays the role Microsoft SQL Server 7.0 played in the
+paper's experiments (DESIGN.md §3): it stores the data, samples it, and
+exposes exactly the sample statistics the estimators need — while the
+optimizer demonstrates why those statistics matter (§1).
+"""
+
+from repro.db.analyze import analyze, analyze_column
+from repro.db.catalog import Catalog, ColumnStatistics
+from repro.db.composite import (
+    composite_upper_bound,
+    composite_values,
+    correlation_ratio,
+    estimate_composite_distinct,
+)
+from repro.db.engine import (
+    ExecutionStats,
+    execute_join_plan,
+    filter_rows,
+    hash_aggregate,
+    hash_join,
+    run_join_query,
+    seq_scan,
+    sort_aggregate,
+)
+from repro.db.exact import exact_distinct_hash, exact_distinct_sort
+from repro.db.histogram import EquiDepthHistogram, HistogramBucket
+from repro.db.iocost import (
+    expected_pages_row_sampling,
+    io_cost_summary,
+    pages_block_sampling,
+    pages_in_table,
+)
+from repro.db.maintenance import MaintainedStatistics
+from repro.db.progressive import (
+    ProgressiveResult,
+    ProgressiveStage,
+    progressive_analyze,
+)
+from repro.db.scan import StreamingAnalyzer, analyze_stream
+from repro.db.selectivity import (
+    FilterSpec,
+    attach_histogram,
+    estimate_filtered_rows,
+    estimate_selectivity,
+    stored_histogram,
+)
+from repro.db.sql import QueryResult, execute_sql
+from repro.db.optimizer import (
+    JoinPlan,
+    JoinPredicate,
+    choose_aggregate_strategy,
+    choose_join_order,
+    enumerate_left_deep_plans,
+    join_cardinality,
+)
+from repro.db.table import DEFAULT_PAGE_SIZE, Table
+
+__all__ = [
+    "analyze",
+    "analyze_column",
+    "StreamingAnalyzer",
+    "analyze_stream",
+    "MaintainedStatistics",
+    "ProgressiveResult",
+    "ProgressiveStage",
+    "progressive_analyze",
+    "QueryResult",
+    "execute_sql",
+    "FilterSpec",
+    "attach_histogram",
+    "estimate_filtered_rows",
+    "estimate_selectivity",
+    "stored_histogram",
+    "Catalog",
+    "ColumnStatistics",
+    "composite_upper_bound",
+    "composite_values",
+    "correlation_ratio",
+    "estimate_composite_distinct",
+    "ExecutionStats",
+    "execute_join_plan",
+    "filter_rows",
+    "hash_aggregate",
+    "hash_join",
+    "run_join_query",
+    "seq_scan",
+    "sort_aggregate",
+    "exact_distinct_hash",
+    "EquiDepthHistogram",
+    "HistogramBucket",
+    "expected_pages_row_sampling",
+    "io_cost_summary",
+    "pages_block_sampling",
+    "pages_in_table",
+    "exact_distinct_sort",
+    "JoinPlan",
+    "JoinPredicate",
+    "choose_aggregate_strategy",
+    "choose_join_order",
+    "enumerate_left_deep_plans",
+    "join_cardinality",
+    "DEFAULT_PAGE_SIZE",
+    "Table",
+]

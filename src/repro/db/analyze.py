@@ -1,0 +1,109 @@
+"""ANALYZE: sample a table and populate catalog statistics.
+
+This is the paper's measurement loop as a reusable command: draw a row
+sample of each requested column, reduce it to a frequency profile (the
+information the modified SQL Server returned), run a distinct-value
+estimator, and store the result — estimate plus confidence interval —
+in the catalog.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.base import DistinctValueEstimator
+from repro.core.gee import GEE
+from repro.db.catalog import Catalog, ColumnStatistics
+from repro.db.table import Table
+from repro.errors import InvalidParameterError
+from repro.sampling.base import RowSampler
+from repro.sampling.schemes import UniformWithoutReplacement
+
+__all__ = ["analyze", "analyze_column"]
+
+
+def analyze_column(
+    table: Table,
+    column_name: str,
+    rng: np.random.Generator,
+    estimator: DistinctValueEstimator | None = None,
+    sampler: RowSampler | None = None,
+    fraction: float | None = None,
+    sample_size: int | None = None,
+) -> ColumnStatistics:
+    """Estimate distinct values for one column and return the statistics.
+
+    Defaults: GEE (the guaranteed-error choice for a system that cannot
+    assume anything about its data) over a 1% uniform row sample without
+    replacement.
+    """
+    estimator = estimator if estimator is not None else GEE()
+    sampler = sampler if sampler is not None else UniformWithoutReplacement()
+    if fraction is None and sample_size is None:
+        fraction = 0.01
+    profile = sampler.profile(
+        table.column(column_name), rng, size=sample_size, fraction=fraction
+    )
+    estimate = estimator.estimate(profile, table.n_rows)
+    return ColumnStatistics(
+        table=table.name,
+        column=column_name,
+        n_rows=table.n_rows,
+        distinct_estimate=estimate.value,
+        sample_size=profile.sample_size,
+        estimator=estimator.name,
+        interval=estimate.interval,
+    )
+
+
+def analyze(
+    catalog: Catalog,
+    table_name: str,
+    rng: np.random.Generator,
+    columns: Sequence[str] | None = None,
+    estimator: DistinctValueEstimator | None = None,
+    sampler: RowSampler | None = None,
+    fraction: float | None = None,
+    sample_size: int | None = None,
+) -> list[ColumnStatistics]:
+    """ANALYZE a registered table, storing statistics for each column.
+
+    Parameters
+    ----------
+    catalog:
+        The catalog holding the table; statistics are stored into it.
+    table_name:
+        Which registered table to analyze.
+    columns:
+        Columns to analyze (default: all).
+    estimator, sampler, fraction, sample_size:
+        Forwarded to :func:`analyze_column`.
+
+    Returns
+    -------
+    list[ColumnStatistics]
+        The statistics stored, in column order.
+    """
+    table = catalog.table(table_name)
+    names = list(columns) if columns is not None else table.column_names
+    unknown = [name for name in names if name not in table]
+    if unknown:
+        raise InvalidParameterError(
+            f"table {table_name!r} has no columns {unknown!r}"
+        )
+    collected = []
+    for name in names:
+        stats = analyze_column(
+            table,
+            name,
+            rng,
+            estimator=estimator,
+            sampler=sampler,
+            fraction=fraction,
+            sample_size=sample_size,
+        )
+        catalog.put_statistics(stats)
+        collected.append(stats)
+    return collected

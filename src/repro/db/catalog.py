@@ -1,0 +1,182 @@
+"""The system catalog: where distinct-value statistics live.
+
+A query optimizer never re-estimates statistics per query; it reads them
+from a catalog populated by an ANALYZE-style command.  This module
+models that flow: :class:`Catalog` registers tables and stores one
+:class:`ColumnStatistics` per analyzed column, including the estimate's
+confidence interval when the estimator provides one (the paper argues
+"such measures of confidence should be required of all estimators", §1.2).
+
+Statistics survive restarts: :meth:`Catalog.save_statistics` /
+:meth:`Catalog.load_statistics` round-trip them through JSON, and
+:meth:`Catalog.staleness` reports how far a table has drifted since its
+statistics were collected — the signal a real system uses to schedule
+re-ANALYZE.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.base import ConfidenceInterval
+from repro.db.table import Table
+from repro.errors import CatalogError
+
+__all__ = ["ColumnStatistics", "Catalog"]
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Distinct-value statistics for one column of one table."""
+
+    table: str
+    column: str
+    n_rows: int
+    distinct_estimate: float
+    sample_size: int
+    estimator: str
+    interval: ConfidenceInterval | None = None
+
+    @property
+    def sampling_fraction(self) -> float:
+        return self.sample_size / self.n_rows if self.n_rows else 0.0
+
+    @property
+    def density(self) -> float:
+        """Average rows per distinct value (the optimizer's selectivity basis)."""
+        if self.distinct_estimate <= 0:
+            return float(self.n_rows)
+        return self.n_rows / self.distinct_estimate
+
+
+@dataclass
+class Catalog:
+    """Registry of tables and their column statistics."""
+
+    tables: dict[str, Table] = field(default_factory=dict)
+    statistics: dict[tuple[str, str], ColumnStatistics] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def register(self, table: Table) -> None:
+        """Register (or replace) a table."""
+        self.tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a registered table by name."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self.tables)) or "(none)"
+            raise CatalogError(
+                f"unknown table {name!r}; registered tables: {known}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def put_statistics(self, stats: ColumnStatistics) -> None:
+        """Store statistics for ``(stats.table, stats.column)``."""
+        if stats.table not in self.tables:
+            raise CatalogError(
+                f"cannot store statistics for unregistered table {stats.table!r}"
+            )
+        if stats.column not in self.tables[stats.table]:
+            raise CatalogError(
+                f"table {stats.table!r} has no column {stats.column!r}"
+            )
+        self.statistics[(stats.table, stats.column)] = stats
+
+    def column_statistics(self, table: str, column: str) -> ColumnStatistics:
+        """The stored statistics for one column (CatalogError if absent)."""
+        try:
+            return self.statistics[(table, column)]
+        except KeyError:
+            raise CatalogError(
+                f"no statistics for {table}.{column}; run analyze() first"
+            ) from None
+
+    def has_statistics(self, table: str, column: str) -> bool:
+        """Whether statistics have been stored for the column."""
+        return (table, column) in self.statistics
+
+    def distinct_count(self, table: str, column: str) -> float:
+        """Shorthand for the stored distinct-value estimate."""
+        return self.column_statistics(table, column).distinct_estimate
+
+    def staleness(self, table: str, column: str) -> float:
+        """Relative row-count drift since the statistics were collected.
+
+        ``|n_now - n_at_analyze| / n_at_analyze``; 0.0 means fresh.
+        Systems typically re-ANALYZE past some threshold (e.g. 0.2).
+        """
+        stats = self.column_statistics(table, column)
+        current = self.table(table).n_rows
+        if stats.n_rows <= 0:
+            return float("inf")
+        return abs(current - stats.n_rows) / stats.n_rows
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_statistics(self, path) -> None:
+        """Write all stored statistics to a JSON file."""
+        records = []
+        for stats in self.statistics.values():
+            record = {
+                "table": stats.table,
+                "column": stats.column,
+                "n_rows": stats.n_rows,
+                "distinct_estimate": stats.distinct_estimate,
+                "sample_size": stats.sample_size,
+                "estimator": stats.estimator,
+            }
+            if stats.interval is not None:
+                record["interval"] = [stats.interval.lower, stats.interval.upper]
+            records.append(record)
+        Path(path).write_text(json.dumps(records, indent=1))
+
+    def load_statistics(self, path, strict: bool = True) -> int:
+        """Load statistics from JSON written by :meth:`save_statistics`.
+
+        Records referencing unregistered tables/columns raise
+        :class:`CatalogError` when ``strict`` (default) and are skipped
+        otherwise.  Returns the number of records stored.
+        """
+        file_path = Path(path)
+        if not file_path.exists():
+            raise CatalogError(f"no such statistics file: {path}")
+        try:
+            records = json.loads(file_path.read_text())
+        except json.JSONDecodeError as error:
+            raise CatalogError(f"malformed statistics file {path}: {error}") from None
+        loaded = 0
+        for record in records:
+            interval = record.get("interval")
+            stats = ColumnStatistics(
+                table=record["table"],
+                column=record["column"],
+                n_rows=int(record["n_rows"]),
+                distinct_estimate=float(record["distinct_estimate"]),
+                sample_size=int(record["sample_size"]),
+                estimator=str(record["estimator"]),
+                interval=(
+                    ConfidenceInterval(float(interval[0]), float(interval[1]))
+                    if interval is not None
+                    else None
+                ),
+            )
+            try:
+                self.put_statistics(stats)
+            except CatalogError:
+                if strict:
+                    raise
+                continue
+            loaded += 1
+        return loaded
+
+    def __len__(self) -> int:
+        return len(self.tables)

@@ -1,0 +1,262 @@
+"""A small columnar query executor.
+
+The optimizer (:mod:`repro.db.optimizer`) chooses plans from *estimated*
+cardinalities; this engine runs those plans so the cost of a bad
+distinct-count statistic becomes an observable — actual intermediate
+rows — rather than a model output.  It supports exactly what the
+paper's motivation needs:
+
+* sequential scans with simple column predicates;
+* left-deep equi-join pipelines (hash joins);
+* hash and sort aggregation for ``GROUP BY``.
+
+Relations are columnar: ``dict[str, numpy array]`` with equal-length
+columns, column names qualified as ``table.column``.  Every operator
+adds the rows it materializes to a shared :class:`ExecutionStats`, so a
+plan's measured cost is directly comparable to the optimizer's
+``C_out`` estimate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.catalog import Catalog
+from repro.db.optimizer import JoinPlan, JoinPredicate, choose_join_order
+from repro.db.table import Table
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "ExecutionStats",
+    "Relation",
+    "seq_scan",
+    "filter_rows",
+    "hash_join",
+    "hash_aggregate",
+    "sort_aggregate",
+    "execute_join_plan",
+    "run_join_query",
+]
+
+#: A columnar relation: qualified column name -> values.
+Relation = dict[str, np.ndarray]
+
+
+@dataclass
+class ExecutionStats:
+    """Observable cost counters, accumulated across operators."""
+
+    rows_scanned: int = 0
+    rows_output: int = 0
+    intermediate_rows: list[int] = field(default_factory=list)
+    hash_entries: int = 0
+
+    @property
+    def total_intermediate(self) -> int:
+        """The measured analogue of the optimizer's C_out cost."""
+        return sum(self.intermediate_rows)
+
+
+def _relation_size(relation: Relation) -> int:
+    if not relation:
+        return 0
+    return int(next(iter(relation.values())).size)
+
+
+def _validate_relation(relation: Relation) -> None:
+    sizes = {column.size for column in relation.values()}
+    if len(sizes) > 1:
+        raise InvalidParameterError(
+            f"ragged relation: column lengths {sorted(sizes)}"
+        )
+
+
+def seq_scan(table: Table, stats: ExecutionStats) -> Relation:
+    """Scan a table into a relation with ``table.column`` names."""
+    relation = {
+        f"{table.name}.{name}": values for name, values in table.columns.items()
+    }
+    stats.rows_scanned += table.n_rows
+    return relation
+
+
+def filter_rows(
+    relation: Relation,
+    column: str,
+    op: str,
+    value,
+    stats: ExecutionStats,
+) -> Relation:
+    """Apply ``column <op> value`` (op in ``== != < <= > >=``)."""
+    if column not in relation:
+        raise InvalidParameterError(
+            f"no column {column!r}; available: {sorted(relation)}"
+        )
+    data = relation[column]
+    operations = {
+        "==": np.equal,
+        "!=": np.not_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+    }
+    if op not in operations:
+        raise InvalidParameterError(
+            f"unknown operator {op!r}; known: {sorted(operations)}"
+        )
+    mask = operations[op](data, value)
+    filtered = {name: values[mask] for name, values in relation.items()}
+    stats.intermediate_rows.append(_relation_size(filtered))
+    return filtered
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    left_key: str,
+    right_key: str,
+    stats: ExecutionStats,
+) -> Relation:
+    """Equi-join two relations (build on the smaller side).
+
+    Output contains every column of both inputs; the measured output
+    size is appended to ``stats.intermediate_rows``.
+    """
+    for key, relation in ((left_key, left), (right_key, right)):
+        if key not in relation:
+            raise InvalidParameterError(
+                f"join key {key!r} missing; available: {sorted(relation)}"
+            )
+    _validate_relation(left)
+    _validate_relation(right)
+    build, probe = (left, right) if _relation_size(left) <= _relation_size(right) else (right, left)
+    build_key = left_key if build is left else right_key
+    probe_key = right_key if build is left else left_key
+
+    table: dict = {}
+    for index, key in enumerate(build[build_key].tolist()):
+        table.setdefault(key, []).append(index)
+    stats.hash_entries += len(table)
+
+    build_indices: list[int] = []
+    probe_indices: list[int] = []
+    for index, key in enumerate(probe[probe_key].tolist()):
+        matches = table.get(key)
+        if matches:
+            build_indices.extend(matches)
+            probe_indices.extend([index] * len(matches))
+    build_idx = np.array(build_indices, dtype=np.int64)
+    probe_idx = np.array(probe_indices, dtype=np.int64)
+
+    joined: Relation = {}
+    for name, values in build.items():
+        joined[name] = values[build_idx]
+    for name, values in probe.items():
+        if name in joined:  # self-join on same qualified name
+            continue
+        joined[name] = values[probe_idx]
+    stats.intermediate_rows.append(_relation_size(joined))
+    return joined
+
+
+def hash_aggregate(
+    relation: Relation, group_column: str, stats: ExecutionStats
+) -> Relation:
+    """``SELECT group_column, COUNT(*) GROUP BY group_column`` via hashing.
+
+    Memory cost is one hash entry per group (recorded in
+    ``stats.hash_entries``) — the quantity the optimizer's strategy
+    choice estimates with the distinct count.
+    """
+    if group_column not in relation:
+        raise InvalidParameterError(f"no column {group_column!r}")
+    groups, counts = np.unique(relation[group_column], return_counts=True)
+    stats.hash_entries += groups.size
+    stats.intermediate_rows.append(int(groups.size))
+    return {group_column: groups, "count": counts}
+
+
+def sort_aggregate(
+    relation: Relation, group_column: str, stats: ExecutionStats
+) -> Relation:
+    """The sort-based GROUP BY: sort, then count runs (O(1) extra memory)."""
+    if group_column not in relation:
+        raise InvalidParameterError(f"no column {group_column!r}")
+    ordered = np.sort(relation[group_column])
+    if ordered.size == 0:
+        stats.intermediate_rows.append(0)
+        return {group_column: ordered, "count": ordered.astype(np.int64)}
+    boundaries = np.flatnonzero(np.concatenate(([True], ordered[1:] != ordered[:-1])))
+    groups = ordered[boundaries]
+    counts = np.diff(np.concatenate((boundaries, [ordered.size])))
+    stats.intermediate_rows.append(int(groups.size))
+    return {group_column: groups, "count": counts.astype(np.int64)}
+
+
+def _predicate_for(
+    predicates: Sequence[JoinPredicate], joined: set[str], table: str
+) -> JoinPredicate:
+    for predicate in predicates:
+        if predicate.involves(table) and predicate.other(table) in joined:
+            return predicate
+    raise InvalidParameterError(
+        f"no predicate connects {table!r} to {sorted(joined)}"
+    )
+
+
+def execute_join_plan(
+    catalog: Catalog,
+    plan: JoinPlan,
+    predicates: Sequence[JoinPredicate],
+) -> tuple[Relation, ExecutionStats]:
+    """Execute a left-deep join order with hash joins.
+
+    Returns the joined relation and the measured cost counters; the
+    measured ``total_intermediate`` is the ground truth against which
+    the optimizer's estimated cost can be judged.
+    """
+    stats = ExecutionStats()
+    current = seq_scan(catalog.table(plan.order[0]), stats)
+    joined = {plan.order[0]}
+    for table_name in plan.order[1:]:
+        predicate = _predicate_for(predicates, joined, table_name)
+        if predicate.left in joined:
+            left_key = f"{predicate.left}.{predicate.left_column}"
+            right_key = f"{predicate.right}.{predicate.right_column}"
+        else:
+            left_key = f"{predicate.right}.{predicate.right_column}"
+            right_key = f"{predicate.left}.{predicate.left_column}"
+        right = seq_scan(catalog.table(table_name), stats)
+        current = hash_join(current, right, left_key, right_key, stats)
+        joined.add(table_name)
+    stats.rows_output = _relation_size(current)
+    return current, stats
+
+
+def run_join_query(
+    catalog: Catalog,
+    predicates: Sequence[JoinPredicate],
+    order: Sequence[str] | None = None,
+) -> tuple[Relation, ExecutionStats, JoinPlan]:
+    """Plan (unless an order is forced) and execute a join query."""
+    if order is None:
+        plan = choose_join_order(catalog, predicates)
+    else:
+        from repro.db.optimizer import enumerate_left_deep_plans
+
+        candidates = [
+            candidate
+            for candidate in enumerate_left_deep_plans(catalog, predicates)
+            if candidate.order == tuple(order)
+        ]
+        if not candidates:
+            raise InvalidParameterError(
+                f"order {tuple(order)!r} is not a connected left-deep plan"
+            )
+        plan = candidates[0]
+    relation, stats = execute_join_plan(catalog, plan, predicates)
+    return relation, stats, plan

@@ -1,0 +1,109 @@
+"""Incremental statistics maintenance under appends.
+
+Tables grow; statistics rot.  :class:`MaintainedStatistics` keeps a
+column's distinct-count statistic continuously fresh as rows are
+appended, without ever rescanning:
+
+* every appended batch flows through a persistent reservoir
+  (:class:`~repro.sampling.ChunkedReservoir`), so at any moment the
+  sample is uniform over *all rows ever appended*;
+* the current estimate and interval are recomputed on demand from the
+  live reservoir — an O(sample) operation;
+* :meth:`drift` reports how much the estimate has moved since the last
+  :meth:`publish` to the catalog, the signal for refreshing dependent
+  plans.
+
+This mirrors how production systems piggyback statistics maintenance on
+the write path instead of re-running ANALYZE from scratch.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import DistinctValueEstimator, Estimate
+from repro.core.gee import GEE
+from repro.db.catalog import Catalog, ColumnStatistics
+from repro.errors import InvalidParameterError
+from repro.sampling.reservoir_state import ChunkedReservoir
+
+__all__ = ["MaintainedStatistics"]
+
+
+class MaintainedStatistics:
+    """A live distinct-count statistic for one growing column.
+
+    Parameters
+    ----------
+    table, column:
+        Catalog identity of the statistic.
+    sample_size:
+        Reservoir capacity.
+    rng:
+        Randomness for the reservoir.
+    estimator:
+        Estimator applied to the reservoir (default GEE).
+    """
+
+    def __init__(
+        self,
+        table: str,
+        column: str,
+        sample_size: int,
+        rng: np.random.Generator,
+        estimator: DistinctValueEstimator | None = None,
+    ) -> None:
+        self.table = table
+        self.column = column
+        self.estimator = estimator if estimator is not None else GEE()
+        self._reservoir = ChunkedReservoir(sample_size, rng)
+        self._published: Estimate | None = None
+        self._published_rows = 0
+
+    @property
+    def rows_seen(self) -> int:
+        """Total rows appended so far."""
+        return self._reservoir.rows_seen
+
+    def append(self, batch) -> None:
+        """Absorb a batch of newly inserted rows."""
+        self._reservoir.consume(batch)
+
+    def current_estimate(self) -> Estimate:
+        """The estimate as of the rows appended so far."""
+        profile = self._reservoir.profile()
+        return self.estimator.estimate(profile, self.rows_seen)
+
+    def drift(self) -> float:
+        """Ratio drift of the live estimate vs the last published one.
+
+        1.0 means unchanged; returns ``inf`` before the first publish.
+        """
+        if self._published is None:
+            return float("inf")
+        current = self.current_estimate().value
+        published = self._published.value
+        return max(current / published, published / current)
+
+    def publish(self, catalog: Catalog) -> ColumnStatistics:
+        """Write the current statistic to the catalog and reset drift."""
+        estimate = self.current_estimate()
+        stats = ColumnStatistics(
+            table=self.table,
+            column=self.column,
+            n_rows=self.rows_seen,
+            distinct_estimate=estimate.value,
+            sample_size=self._reservoir.size,
+            estimator=self.estimator.name,
+            interval=estimate.interval,
+        )
+        catalog.put_statistics(stats)
+        self._published = estimate
+        self._published_rows = self.rows_seen
+        return stats
+
+    def should_republish(self, max_drift: float = 1.2) -> bool:
+        """Whether the estimate has drifted past ``max_drift`` since publish."""
+        if max_drift <= 1.0:
+            raise InvalidParameterError(
+                f"max_drift must exceed 1, got {max_drift}"
+            )
+        return self.drift() > max_drift

@@ -1,0 +1,200 @@
+"""A toy cost-based optimizer driven by distinct-value statistics.
+
+The paper's motivation (§1): "accuracy of distinct values estimation
+greatly impacts the query optimizer's ability to generate good plans for
+SQL queries."  This module makes that concrete with the two classic
+decisions that hinge on distinct counts:
+
+* **join ordering** — the textbook cardinality model estimates
+  ``|R join S on k| = |R| |S| / max(D_R(k), D_S(k))``, so a bad distinct
+  estimate misorders joins;
+* **aggregation strategy** — hash aggregation needs one hash-table entry
+  per group (``D`` entries); if the estimated ``D`` fits the memory
+  budget, hash beats sort.
+
+The optimizer is deliberately small — left-deep plans, equi-joins,
+exhaustive enumeration — because its purpose is to *demonstrate the
+downstream effect of estimation error*, which the optimizer example and
+benchmarks quantify by re-costing the chosen plan with exact statistics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.db.catalog import Catalog
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "JoinPredicate",
+    "JoinPlan",
+    "join_cardinality",
+    "enumerate_left_deep_plans",
+    "choose_join_order",
+    "choose_aggregate_strategy",
+]
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join ``left.column = right.column`` between two tables."""
+
+    left: str
+    left_column: str
+    right: str
+    right_column: str
+
+    def involves(self, table: str) -> bool:
+        """Whether the predicate references ``table`` on either side."""
+        return table in (self.left, self.right)
+
+    def other(self, table: str) -> str:
+        """The predicate's other table."""
+        if table == self.left:
+            return self.right
+        if table == self.right:
+            return self.left
+        raise InvalidParameterError(f"{table!r} is not part of predicate {self}")
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A left-deep join order with its estimated cost.
+
+    ``cost`` is the sum of intermediate result cardinalities — the
+    standard C_out cost model.
+    """
+
+    order: tuple[str, ...]
+    intermediate_cardinalities: tuple[float, ...]
+    cost: float
+
+
+def join_cardinality(
+    rows_left: float, rows_right: float, distinct_left: float, distinct_right: float
+) -> float:
+    """Textbook equi-join cardinality ``|R| |S| / max(D_R, D_S)``."""
+    if rows_left < 0 or rows_right < 0:
+        raise InvalidParameterError("row counts must be non-negative")
+    denominator = max(distinct_left, distinct_right, 1.0)
+    return rows_left * rows_right / denominator
+
+
+def _predicate_between(
+    predicates: Sequence[JoinPredicate], joined: set[str], table: str
+) -> JoinPredicate | None:
+    """First predicate connecting ``table`` to the already-joined set."""
+    for predicate in predicates:
+        if predicate.involves(table) and predicate.other(table) in joined:
+            return predicate
+    return None
+
+
+def enumerate_left_deep_plans(
+    catalog: Catalog, predicates: Sequence[JoinPredicate]
+) -> list[JoinPlan]:
+    """All connected left-deep join orders with estimated costs.
+
+    Cardinalities come from the catalog's distinct-value statistics; the
+    distinct count of the join key in an intermediate result is
+    propagated as the smaller of the two sides' (the containment
+    assumption).
+    """
+    if not predicates:
+        raise InvalidParameterError("at least one join predicate is required")
+    tables: list[str] = []
+    for predicate in predicates:
+        for name in (predicate.left, predicate.right):
+            if name not in tables:
+                tables.append(name)
+    plans = []
+    for order in itertools.permutations(tables):
+        plan = _cost_left_deep(catalog, predicates, order)
+        if plan is not None:
+            plans.append(plan)
+    if not plans:
+        raise InvalidParameterError(
+            "join graph is disconnected; no left-deep plan covers all tables"
+        )
+    return plans
+
+
+def _cost_left_deep(
+    catalog: Catalog,
+    predicates: Sequence[JoinPredicate],
+    order: Sequence[str],
+) -> JoinPlan | None:
+    """Cost one left-deep order; None when the order is disconnected."""
+    first = order[0]
+    joined = {first}
+    rows = float(catalog.table(first).n_rows)
+    # Distinct counts of each table's join columns, looked up lazily.
+    key_distinct: dict[str, float] = {}
+
+    def distinct_of(table: str, column: str) -> float:
+        key = f"{table}.{column}"
+        if key not in key_distinct:
+            key_distinct[key] = catalog.distinct_count(table, column)
+        return key_distinct[key]
+
+    intermediates = []
+    current_key_distinct: dict[str, float] = {}
+    for table in order[1:]:
+        predicate = _predicate_between(predicates, joined, table)
+        if predicate is None:
+            return None
+        if predicate.left in joined:
+            inner_column = predicate.left_column
+            outer_table, outer_column = predicate.right, predicate.right_column
+            inner_table = predicate.left
+        else:
+            inner_column = predicate.right_column
+            outer_table, outer_column = predicate.left, predicate.left_column
+            inner_table = predicate.right
+        # Distinct count of the key on the accumulated side: propagated
+        # if this key joined before, else the base table's statistic.
+        inner_key = f"{inner_table}.{inner_column}"
+        d_inner = current_key_distinct.get(
+            inner_key, distinct_of(inner_table, inner_column)
+        )
+        d_outer = distinct_of(outer_table, outer_column)
+        outer_rows = float(catalog.table(outer_table).n_rows)
+        rows = join_cardinality(rows, outer_rows, d_inner, d_outer)
+        current_key_distinct[inner_key] = min(d_inner, d_outer)
+        joined.add(table)
+        intermediates.append(rows)
+    return JoinPlan(
+        order=tuple(order),
+        intermediate_cardinalities=tuple(intermediates),
+        cost=float(sum(intermediates)),
+    )
+
+
+def choose_join_order(
+    catalog: Catalog, predicates: Sequence[JoinPredicate]
+) -> JoinPlan:
+    """The cheapest left-deep plan under the catalog's statistics."""
+    plans = enumerate_left_deep_plans(catalog, predicates)
+    return min(plans, key=lambda plan: plan.cost)
+
+
+def choose_aggregate_strategy(
+    catalog: Catalog,
+    table: str,
+    group_column: str,
+    memory_budget_groups: int,
+) -> str:
+    """``"hash"`` when the estimated group count fits in memory, else ``"sort"``.
+
+    The decision the paper's introduction motivates: a hash aggregate
+    needs one entry per distinct group; underestimating ``D`` chooses
+    hash and spills, overestimating chooses an unnecessary sort.
+    """
+    if memory_budget_groups < 1:
+        raise InvalidParameterError(
+            f"memory budget must be >= 1 group, got {memory_budget_groups}"
+        )
+    estimated_groups = catalog.distinct_count(table, group_column)
+    return "hash" if estimated_groups <= memory_budget_groups else "sort"

@@ -1,0 +1,111 @@
+"""One-pass streaming statistics collection.
+
+A statistics collector embedded in a table scan cannot hold the column
+in memory; it sees the rows once, in storage order, in chunks.  The
+:class:`StreamingAnalyzer` maintains a bounded reservoir (Vitter's
+Algorithm R via :class:`~repro.sampling.reservoir_state.ChunkedReservoir`)
+so that when the scan finishes it holds a uniform without-replacement
+sample — exactly the §2 sampling model — from which any registered
+estimator produces the catalog statistics.  Optionally a
+probabilistic-counting sketch rides along on the same scan, giving the
+near-exact full-scan answer for comparison at a few KiB of extra state.
+
+This is the operational bridge between the paper's model and a real
+ANALYZE: the estimator's input is identical whether the sample came
+from random probes or from this single sequential pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import DistinctValueEstimator
+from repro.core.gee import GEE
+from repro.db.catalog import ColumnStatistics
+from repro.errors import InvalidParameterError
+from repro.frequency.profile import FrequencyProfile
+from repro.sampling.reservoir_state import ChunkedReservoir
+from repro.sketches.base import DistinctSketch
+
+__all__ = ["StreamingAnalyzer", "analyze_stream"]
+
+
+class StreamingAnalyzer:
+    """Chunk-at-a-time reservoir sampler + estimator + optional sketch.
+
+    Parameters
+    ----------
+    sample_size:
+        Reservoir capacity ``r``.
+    rng:
+        Randomness source for the reservoir.
+    estimator:
+        Estimator applied to the final sample (default GEE).
+    sketch:
+        Optional :class:`~repro.sketches.DistinctSketch` updated with
+        every row of the scan.
+    """
+
+    def __init__(
+        self,
+        sample_size: int,
+        rng: np.random.Generator,
+        estimator: DistinctValueEstimator | None = None,
+        sketch: DistinctSketch | None = None,
+    ) -> None:
+        self.sample_size = int(sample_size)
+        self.estimator = estimator if estimator is not None else GEE()
+        self.sketch = sketch
+        self._reservoir = ChunkedReservoir(sample_size, rng)
+        self._finished = False
+
+    @property
+    def rows_seen(self) -> int:
+        """Rows consumed so far."""
+        return self._reservoir.rows_seen
+
+    def consume(self, chunk) -> None:
+        """Feed the next chunk of rows (in scan order)."""
+        if self._finished:
+            raise InvalidParameterError("analyzer already finished")
+        data = np.asarray(chunk)
+        if data.ndim == 1 and data.size and self.sketch is not None:
+            self.sketch.add(data)
+        self._reservoir.consume(data)
+
+    def profile(self) -> FrequencyProfile:
+        """Frequency profile of the current reservoir."""
+        return self._reservoir.profile()
+
+    def finish(self, table: str, column: str) -> ColumnStatistics:
+        """Close the scan and produce catalog statistics."""
+        profile = self.profile()  # raises if nothing was consumed
+        self._finished = True
+        estimate = self.estimator.estimate(profile, self.rows_seen)
+        return ColumnStatistics(
+            table=table,
+            column=column,
+            n_rows=self.rows_seen,
+            distinct_estimate=estimate.value,
+            sample_size=profile.sample_size,
+            estimator=self.estimator.name,
+            interval=estimate.interval,
+        )
+
+
+def analyze_stream(
+    chunks,
+    sample_size: int,
+    rng: np.random.Generator,
+    table: str = "stream",
+    column: str = "values",
+    estimator: DistinctValueEstimator | None = None,
+    sketch: DistinctSketch | None = None,
+) -> ColumnStatistics:
+    """Run a :class:`StreamingAnalyzer` over an iterable of chunks."""
+    analyzer = StreamingAnalyzer(
+        sample_size, rng, estimator=estimator, sketch=sketch
+    )
+    for chunk in chunks:
+        analyzer.consume(chunk)
+    return analyzer.finish(table, column)

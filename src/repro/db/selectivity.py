@@ -1,0 +1,124 @@
+"""Predicate selectivity estimation from catalog statistics.
+
+The other half of the optimizer's statistics diet.  Given a predicate
+``column <op> value``, the estimated fraction of qualifying rows comes
+from, in order of preference:
+
+1. a stored :class:`~repro.db.histogram.EquiDepthHistogram` (range and
+   equality predicates, value-aware);
+2. the distinct-count statistic (equality ``~ 1/D`` under uniformity);
+3. the textbook defaults (System R's 1/3 for ranges, 1/10 for equality)
+   when no statistics exist.
+
+`Catalog` gains histogram storage via :func:`attach_histogram` /
+:func:`stored_histogram` so ANALYZE can persist both kinds of statistic
+side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.catalog import Catalog
+from repro.db.histogram import EquiDepthHistogram
+from repro.errors import CatalogError, InvalidParameterError
+
+__all__ = [
+    "FilterSpec",
+    "attach_histogram",
+    "stored_histogram",
+    "estimate_selectivity",
+    "estimate_filtered_rows",
+]
+
+#: System R's defaults for statistics-free estimation.
+DEFAULT_EQUALITY_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+_RANGE_OPS = ("<", "<=", ">", ">=")
+_ALL_OPS = ("==", "!=", *_RANGE_OPS)
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A single-column comparison predicate ``table.column <op> value``."""
+
+    table: str
+    column: str
+    op: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _ALL_OPS:
+            raise InvalidParameterError(
+                f"op must be one of {_ALL_OPS}, got {self.op!r}"
+            )
+
+
+def _histogram_key(table: str, column: str) -> tuple[str, str, str]:
+    return (table, column, "histogram")
+
+
+def attach_histogram(
+    catalog: Catalog, table: str, column: str, histogram: EquiDepthHistogram
+) -> None:
+    """Store a histogram for ``table.column`` in the catalog."""
+    if table not in catalog.tables:
+        raise CatalogError(f"unknown table {table!r}")
+    if column not in catalog.tables[table]:
+        raise CatalogError(f"table {table!r} has no column {column!r}")
+    if not hasattr(catalog, "_histograms"):
+        catalog._histograms = {}
+    catalog._histograms[_histogram_key(table, column)] = histogram
+
+
+def stored_histogram(
+    catalog: Catalog, table: str, column: str
+) -> EquiDepthHistogram | None:
+    """The stored histogram, or None when ANALYZE never built one."""
+    return getattr(catalog, "_histograms", {}).get(_histogram_key(table, column))
+
+
+def _histogram_selectivity(
+    histogram: EquiDepthHistogram, op: str, value: float
+) -> float:
+    lowest = histogram.buckets[0].low
+    highest = histogram.buckets[-1].high
+    if op == "==":
+        return histogram.equality_selectivity(value)
+    if op == "!=":
+        return 1.0 - histogram.equality_selectivity(value)
+    if op in ("<", "<="):
+        if value < lowest:
+            return 0.0
+        return histogram.range_selectivity(lowest, min(value, highest))
+    # > or >=
+    if value > highest:
+        return 0.0
+    return histogram.range_selectivity(max(value, lowest), highest)
+
+
+def estimate_selectivity(catalog: Catalog, spec: FilterSpec) -> float:
+    """Estimated fraction of rows of ``spec.table`` satisfying ``spec``."""
+    histogram = stored_histogram(catalog, spec.table, spec.column)
+    if histogram is not None:
+        return float(np.clip(_histogram_selectivity(histogram, spec.op, spec.value), 0.0, 1.0))
+    if catalog.has_statistics(spec.table, spec.column):
+        distinct = max(catalog.distinct_count(spec.table, spec.column), 1.0)
+        if spec.op == "==":
+            return min(1.0, 1.0 / distinct)
+        if spec.op == "!=":
+            return 1.0 - min(1.0, 1.0 / distinct)
+        return DEFAULT_RANGE_SELECTIVITY
+    if spec.op == "==":
+        return DEFAULT_EQUALITY_SELECTIVITY
+    if spec.op == "!=":
+        return 1.0 - DEFAULT_EQUALITY_SELECTIVITY
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def estimate_filtered_rows(catalog: Catalog, spec: FilterSpec) -> float:
+    """Estimated qualifying row count, ``n * selectivity``."""
+    return catalog.table(spec.table).n_rows * estimate_selectivity(catalog, spec)

@@ -1,0 +1,174 @@
+"""A micro-SQL front end for distinct-count queries.
+
+Enough SQL to exercise the whole substrate from a string — the shape of
+statement the paper's motivation is really about:
+
+.. code-block:: sql
+
+    SELECT COUNT(DISTINCT city) FROM people
+    SELECT COUNT(DISTINCT city) FROM people SAMPLE 1% USING GEE
+    SELECT COUNT(DISTINCT city) FROM people SAMPLE 1% USING AE WHERE age > 30
+    SELECT city, COUNT(*) FROM people GROUP BY city
+
+Semantics:
+
+* without ``SAMPLE``, ``COUNT(DISTINCT ...)`` is exact (sort scan);
+* with ``SAMPLE p%``, a uniform row sample is drawn and the ``USING``
+  estimator (default GEE) produces the estimate — the answer is an
+  :class:`~repro.db.sql.QueryResult` carrying the value *and* the
+  confidence interval when the estimator provides one;
+* ``WHERE`` supports one comparison predicate applied before counting;
+* ``GROUP BY`` runs the hash aggregate and returns groups with counts.
+
+The grammar is deliberately tiny and the parser is a few regexes —
+this is a demonstration surface, not a SQL implementation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import ConfidenceInterval
+from repro.core.registry import make_estimator
+from repro.db.catalog import Catalog
+from repro.db.engine import ExecutionStats, filter_rows, hash_aggregate, seq_scan
+from repro.db.exact import exact_distinct_sort
+from repro.errors import InvalidParameterError
+from repro.frequency.profile import FrequencyProfile
+
+__all__ = ["QueryResult", "execute_sql"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of a micro-SQL statement."""
+
+    kind: str  # "distinct" or "groupby"
+    value: float | None = None
+    interval: ConfidenceInterval | None = None
+    estimator: str | None = None
+    rows_read: int = 0
+    groups: dict | None = None
+
+
+_DISTINCT_PATTERN = re.compile(
+    r"^\s*select\s+count\s*\(\s*distinct\s+(?P<column>\w+)\s*\)\s*"
+    r"from\s+(?P<table>\w+)"
+    r"(?:\s+sample\s+(?P<percent>\d+(?:\.\d+)?)\s*%)?"
+    r"(?:\s+using\s+(?P<estimator>[\w]+))?"
+    r"(?:\s+where\s+(?P<wcol>\w+)\s*(?P<wop><=|>=|!=|==?|<|>)\s*(?P<wval>-?\d+(?:\.\d+)?))?"
+    r"\s*;?\s*$",
+    re.IGNORECASE,
+)
+
+_GROUPBY_PATTERN = re.compile(
+    r"^\s*select\s+(?P<column>\w+)\s*,\s*count\s*\(\s*\*\s*\)\s*"
+    r"from\s+(?P<table>\w+)\s+group\s+by\s+(?P<group>\w+)\s*;?\s*$",
+    re.IGNORECASE,
+)
+
+
+def _parse_number(text: str) -> float | int:
+    return float(text) if "." in text else int(text)
+
+
+def _apply_where(relation, table, match, stats):
+    if match.group("wcol") is None:
+        return relation
+    column = f"{table}.{match.group('wcol')}"
+    op = match.group("wop")
+    if op == "=":
+        op = "=="
+    return filter_rows(relation, column, op, _parse_number(match.group("wval")), stats)
+
+
+def execute_sql(
+    catalog: Catalog,
+    statement: str,
+    rng: np.random.Generator | None = None,
+) -> QueryResult:
+    """Parse and execute one micro-SQL statement against a catalog."""
+    distinct = _DISTINCT_PATTERN.match(statement)
+    if distinct is not None:
+        return _run_distinct(catalog, distinct, rng)
+    groupby = _GROUPBY_PATTERN.match(statement)
+    if groupby is not None:
+        return _run_groupby(catalog, groupby)
+    raise InvalidParameterError(
+        f"cannot parse statement: {statement!r}; supported forms are "
+        "SELECT COUNT(DISTINCT c) FROM t [SAMPLE p%] [USING est] [WHERE c op v] "
+        "and SELECT c, COUNT(*) FROM t GROUP BY c"
+    )
+
+
+def _run_distinct(catalog: Catalog, match, rng) -> QueryResult:
+    table = catalog.table(match.group("table"))
+    column_name = match.group("column")
+    stats = ExecutionStats()
+    relation = seq_scan(table, stats)
+    relation = _apply_where(relation, table.name, match, stats)
+    qualified = f"{table.name}.{column_name}"
+    if qualified not in relation:
+        raise InvalidParameterError(
+            f"table {table.name!r} has no column {column_name!r}"
+        )
+    values = relation[qualified]
+    if values.size == 0:
+        return QueryResult(kind="distinct", value=0.0, rows_read=0)
+
+    percent = match.group("percent")
+    if percent is None:
+        # Exact: the traditional scan-and-sort.
+        return QueryResult(
+            kind="distinct",
+            value=float(exact_distinct_sort(values)),
+            estimator="exact",
+            rows_read=int(values.size),
+        )
+
+    fraction = float(percent) / 100.0
+    if not 0.0 < fraction <= 100.0:
+        raise InvalidParameterError(f"bad sample percentage: {percent}%")
+    fraction = min(fraction, 1.0)
+    if rng is None:
+        raise InvalidParameterError("SAMPLE queries need an rng argument")
+    estimator = make_estimator((match.group("estimator") or "GEE"))
+    r = min(values.size, max(1, round(fraction * values.size)))
+    indices = rng.choice(values.size, size=r, replace=False)
+    profile = FrequencyProfile.from_sample(values[indices])
+    estimate = estimator.estimate(profile, values.size)
+    return QueryResult(
+        kind="distinct",
+        value=estimate.value,
+        interval=estimate.interval,
+        estimator=estimator.name,
+        rows_read=r,
+    )
+
+
+def _run_groupby(catalog: Catalog, match) -> QueryResult:
+    if match.group("column").lower() != match.group("group").lower():
+        raise InvalidParameterError(
+            "the selected column must match the GROUP BY column"
+        )
+    table = catalog.table(match.group("table"))
+    stats = ExecutionStats()
+    relation = seq_scan(table, stats)
+    qualified = f"{table.name}.{match.group('column')}"
+    if qualified not in relation:
+        raise InvalidParameterError(
+            f"table {table.name!r} has no column {match.group('column')!r}"
+        )
+    aggregated = hash_aggregate(relation, qualified, stats)
+    groups = dict(
+        zip(aggregated[qualified].tolist(), aggregated["count"].tolist())
+    )
+    return QueryResult(
+        kind="groupby",
+        groups=groups,
+        rows_read=stats.rows_scanned,
+        value=float(len(groups)),
+    )

@@ -1,0 +1,132 @@
+"""Tables and paged storage — the library's stand-in for SQL Server 7.0.
+
+The paper's experiments stored data in Microsoft SQL Server and used a
+modified server that, after gathering a row sample, returned the sample's
+distinct count, its ``f_i`` vector, and its skew (§6).  This module
+provides the equivalent substrate: a :class:`Table` holds named columns
+in columnar numpy storage, logically divided into fixed-size *pages* so
+that page-level sampling and scan costing are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.column import Column
+from repro.data.surrogates import Dataset
+from repro.errors import CatalogError, InvalidParameterError
+
+__all__ = ["Table", "DEFAULT_PAGE_SIZE"]
+
+#: Rows per page; 8 KiB pages of ~80-byte rows, roughly SQL Server 7.0.
+DEFAULT_PAGE_SIZE = 100
+
+
+@dataclass
+class Table:
+    """A named table with columnar storage and logical pages.
+
+    Parameters
+    ----------
+    name:
+        Table name (catalog key).
+    columns:
+        Mapping of column name to 1-D numpy array; all arrays must have
+        equal length.
+    page_size:
+        Rows per logical page (used by page sampling and scan costing).
+    """
+
+    name: str
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.page_size < 1:
+            raise InvalidParameterError(
+                f"page_size must be >= 1, got {self.page_size}"
+            )
+        lengths = {name: np.asarray(col).shape for name, col in self.columns.items()}
+        self.columns = {name: np.asarray(col) for name, col in self.columns.items()}
+        for name, column in self.columns.items():
+            if column.ndim != 1:
+                raise InvalidParameterError(
+                    f"column {name!r} must be 1-D, got shape {lengths[name]}"
+                )
+        sizes = {column.size for column in self.columns.values()}
+        if len(sizes) > 1:
+            raise InvalidParameterError(
+                f"columns of table {self.name!r} have unequal lengths: "
+                f"{ {k: v.size for k, v in self.columns.items()} }"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: Dataset, page_size: int = DEFAULT_PAGE_SIZE) -> "Table":
+        """Build a table from a :class:`~repro.data.Dataset` of columns."""
+        return cls(
+            name=dataset.name,
+            columns={column.name: column.values for column in dataset},
+            page_size=page_size,
+        )
+
+    @classmethod
+    def from_columns(
+        cls, name: str, columns: list[Column], page_size: int = DEFAULT_PAGE_SIZE
+    ) -> "Table":
+        """Build a table from :class:`~repro.data.Column` objects."""
+        return cls(
+            name=name,
+            columns={column.name: column.values for column in columns},
+            page_size=page_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return int(next(iter(self.columns.values())).size)
+
+    @property
+    def n_pages(self) -> int:
+        """Number of logical pages (ceil of rows / page_size)."""
+        return -(-self.n_rows // self.page_size)
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw values of a column, raising :class:`CatalogError` if missing."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns: {', '.join(self.columns) or '(none)'}"
+            ) from None
+
+    def page(self, column_name: str, page_number: int) -> np.ndarray:
+        """Rows of one column on one logical page."""
+        if not 0 <= page_number < self.n_pages:
+            raise InvalidParameterError(
+                f"page {page_number} out of range [0, {self.n_pages})"
+            )
+        start = page_number * self.page_size
+        return self.column(column_name)[start : start + self.page_size]
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self.columns
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Table(name={self.name!r}, n_rows={self.n_rows}, "
+            f"columns={self.column_names})"
+        )

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidSampleError",
+    "InvalidParameterError",
+    "EstimationError",
+    "SolverError",
+    "CatalogError",
+    "DataGenerationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside its documented domain (e.g. ``r > n``)."""
+
+
+class InvalidSampleError(ReproError, ValueError):
+    """A sample or frequency profile is malformed or inconsistent."""
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce an estimate for a valid input."""
+
+
+class SolverError(EstimationError):
+    """A numerical solver (e.g. AE's fixed-point search) failed to converge."""
+
+
+class CatalogError(ReproError, KeyError):
+    """A catalog lookup referenced a missing table, column, or statistic."""
+
+
+class DataGenerationError(ReproError, ValueError):
+    """A synthetic data generator was configured inconsistently."""

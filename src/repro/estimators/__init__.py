@@ -1,0 +1,54 @@
+"""Baseline distinct-values estimators from the prior literature.
+
+These are the estimators the paper compares against (§1.1, §6): the
+jackknife family and hybrids of Haas et al. (VLDB'95) and Haas–Stokes
+(JASA'98), Shlosser's estimator, and the classical species-richness
+estimators from statistics.
+"""
+
+from repro.estimators.classical import (
+    Bootstrap,
+    Chao,
+    ChaoLee,
+    Goodman,
+    HorvitzThompson,
+    NaiveScaleUp,
+    SampleDistinct,
+)
+from repro.estimators.extrapolation import GoodTuring, good_toulmin_extrapolation
+from repro.estimators.hybskew import HybridSkew
+from repro.estimators.hybvar import HybridVariance
+from repro.estimators.jackknife import (
+    DUJ2A,
+    FirstOrderJackknife,
+    MethodOfMoments,
+    SecondOrderJackknife,
+    SmoothedJackknife,
+    UnsmoothedSecondOrderJackknife,
+    haas_stokes_cv_squared,
+)
+from repro.estimators.shlosser import ModifiedShlosser, Shlosser, shlosser_ratio
+
+__all__ = [
+    "Bootstrap",
+    "Chao",
+    "ChaoLee",
+    "Goodman",
+    "HorvitzThompson",
+    "NaiveScaleUp",
+    "SampleDistinct",
+    "GoodTuring",
+    "good_toulmin_extrapolation",
+    "HybridSkew",
+    "HybridVariance",
+    "DUJ2A",
+    "FirstOrderJackknife",
+    "MethodOfMoments",
+    "SecondOrderJackknife",
+    "SmoothedJackknife",
+    "UnsmoothedSecondOrderJackknife",
+    "haas_stokes_cv_squared",
+    "ModifiedShlosser",
+    "Shlosser",
+    "shlosser_ratio",
+]

@@ -1,0 +1,58 @@
+"""The experiment harness regenerating every table and figure of §6."""
+
+from repro.experiments.config import (
+    DUPLICATION_FACTORS,
+    PAPER_ROWS,
+    SAMPLING_FRACTIONS,
+    SKEW_VALUES,
+    scale_divisor,
+    scaled_rows,
+    trials,
+)
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    error_vs_duplication,
+    error_vs_sampling_rate,
+    error_vs_skew,
+    gee_interval_table,
+    real_dataset_metric,
+    run_experiment,
+    scaleup_bounded,
+    scaleup_unbounded,
+    stability_comparison,
+    theorem1_comparison,
+    variance_vs_sampling_rate,
+)
+from repro.experiments.harness import (
+    EstimatorSummary,
+    EvaluationResult,
+    evaluate_column,
+)
+from repro.experiments.report import SeriesTable, format_value
+
+__all__ = [
+    "DUPLICATION_FACTORS",
+    "PAPER_ROWS",
+    "SAMPLING_FRACTIONS",
+    "SKEW_VALUES",
+    "scale_divisor",
+    "scaled_rows",
+    "trials",
+    "EXPERIMENTS",
+    "error_vs_duplication",
+    "error_vs_sampling_rate",
+    "error_vs_skew",
+    "gee_interval_table",
+    "real_dataset_metric",
+    "run_experiment",
+    "scaleup_bounded",
+    "scaleup_unbounded",
+    "stability_comparison",
+    "theorem1_comparison",
+    "variance_vs_sampling_rate",
+    "EstimatorSummary",
+    "EvaluationResult",
+    "evaluate_column",
+    "SeriesTable",
+    "format_value",
+]

@@ -1,0 +1,529 @@
+"""Runners that regenerate every table and figure of the paper's §6.
+
+Each ``fig*``/``table*`` function reproduces one exhibit and returns a
+:class:`~repro.experiments.report.SeriesTable` holding the same series
+the paper plots.  The registry :data:`EXPERIMENTS` maps exhibit ids
+(``"fig1"`` ... ``"fig16"``, ``"table1"``, ``"table2"``, ``"theorem1"``)
+to zero-argument callables with the paper's parameters baked in; the
+benchmark suite executes the registry one exhibit per file.
+
+All runners honour ``REPRO_SCALE`` / ``REPRO_TRIALS`` (see
+:mod:`repro.experiments.config`) and take a ``seed`` so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.base import ratio_error
+from repro.core.gee import GEE
+from repro.core.registry import PAPER_ESTIMATORS, make_estimators
+from repro.core.theory import adversarial_pair, lower_bound_error
+from repro.data.surrogates import DATASETS, Dataset
+from repro.data.synthetic import bounded_scaleup_column, unbounded_scaleup_column
+from repro.data.zipf import zipf_column
+from repro.errors import InvalidParameterError
+from repro.experiments import config
+from repro.experiments.harness import evaluate_column
+from repro.experiments.report import SeriesTable
+from repro.sampling.schemes import UniformWithoutReplacement
+
+__all__ = [
+    "error_vs_sampling_rate",
+    "variance_vs_sampling_rate",
+    "error_vs_skew",
+    "error_vs_duplication",
+    "gee_interval_table",
+    "scaleup_bounded",
+    "scaleup_unbounded",
+    "real_dataset_metric",
+    "theorem1_comparison",
+    "stability_comparison",
+    "EXPERIMENTS",
+    "run_experiment",
+]
+
+_METRICS = ("error", "stddev")
+
+
+def _metric_value(summary, metric: str) -> float:
+    if metric == "error":
+        return summary.mean_ratio_error
+    if metric == "stddev":
+        return summary.std_fraction
+    raise InvalidParameterError(f"metric must be one of {_METRICS}, got {metric!r}")
+
+
+def _trials(trials: int | None) -> int:
+    return trials if trials is not None else config.trials()
+
+
+# ----------------------------------------------------------------------
+# Synthetic sweeps (Figures 1-8, Tables 1-2)
+# ----------------------------------------------------------------------
+def error_vs_sampling_rate(
+    z: float,
+    duplication: int,
+    n_rows: int | None = None,
+    fractions: Sequence[float] = config.SAMPLING_FRACTIONS,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    trials: int | None = None,
+    seed: int = 0,
+    metric: str = "error",
+) -> SeriesTable:
+    """Figures 1/2 (metric='error') and 3/4 (metric='stddev')."""
+    rng = np.random.default_rng(seed)
+    n = n_rows if n_rows is not None else config.scaled_rows(
+        config.PAPER_ROWS, keep_divisible_by=duplication
+    )
+    column = zipf_column(n, z, duplication=duplication, rng=rng)
+    suite = make_estimators(estimators)
+    label = "mean ratio error" if metric == "error" else "stddev / D"
+    table = SeriesTable(
+        title=(
+            f"{label} vs sampling rate "
+            f"(Z={z:g}, dup={duplication}, n={n:,}, D={column.distinct_count:,})"
+        ),
+        x_name="rate",
+        x_values=[f"{f:.1%}" for f in fractions],
+    )
+    rows: dict[str, list[float]] = {e.name: [] for e in suite}
+    for fraction in fractions:
+        result = evaluate_column(
+            column, suite, rng, fraction=fraction, trials=_trials(trials)
+        )
+        for estimator in suite:
+            rows[estimator.name].append(
+                _metric_value(result[estimator.name], metric)
+            )
+    for name, values in rows.items():
+        table.add_series(name, values)
+    return table
+
+
+def variance_vs_sampling_rate(z: float, duplication: int, **kwargs) -> SeriesTable:
+    """Figures 3/4: estimator stddev (as a fraction of D) vs sampling rate."""
+    return error_vs_sampling_rate(z, duplication, metric="stddev", **kwargs)
+
+
+def error_vs_skew(
+    fraction: float,
+    duplication: int = 100,
+    n_rows: int | None = None,
+    skews: Sequence[float] = config.SKEW_VALUES,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    trials: int | None = None,
+    seed: int = 0,
+) -> SeriesTable:
+    """Figures 5 (0.8% rate) and 6 (6.4% rate): error vs Zipf skew."""
+    rng = np.random.default_rng(seed)
+    n = n_rows if n_rows is not None else config.scaled_rows(
+        config.PAPER_ROWS, keep_divisible_by=duplication
+    )
+    suite = make_estimators(estimators)
+    table = SeriesTable(
+        title=(
+            f"mean ratio error vs skew "
+            f"(rate={fraction:.1%}, dup={duplication}, n={n:,})"
+        ),
+        x_name="Z",
+        x_values=[f"{z:g}" for z in skews],
+    )
+    rows: dict[str, list[float]] = {e.name: [] for e in suite}
+    for z in skews:
+        column = zipf_column(n, z, duplication=duplication, rng=rng)
+        result = evaluate_column(
+            column, suite, rng, fraction=fraction, trials=_trials(trials)
+        )
+        for estimator in suite:
+            rows[estimator.name].append(result[estimator.name].mean_ratio_error)
+    for name, values in rows.items():
+        table.add_series(name, values)
+    return table
+
+
+def error_vs_duplication(
+    fraction: float,
+    z: float = 1.0,
+    n_rows: int | None = None,
+    duplications: Sequence[int] = config.DUPLICATION_FACTORS,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    trials: int | None = None,
+    seed: int = 0,
+) -> SeriesTable:
+    """Figures 7 (0.8% rate) and 8 (6.4% rate): error vs duplication factor."""
+    rng = np.random.default_rng(seed)
+    base_n = n_rows if n_rows is not None else config.PAPER_ROWS
+    suite = make_estimators(estimators)
+    table = SeriesTable(
+        title=f"mean ratio error vs duplication (rate={fraction:.1%}, Z={z:g})",
+        x_name="dup",
+        x_values=[str(dup) for dup in duplications],
+    )
+    rows: dict[str, list[float]] = {e.name: [] for e in suite}
+    for dup in duplications:
+        n = config.scaled_rows(base_n, keep_divisible_by=dup)
+        column = zipf_column(n, z, duplication=dup, rng=rng)
+        result = evaluate_column(
+            column, suite, rng, fraction=fraction, trials=_trials(trials)
+        )
+        for estimator in suite:
+            rows[estimator.name].append(result[estimator.name].mean_ratio_error)
+    for name, values in rows.items():
+        table.add_series(name, values)
+    return table
+
+
+def gee_interval_table(
+    z: float,
+    duplication: int = 100,
+    n_rows: int | None = None,
+    fractions: Sequence[float] = config.SAMPLING_FRACTIONS,
+    trials: int | None = None,
+    seed: int = 0,
+) -> SeriesTable:
+    """Tables 1 (Z=0) and 2 (Z=2): GEE's [LOWER, UPPER] interval vs rate."""
+    rng = np.random.default_rng(seed)
+    n = n_rows if n_rows is not None else config.scaled_rows(
+        config.PAPER_ROWS, keep_divisible_by=duplication
+    )
+    column = zipf_column(n, z, duplication=duplication, rng=rng)
+    gee = GEE()
+    table = SeriesTable(
+        title=(
+            f"GEE error guarantee (Z={z:g}, dup={duplication}, n={n:,})"
+        ),
+        x_name="rate",
+        x_values=[f"{f:.1%}" for f in fractions],
+        notes="ACTUAL must always lie within [LOWER, UPPER]",
+    )
+    actual, lower, upper, estimate = [], [], [], []
+    for fraction in fractions:
+        result = evaluate_column(
+            column, [gee], rng, fraction=fraction, trials=_trials(trials)
+        )
+        summary = result[gee.name]
+        actual.append(float(column.distinct_count))
+        lower.append(summary.mean_lower)
+        upper.append(summary.mean_upper)
+        estimate.append(summary.mean_estimate)
+    table.add_series("ACTUAL", actual)
+    table.add_series("LOWER", lower)
+    table.add_series("UPPER", upper)
+    table.add_series("GEE", estimate)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Scale-up (Figures 9-10)
+# ----------------------------------------------------------------------
+def scaleup_bounded(
+    row_counts: Sequence[int] | None = None,
+    base_rows: int = 1000,
+    z: float = 2.0,
+    sample_size: int = 10_000,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    trials: int | None = None,
+    seed: int = 0,
+) -> SeriesTable:
+    """Figure 9: fixed D and fixed 10K-row sample while n grows."""
+    rng = np.random.default_rng(seed)
+    divisor = config.scale_divisor()
+    if row_counts is None:
+        row_counts = [k * 100_000 for k in range(1, 11)]
+    row_counts = [max(base_rows, n // divisor - (n // divisor) % base_rows)
+                  for n in row_counts]
+    sample_size = max(100, sample_size // divisor)
+    suite = make_estimators(estimators)
+    table = SeriesTable(
+        title=(
+            f"bounded-domain scaleup (Z={z:g}, base={base_rows}, "
+            f"sample={sample_size:,} rows fixed)"
+        ),
+        x_name="n",
+        x_values=[f"{n:,}" for n in row_counts],
+    )
+    rows: dict[str, list[float]] = {e.name: [] for e in suite}
+    for n in row_counts:
+        column = bounded_scaleup_column(n, base_rows=base_rows, z=z, rng=rng)
+        result = evaluate_column(
+            column, suite, rng, size=min(sample_size, n), trials=_trials(trials)
+        )
+        for estimator in suite:
+            rows[estimator.name].append(result[estimator.name].mean_ratio_error)
+    for name, values in rows.items():
+        table.add_series(name, values)
+    return table
+
+
+def scaleup_unbounded(
+    row_counts: Sequence[int] | None = None,
+    duplication: int = 100,
+    z: float = 2.0,
+    fraction: float = 0.016,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    trials: int | None = None,
+    seed: int = 0,
+) -> SeriesTable:
+    """Figure 10: fixed sampling fraction while n (and D) grow."""
+    rng = np.random.default_rng(seed)
+    divisor = config.scale_divisor()
+    if row_counts is None:
+        row_counts = [k * 100_000 for k in range(1, 11)]
+    row_counts = [
+        max(duplication, n // divisor - (n // divisor) % duplication)
+        for n in row_counts
+    ]
+    suite = make_estimators(estimators)
+    table = SeriesTable(
+        title=(
+            f"unbounded-domain scaleup (Z={z:g}, dup={duplication}, "
+            f"rate={fraction:.1%})"
+        ),
+        x_name="n",
+        x_values=[f"{n:,}" for n in row_counts],
+    )
+    rows: dict[str, list[float]] = {e.name: [] for e in suite}
+    for n in row_counts:
+        column = unbounded_scaleup_column(n, duplication=duplication, z=z, rng=rng)
+        result = evaluate_column(
+            column, suite, rng, fraction=fraction, trials=_trials(trials)
+        )
+        for estimator in suite:
+            rows[estimator.name].append(result[estimator.name].mean_ratio_error)
+    for name, values in rows.items():
+        table.add_series(name, values)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Real-world surrogates (Figures 11-16)
+# ----------------------------------------------------------------------
+def real_dataset_metric(
+    dataset_name: str,
+    metric: str = "error",
+    fractions: Sequence[float] = config.SAMPLING_FRACTIONS,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    trials: int | None = None,
+    seed: int = 0,
+    dataset: Dataset | None = None,
+) -> SeriesTable:
+    """Figures 11-16: per-estimator mean error / stddev over all columns.
+
+    ``dataset`` may be passed in to share one generated surrogate across
+    the error and variance exhibits of the same dataset.
+    """
+    rng = np.random.default_rng(seed)
+    if dataset is None:
+        try:
+            factory = DATASETS[dataset_name]
+        except KeyError:
+            known = ", ".join(sorted(DATASETS))
+            raise InvalidParameterError(
+                f"unknown dataset {dataset_name!r}; known: {known}"
+            ) from None
+        dataset = factory(rng, scale=1.0 / config.scale_divisor())
+    suite = make_estimators(estimators)
+    label = "mean ratio error" if metric == "error" else "stddev / D"
+    table = SeriesTable(
+        title=(
+            f"{label} over all {len(dataset)} columns of {dataset.name} "
+            f"(n={dataset.n_rows:,})"
+        ),
+        x_name="rate",
+        x_values=[f"{f:.1%}" for f in fractions],
+    )
+    rows: dict[str, list[float]] = {e.name: [] for e in suite}
+    for fraction in fractions:
+        totals = {e.name: 0.0 for e in suite}
+        for column in dataset:
+            result = evaluate_column(
+                column, suite, rng, fraction=fraction, trials=_trials(trials)
+            )
+            for estimator in suite:
+                totals[estimator.name] += _metric_value(
+                    result[estimator.name], metric
+                )
+        for name, total in totals.items():
+            rows[name].append(total / len(dataset))
+    for name, values in rows.items():
+        table.add_series(name, values)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 (Section 3's numeric comparison)
+# ----------------------------------------------------------------------
+def theorem1_comparison(
+    n_rows: int | None = None,
+    fraction: float = 0.2,
+    gamma: float = 0.5,
+    estimators: Sequence[str] = PAPER_ESTIMATORS,
+    trials: int | None = None,
+    seed: int = 0,
+) -> SeriesTable:
+    """Section 3's check: observed errors on the adversarial pair vs the bound.
+
+    For each estimator, samples both Theorem-1 scenarios and reports the
+    larger of the two mean ratio errors; no estimator can beat the
+    ``sqrt((n-r)/(2r) ln(1/gamma))`` floor on both scenarios at once.
+    """
+    rng = np.random.default_rng(seed)
+    n = n_rows if n_rows is not None else config.scaled_rows(100_000)
+    r = max(1, int(round(fraction * n)))
+    pair = adversarial_pair(n, r, gamma=gamma, rng=rng)
+    suite = make_estimators(estimators)
+    sampler = UniformWithoutReplacement()
+    table = SeriesTable(
+        title=(
+            f"Theorem 1 adversarial pair (n={n:,}, r={r:,}, gamma={gamma}, "
+            f"k={pair.k})"
+        ),
+        x_name="estimator",
+        x_values=[e.name for e in suite],
+        notes=(
+            "worst = max(mean error on Scenario A, mean error on Scenario B); "
+            "Theorem 1 floor applies to worst"
+        ),
+    )
+    floor = lower_bound_error(n, r, gamma=gamma)
+    errors_a, errors_b, worst = [], [], []
+    for estimator in suite:
+        per_scenario = []
+        for data, truth in (
+            (pair.scenario_a, pair.distinct_a),
+            (pair.scenario_b, pair.distinct_b),
+        ):
+            total = 0.0
+            runs = _trials(trials)
+            for _ in range(runs):
+                profile = sampler.profile(data, rng, size=r)
+                value = estimator.estimate(profile, n).value
+                total += ratio_error(value, truth)
+            per_scenario.append(total / runs)
+        errors_a.append(per_scenario[0])
+        errors_b.append(per_scenario[1])
+        worst.append(max(per_scenario))
+    table.add_series("scenario_A", errors_a)
+    table.add_series("scenario_B", errors_b)
+    table.add_series("worst", worst)
+    table.add_series("theorem1_floor", [floor] * len(suite))
+    return table
+
+
+# ----------------------------------------------------------------------
+# Extension exhibit: hybrid instability (the §5.2 argument, quantified)
+# ----------------------------------------------------------------------
+def stability_comparison(
+    n_rows: int | None = None,
+    fraction: float = 0.005,
+    estimators: Sequence[str] = ("AE", "GEE", "HYBGEE", "HYBSKEW", "HYBVAR", "DUJ2A"),
+    replicates: int = 120,
+    trials: int | None = None,
+    seed: int = 0,
+) -> SeriesTable:
+    """Bootstrap instability of each estimator on boundary-skew data.
+
+    Section 5.2's critique of hybrids: near the skew-test decision
+    boundary "some random samples result in the choice of one estimator
+    while others cause the other to be chosen ... resulting in high
+    variance".  This exhibit measures it directly: for each estimator,
+    the bootstrap coefficient of variation (replicate std / estimate)
+    averaged over several samples of a column whose estimated CV^2 sits
+    astride HYBVAR's branch threshold (the Figure 9 workload, ~13.4 vs
+    the 12.5 cut at every scale), so replicates genuinely flip branches.
+    The hybrids score markedly worse than the smooth estimators.
+    """
+    from repro.core.uncertainty import bootstrap_estimate
+    from repro.data.synthetic import bounded_scaleup_column
+
+    rng = np.random.default_rng(seed)
+    n = n_rows if n_rows is not None else config.scaled_rows(
+        config.PAPER_ROWS, keep_divisible_by=1000
+    )
+    column = bounded_scaleup_column(n, base_rows=1000, z=2.0, rng=rng)
+    suite = make_estimators(estimators)
+    sampler = UniformWithoutReplacement()
+    table = SeriesTable(
+        title=(
+            f"bootstrap instability on branch-boundary data "
+            f"(bounded-scaleup Z=2, n={n:,}, rate={fraction:.1%})"
+        ),
+        x_name="estimator",
+        x_values=[e.name for e in suite],
+        notes="cv = bootstrap replicate std / estimate, averaged over samples",
+    )
+    from repro.core.uncertainty import bootstrap_profile
+
+    runs = _trials(trials)
+    cvs, errors, flip_rates = [], [], []
+    for estimator in suite:
+        cv_total, err_total = 0.0, 0.0
+        flips, branch_observations = 0, 0
+        for _ in range(runs):
+            profile = sampler.profile(column.values, rng, fraction=fraction)
+            summary = bootstrap_estimate(
+                estimator, profile, n, rng, replicates=replicates
+            )
+            cv_total += summary.std / max(summary.estimate, 1.0)
+            err_total += ratio_error(summary.estimate, column.distinct_count)
+            # Branch-flip rate: how often a resampled profile routes a
+            # hybrid to a different branch than the original sample did.
+            original = estimator.estimate(profile, n).details.get("branch")
+            if original is not None:
+                for _ in range(20):
+                    replicate = bootstrap_profile(profile, rng)
+                    branch = estimator.estimate(replicate, n).details.get("branch")
+                    branch_observations += 1
+                    flips += branch != original
+        cvs.append(cv_total / runs)
+        errors.append(err_total / runs)
+        flip_rates.append(
+            flips / branch_observations if branch_observations else 0.0
+        )
+    table.add_series("bootstrap_cv", cvs)
+    table.add_series("branch_flip_rate", flip_rates)
+    table.add_series("mean_ratio_error", errors)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+EXPERIMENTS = {
+    "fig1": lambda **kw: error_vs_sampling_rate(z=0.0, duplication=100, **kw),
+    "fig2": lambda **kw: error_vs_sampling_rate(z=2.0, duplication=100, **kw),
+    "fig3": lambda **kw: variance_vs_sampling_rate(z=0.0, duplication=100, **kw),
+    "fig4": lambda **kw: variance_vs_sampling_rate(z=2.0, duplication=100, **kw),
+    "fig5": lambda **kw: error_vs_skew(fraction=0.008, **kw),
+    "fig6": lambda **kw: error_vs_skew(fraction=0.064, **kw),
+    "table1": lambda **kw: gee_interval_table(z=0.0, **kw),
+    "table2": lambda **kw: gee_interval_table(z=2.0, **kw),
+    "fig7": lambda **kw: error_vs_duplication(fraction=0.008, **kw),
+    "fig8": lambda **kw: error_vs_duplication(fraction=0.064, **kw),
+    "fig9": lambda **kw: scaleup_bounded(**kw),
+    "fig10": lambda **kw: scaleup_unbounded(**kw),
+    "fig11": lambda **kw: real_dataset_metric("Census", metric="error", **kw),
+    "fig12": lambda **kw: real_dataset_metric("Census", metric="stddev", **kw),
+    "fig13": lambda **kw: real_dataset_metric("CoverType", metric="error", **kw),
+    "fig14": lambda **kw: real_dataset_metric("CoverType", metric="stddev", **kw),
+    "fig15": lambda **kw: real_dataset_metric("MSSales", metric="error", **kw),
+    "fig16": lambda **kw: real_dataset_metric("MSSales", metric="stddev", **kw),
+    "theorem1": lambda **kw: theorem1_comparison(**kw),
+    "stability": lambda **kw: stability_comparison(**kw),
+}
+
+
+def run_experiment(exhibit_id: str, **kwargs) -> SeriesTable:
+    """Run one registered exhibit by id (``"fig1"`` ... ``"theorem1"``)."""
+    try:
+        runner = EXPERIMENTS[exhibit_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise InvalidParameterError(
+            f"unknown exhibit {exhibit_id!r}; known: {known}"
+        ) from None
+    return runner(**kwargs)

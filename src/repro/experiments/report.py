@@ -1,0 +1,101 @@
+"""Plain-text rendering of experiment results.
+
+Every figure/table runner returns a :class:`SeriesTable`: an x-axis, one
+named series per estimator (or per bound), and enough metadata to print
+the same rows the paper's figure reports.  Rendering is deliberately
+plain ASCII so benchmark logs stay grep-able.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["SeriesTable", "format_value"]
+
+
+def format_value(value: float | None, precision: int = 3) -> str:
+    """Human-friendly numeric formatting for report cells."""
+    if value is None:
+        return "-"
+    if value != value:  # NaN
+        return "nan"
+    magnitude = abs(value)
+    if magnitude >= 1_000_000:
+        return f"{value:.3e}"
+    if magnitude >= 1000 or value == int(value):
+        return f"{value:,.0f}"
+    return f"{value:.{precision}f}"
+
+
+@dataclass
+class SeriesTable:
+    """A titled table of series over a shared x-axis."""
+
+    title: str
+    x_name: str
+    x_values: list = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_series(self, name: str, values: Sequence[float]) -> None:
+        """Attach a named series; must match the x-axis length."""
+        values = list(values)
+        if len(values) != len(self.x_values):
+            raise InvalidParameterError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(self.x_values)} x points"
+            )
+        self.series[name] = values
+
+    def value(self, series_name: str, x) -> float:
+        """Look up one cell by series name and x value."""
+        try:
+            index = self.x_values.index(x)
+        except ValueError:
+            raise InvalidParameterError(
+                f"x value {x!r} not in {self.x_values!r}"
+            ) from None
+        return self.series[series_name][index]
+
+    def render(self, precision: int = 3) -> str:
+        """ASCII rendering: one row per x value, one column per series."""
+        names = list(self.series)
+        header = [self.x_name, *names]
+        rows = [
+            [format_value(x) if isinstance(x, float) else str(x)]
+            + [format_value(self.series[name][i], precision) for name in names]
+            for i, x in enumerate(self.x_values)
+        ]
+        widths = [
+            max(len(header[c]), *(len(row[c]) for row in rows)) if rows else len(header[c])
+            for c in range(len(header))
+        ]
+        out = io.StringIO()
+        out.write(self.title + "\n")
+        out.write(
+            "  ".join(header[c].rjust(widths[c]) for c in range(len(header))) + "\n"
+        )
+        out.write("  ".join("-" * w for w in widths) + "\n")
+        for row in rows:
+            out.write(
+                "  ".join(row[c].rjust(widths[c]) for c in range(len(header))) + "\n"
+            )
+        if self.notes:
+            out.write(f"note: {self.notes}\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """CSV rendering (header + one row per x value)."""
+        names = list(self.series)
+        lines = [",".join([self.x_name, *names])]
+        for i, x in enumerate(self.x_values):
+            cells = [str(x)] + [repr(self.series[name][i]) for name in names]
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

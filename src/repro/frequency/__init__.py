@@ -1,0 +1,34 @@
+"""Frequency-of-frequencies profiles and sample statistics.
+
+The :class:`~repro.frequency.FrequencyProfile` is the universal input to
+every estimator in this library: it records ``f_i``, the number of
+distinct values occurring exactly ``i`` times in a sample (paper §2).
+"""
+
+from repro.frequency.diversity import (
+    good_turing_unseen_mass,
+    shannon_entropy,
+    simpson_index,
+)
+from repro.frequency.profile import FrequencyProfile
+from repro.frequency.skew import SkewTestResult, chi_squared_skew_test, is_high_skew
+from repro.frequency.statistics import (
+    coverage_estimate_distinct,
+    cv_squared,
+    sample_coverage,
+    true_cv_squared,
+)
+
+__all__ = [
+    "FrequencyProfile",
+    "good_turing_unseen_mass",
+    "shannon_entropy",
+    "simpson_index",
+    "SkewTestResult",
+    "chi_squared_skew_test",
+    "is_high_skew",
+    "sample_coverage",
+    "coverage_estimate_distinct",
+    "cv_squared",
+    "true_cv_squared",
+]

@@ -1,0 +1,67 @@
+"""Diversity and coverage statistics of frequency profiles.
+
+Companions to the distinct count that optimizers and the species
+literature derive from the same ``f_i`` vector:
+
+* the **Good–Turing unseen mass** ``f_1 / r`` — the probability the
+  next sampled row holds a *never-seen* value; the complement of the
+  sample coverage used throughout the estimator derivations;
+* the **Simpson index** ``sum_j p_j^2`` (estimated unbiasedly by
+  ``sum_i i (i-1) f_i / (r (r-1))``) — the collision probability that
+  drives the CV machinery of Chao–Lee and Haas–Stokes;
+* the plug-in **Shannon entropy** of the sample, with the classic
+  Miller–Madow bias correction ``(d - 1) / (2 r)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidSampleError
+from repro.frequency.profile import FrequencyProfile
+
+__all__ = [
+    "good_turing_unseen_mass",
+    "simpson_index",
+    "shannon_entropy",
+]
+
+
+def good_turing_unseen_mass(profile: FrequencyProfile) -> float:
+    """``f_1 / r``: estimated probability mass of unseen values."""
+    r = profile.sample_size
+    if r == 0:
+        raise InvalidSampleError("cannot compute unseen mass of an empty sample")
+    return profile.f1 / r
+
+
+def simpson_index(profile: FrequencyProfile) -> float:
+    """Unbiased estimate of ``sum_j p_j^2`` (the collision probability).
+
+    Uses ``sum_i i (i-1) f_i / (r (r-1))``; returns 0.0 for samples of
+    fewer than two rows (no collision is observable).
+    """
+    r = profile.sample_size
+    if r == 0:
+        raise InvalidSampleError("cannot compute Simpson index of an empty sample")
+    if r < 2:
+        return 0.0
+    return profile.factorial_moment(2) / (r * (r - 1))
+
+
+def shannon_entropy(profile: FrequencyProfile, bias_corrected: bool = True) -> float:
+    """Plug-in Shannon entropy (nats) of the sampled distribution.
+
+    ``H_hat = -sum_j (c_j / r) ln(c_j / r)``, optionally with the
+    Miller–Madow correction ``+ (d - 1) / (2 r)``.
+    """
+    r = profile.sample_size
+    if r == 0:
+        raise InvalidSampleError("cannot compute entropy of an empty sample")
+    entropy = 0.0
+    for i, count in profile.counts.items():
+        p = i / r
+        entropy -= count * p * math.log(p)
+    if bias_corrected:
+        entropy += (profile.distinct - 1) / (2.0 * r)
+    return entropy

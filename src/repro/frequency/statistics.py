@@ -1,0 +1,103 @@
+"""Sample statistics derived from frequency profiles.
+
+These are the auxiliary quantities the hybrid estimators rely on:
+
+* the Good–Turing *sample coverage* ``C_hat = 1 - f_1 / r``;
+* the Chao–Lee style estimate of the squared *coefficient of variation*
+  (CV) of class sizes, ``gamma^2 = (1/D) * sum_i (n_i - n/D)^2 / (n/D)^2``;
+* the *mean interval width* and plug-in helpers shared across estimators.
+
+The squared CV measures skew: uniform data has ``gamma^2 = 0`` and Zipfian
+data has large ``gamma^2``.  Haas–Stokes' hybrid (our HYBVAR) switches
+estimators on thresholds of this quantity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+from repro.frequency.profile import FrequencyProfile
+
+__all__ = [
+    "sample_coverage",
+    "coverage_estimate_distinct",
+    "cv_squared",
+    "true_cv_squared",
+]
+
+
+def sample_coverage(profile: FrequencyProfile) -> float:
+    """Good–Turing sample coverage ``1 - f_1 / r`` (0.0 for empty samples)."""
+    return profile.sample_coverage()
+
+
+def coverage_estimate_distinct(profile: FrequencyProfile) -> float:
+    """The coverage-based first-cut estimate ``D_0 = d / C_hat``.
+
+    This is the starting point of the Chao–Lee estimator and the plug-in
+    used inside :func:`cv_squared`.  When the sample is all singletons
+    (``C_hat = 0``) the coverage estimate is undefined; we return
+    ``d * r`` as the conventional safeguard (it is what ``d / C_hat``
+    tends to as ``C_hat -> 1/r``), which downstream estimators clamp.
+    """
+    d = profile.distinct
+    coverage = profile.sample_coverage()
+    if coverage <= 0.0:
+        return float(d * max(profile.sample_size, 1))
+    return d / coverage
+
+
+def cv_squared(
+    profile: FrequencyProfile,
+    distinct_estimate: float | None = None,
+) -> float:
+    """Estimated squared coefficient of variation of class sizes.
+
+    Uses the Chao–Lee moment estimator
+
+    ``gamma^2 = max(0, D_hat * sum_i i (i-1) f_i / (r (r - 1)) - 1)``
+
+    which is consistent because ``E[sum_i i (i-1) f_i] = r (r-1) sum p_j^2``
+    for multinomial sampling and ``D * sum p_j^2 - 1`` equals the squared
+    CV when all ``p_j`` average ``1/D``.
+
+    Parameters
+    ----------
+    profile:
+        The sample's frequency profile.
+    distinct_estimate:
+        Plug-in estimate of ``D``.  Defaults to the coverage-based
+        estimate ``d / C_hat`` (as in Chao–Lee and Haas–Stokes).
+    """
+    r = profile.sample_size
+    if r < 2:
+        return 0.0
+    if distinct_estimate is None:
+        distinct_estimate = coverage_estimate_distinct(profile)
+    if distinct_estimate < 0:
+        raise InvalidParameterError(
+            f"distinct_estimate must be non-negative, got {distinct_estimate}"
+        )
+    second_moment = profile.factorial_moment(2)
+    gamma_sq = distinct_estimate * second_moment / (r * (r - 1)) - 1.0
+    return max(0.0, gamma_sq)
+
+
+def true_cv_squared(class_sizes) -> float:
+    """Exact squared CV of a population's class sizes (ground truth).
+
+    ``class_sizes`` is an iterable of per-value multiplicities ``n_j``.
+    Provided for tests and experiment ground truth, mirroring the
+    definition used by Haas–Stokes:
+
+    ``gamma^2 = (1/D) sum_j (n_j - mean)^2 / mean^2``.
+    """
+    sizes = [int(s) for s in class_sizes]
+    if not sizes:
+        raise InvalidParameterError("class_sizes must be non-empty")
+    if any(s <= 0 for s in sizes):
+        raise InvalidParameterError("class sizes must be positive")
+    d = len(sizes)
+    mean = sum(sizes) / d
+    return math.fsum((s - mean) ** 2 for s in sizes) / (d * mean * mean)

@@ -1,0 +1,29 @@
+"""Row-sampling schemes (the paper's §2 sampling model).
+
+:data:`DEFAULT_SAMPLER` is uniform sampling without replacement — the
+scheme the paper's experiments use.
+"""
+
+from repro.sampling.base import RowSampler, as_column, resolve_sample_size
+from repro.sampling.reservoir_state import ChunkedReservoir
+from repro.sampling.schemes import (
+    DEFAULT_SAMPLER,
+    Bernoulli,
+    Block,
+    Reservoir,
+    UniformWithReplacement,
+    UniformWithoutReplacement,
+)
+
+__all__ = [
+    "RowSampler",
+    "ChunkedReservoir",
+    "as_column",
+    "resolve_sample_size",
+    "DEFAULT_SAMPLER",
+    "Bernoulli",
+    "Block",
+    "Reservoir",
+    "UniformWithReplacement",
+    "UniformWithoutReplacement",
+]

@@ -1,0 +1,114 @@
+"""Sampler interface and shared helpers.
+
+The estimators assume "a random sample of r tuples chosen uniformly at
+random from the table" (paper §2), with or without replacement.  The
+samplers in this package produce such samples from a column held as a
+1-D numpy array; they are the library's stand-in for the sampling
+operators of Olken's thesis and the SQL Server sampling hook the paper
+used (DESIGN.md §3).
+
+Every sampler takes an explicit :class:`numpy.random.Generator` so that
+experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.frequency.profile import FrequencyProfile
+
+__all__ = ["RowSampler", "resolve_sample_size", "as_column"]
+
+
+def as_column(values) -> np.ndarray:
+    """Coerce ``values`` to a 1-D numpy array, validating the shape."""
+    column = np.asarray(values)
+    if column.ndim != 1:
+        raise InvalidParameterError(f"columns must be 1-D, got shape {column.shape}")
+    if column.size == 0:
+        raise InvalidParameterError("columns must be non-empty")
+    return column
+
+
+def resolve_sample_size(
+    population_size: int,
+    size: int | None = None,
+    fraction: float | None = None,
+    allow_oversample: bool = False,
+) -> int:
+    """Turn a ``size`` or ``fraction`` specification into a concrete ``r``.
+
+    Exactly one of ``size`` and ``fraction`` must be given.  Fractions
+    are rounded to the nearest row and clamped into ``[1, n]``.  A
+    ``size`` above ``n`` is allowed only when ``allow_oversample`` is
+    set (with-replacement schemes can legitimately draw more rows than
+    the table holds).
+    """
+    if (size is None) == (fraction is None):
+        raise InvalidParameterError("specify exactly one of size= or fraction=")
+    if size is not None:
+        r = int(size)
+        upper = None if allow_oversample else population_size
+        if r < 1 or (upper is not None and r > upper):
+            raise InvalidParameterError(
+                f"sample size must be in [1, {upper}], got {size}"
+            )
+        return r
+    if not 0.0 < fraction <= 1.0:
+        raise InvalidParameterError(f"fraction must be in (0, 1], got {fraction}")
+    return min(population_size, max(1, round(fraction * population_size)))
+
+
+class RowSampler(ABC):
+    """Draws a random sample of rows from a column.
+
+    Subclasses define :meth:`_draw`; the public :meth:`sample` handles
+    size resolution and validation, and :meth:`profile` additionally
+    reduces the sample to its frequency profile — the quantity every
+    estimator consumes.
+    """
+
+    #: Stable identifier used in experiment configs and reports.
+    name: str = "base"
+
+    #: Whether the scheme guarantees no row is inspected twice.
+    without_replacement: bool = True
+
+    def sample(
+        self,
+        column,
+        rng: np.random.Generator,
+        size: int | None = None,
+        fraction: float | None = None,
+    ) -> np.ndarray:
+        """Draw a sample of rows from ``column``."""
+        data = as_column(column)
+        r = resolve_sample_size(
+            data.size,
+            size=size,
+            fraction=fraction,
+            allow_oversample=not self.without_replacement,
+        )
+        return self._draw(data, r, rng)
+
+    def profile(
+        self,
+        column,
+        rng: np.random.Generator,
+        size: int | None = None,
+        fraction: float | None = None,
+    ) -> FrequencyProfile:
+        """Draw a sample and return its frequency profile."""
+        return FrequencyProfile.from_sample(
+            self.sample(column, rng, size=size, fraction=fraction)
+        )
+
+    @abstractmethod
+    def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw exactly ``r`` rows (or approximately, for Bernoulli) from ``column``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

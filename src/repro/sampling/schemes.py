@@ -1,0 +1,150 @@
+"""Concrete row-sampling schemes.
+
+* :class:`UniformWithoutReplacement` — the paper's default scheme ("We
+  used existing functionality in SQL Server for obtaining a random
+  sample without replacement of a specified sample size", §6).
+* :class:`UniformWithReplacement` — the scheme Theorem 2's analysis is
+  written for.
+* :class:`Bernoulli` — per-row coin flips at rate ``q`` (Shlosser's
+  model); the realized sample size is random.
+* :class:`Reservoir` — single-pass Algorithm R; distributionally
+  identical to :class:`UniformWithoutReplacement` but exercises the
+  streaming path a scan-based collector would use.
+* :class:`Block` — page-level sampling: whole blocks of consecutive
+  rows.  Cheap for a real system but *not* a uniform row sample;
+  included for the sampling-design ablation, which shows how clustered
+  layouts break the estimators' guarantees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sampling.base import RowSampler
+
+__all__ = [
+    "UniformWithoutReplacement",
+    "UniformWithReplacement",
+    "Bernoulli",
+    "Reservoir",
+    "Block",
+    "DEFAULT_SAMPLER",
+]
+
+
+class UniformWithoutReplacement(RowSampler):
+    """Simple random sample of ``r`` distinct rows."""
+
+    name = "srswor"
+    without_replacement = True
+
+    def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
+        indices = rng.choice(column.size, size=r, replace=False)
+        return column[indices]
+
+
+class UniformWithReplacement(RowSampler):
+    """``r`` independent uniform row draws (rows may repeat)."""
+
+    name = "srswr"
+    without_replacement = False
+
+    def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
+        indices = rng.integers(0, column.size, size=r)
+        return column[indices]
+
+
+class Bernoulli(RowSampler):
+    """Independent per-row inclusion with probability ``r / n``.
+
+    The *expected* sample size is ``r``; the realized size is
+    ``Binomial(n, r/n)``.  At least one row is always returned so that
+    downstream profiles are non-empty.
+    """
+
+    name = "bernoulli"
+    without_replacement = True
+
+    def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
+        rate = r / column.size
+        mask = rng.random(column.size) < rate
+        if not mask.any():
+            mask[rng.integers(0, column.size)] = True
+        return column[mask]
+
+
+class Reservoir(RowSampler):
+    """Single-pass reservoir sampling (Vitter's Algorithm R).
+
+    Produces a uniform without-replacement sample while reading the
+    column strictly once, as a table-scan statistics collector would.
+    Implemented in vectorized form: row ``t`` (0-based) replaces a
+    random reservoir slot with probability ``r / (t + 1)``.
+    """
+
+    name = "reservoir"
+    without_replacement = True
+
+    def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
+        n = column.size
+        reservoir = column[:r].copy()
+        if n == r:
+            return reservoir
+        tail = np.arange(r, n)
+        # Candidate slot for each tail row; the row enters the reservoir
+        # iff its candidate slot index falls below r.
+        slots = rng.integers(0, tail + 1)
+        hits = slots < r
+        # Later rows must overwrite earlier ones, which the forward loop
+        # guarantees; only accepted rows are visited.
+        for t, slot in zip(tail[hits], slots[hits]):
+            reservoir[slot] = column[t]
+        return reservoir
+
+
+class Block(RowSampler):
+    """Page-level sampling: include whole blocks of consecutive rows.
+
+    Parameters
+    ----------
+    block_size:
+        Number of consecutive rows per block (a "page").  The sampler
+        picks ``ceil(r / block_size)`` distinct blocks uniformly and
+        returns their rows, truncated to ``r``.
+    """
+
+    name = "block"
+    without_replacement = True
+
+    def __init__(self, block_size: int = 100) -> None:
+        if block_size < 1:
+            raise InvalidParameterError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = int(block_size)
+
+    def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
+        n = column.size
+        n_blocks = -(-n // self.block_size)  # ceil division
+        # Accumulate random blocks until the target is covered; the last
+        # block of the table may be partial, so a fixed block count could
+        # undershoot.
+        order = rng.permutation(n_blocks)
+        pieces = []
+        collected = 0
+        for block in order:
+            piece = column[
+                block * self.block_size : min((block + 1) * self.block_size, n)
+            ]
+            pieces.append(piece)
+            collected += piece.size
+            if collected >= r:
+                break
+        rows = np.concatenate(pieces)
+        return rows[:r]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Block(block_size={self.block_size})"
+
+
+#: The scheme used by the paper's experiments.
+DEFAULT_SAMPLER = UniformWithoutReplacement()

@@ -1,0 +1,24 @@
+"""Probabilistic counting sketches (the paper's §1.1 full-scan comparators).
+
+"While these methods reduce memory requirements at the cost of
+introducing imprecision, they still involve a full scan of the table" —
+the sketch-vs-sampling benchmark quantifies exactly that trade-off.
+"""
+
+from repro.sketches.adaptive_sampling import AdaptiveSampling
+from repro.sketches.base import DistinctSketch
+from repro.sketches.flajolet_martin import FlajoletMartin
+from repro.sketches.hashing import hash64
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.kmv import KMinimumValues
+from repro.sketches.linear_counting import LinearCounting
+
+__all__ = [
+    "AdaptiveSampling",
+    "DistinctSketch",
+    "FlajoletMartin",
+    "hash64",
+    "HyperLogLog",
+    "KMinimumValues",
+    "LinearCounting",
+]

@@ -1,0 +1,80 @@
+"""Wegman's adaptive sampling (analyzed by Flajolet, 1990).
+
+The third classical probabilistic-counting scheme of the era alongside
+Flajolet–Martin and linear counting.  Maintain a set of hashed values,
+but only those whose hash falls in a suffix-masked bucket; whenever the
+set exceeds its capacity ``m``, deepen the mask (halving the retained
+fraction) and evict.  At the end, ``|set| * 2^depth`` estimates the
+distinct count: the set is a uniform sample of the *distinct hashes* at
+rate ``2^-depth``.  Standard error ``~ 1.2 / sqrt(m)``.
+
+Unlike KMV it needs no sorted structure, and unlike FM it yields an
+unbiased estimate without magic constants — at the cost of storing up
+to ``m`` full hashes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sketches.base import DistinctSketch
+from repro.sketches.hashing import hash64
+
+__all__ = ["AdaptiveSampling"]
+
+
+class AdaptiveSampling(DistinctSketch):
+    """Adaptive (Wegman) sampling of distinct hash values.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained distinct hashes ``m`` (>= 8).
+    seed:
+        Hash seed.
+    """
+
+    name = "Adaptive"
+
+    def __init__(self, capacity: int = 1024, seed: int = 0) -> None:
+        if capacity < 8:
+            raise InvalidParameterError(f"capacity must be >= 8, got {capacity}")
+        self.capacity = int(capacity)
+        self.seed = int(seed)
+        self.depth = 0
+        self._kept = np.empty(0, dtype=np.uint64)
+
+    def _mask_filter(self, hashes: np.ndarray) -> np.ndarray:
+        """Hashes whose low ``depth`` bits are all zero."""
+        if self.depth == 0:
+            return hashes
+        mask = np.uint64((1 << self.depth) - 1)
+        return hashes[(hashes & mask) == 0]
+
+    def _shrink_until_fits(self) -> None:
+        while self._kept.size > self.capacity:
+            self.depth += 1
+            self._kept = self._mask_filter(self._kept)
+
+    def add(self, values) -> None:
+        hashes = self._mask_filter(hash64(values, seed=self.seed))
+        if hashes.size == 0:
+            return
+        self._kept = np.union1d(self._kept, hashes)  # sorted, deduplicated
+        self._shrink_until_fits()
+
+    def estimate(self) -> float:
+        return float(self._kept.size) * float(2**self.depth)
+
+    def merge(self, other: DistinctSketch) -> None:
+        self._require_compatible(other, capacity=self.capacity, seed=self.seed)
+        # Align to the deeper mask, then union and re-shrink.
+        self.depth = max(self.depth, other.depth)
+        self._kept = self._mask_filter(self._kept)
+        self._kept = np.union1d(self._kept, self._mask_filter(other._kept))
+        self._shrink_until_fits()
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.capacity * 8

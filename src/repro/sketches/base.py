@@ -1,0 +1,60 @@
+"""Common interface for the probabilistic-counting sketches.
+
+The paper's related work (§1.1) notes that "probabilistic counting"
+hashing techniques "reduce memory requirements at the cost of
+introducing imprecision, [but] still involve a full scan of the table".
+These sketches make that trade-off measurable: every sketch reports its
+memory footprint and must see *every* row (``add`` is called on the full
+column), in contrast to the samplers which read only ``r`` rows.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["DistinctSketch"]
+
+
+class DistinctSketch(ABC):
+    """A streaming, mergeable distinct-count sketch."""
+
+    #: Stable identifier used by benchmarks and reports.
+    name: str = "sketch"
+
+    @abstractmethod
+    def add(self, values) -> None:
+        """Absorb a batch of values (1-D array-like)."""
+
+    @abstractmethod
+    def estimate(self) -> float:
+        """Current distinct-count estimate."""
+
+    @abstractmethod
+    def merge(self, other: "DistinctSketch") -> None:
+        """Union this sketch with a compatible ``other`` (in place)."""
+
+    @property
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Size of the sketch state in bytes."""
+
+    @classmethod
+    def count(cls, values, **kwargs) -> float:
+        """One-shot convenience: build, add, estimate."""
+        sketch = cls(**kwargs)
+        sketch.add(values)
+        return sketch.estimate()
+
+    def _require_compatible(self, other: "DistinctSketch", **attrs) -> None:
+        """Raise TypeError/ValueError unless ``other`` matches this sketch."""
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        for attr, expected in attrs.items():
+            actual = getattr(other, attr)
+            if actual != expected:
+                raise ValueError(
+                    f"cannot merge sketches with different {attr}: "
+                    f"{actual} != {expected}"
+                )

@@ -1,0 +1,93 @@
+"""Flajolet–Martin probabilistic counting with stochastic averaging (PCSA).
+
+Reference [12] of the paper.  Each value is hashed; the low bits select
+one of ``m`` bitmaps and the rank of the lowest set bit of the remaining
+hash is recorded in that bitmap.  With ``R_j`` the position of the
+lowest *unset* bit of bitmap ``j``,
+
+    ``D_hat = (m / phi) * 2^{mean_j R_j}``,   ``phi ~ 0.77351``.
+
+Standard error is about ``0.78 / sqrt(m)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.sketches.base import DistinctSketch
+from repro.sketches.hashing import hash64
+
+__all__ = ["FlajoletMartin"]
+
+#: Flajolet–Martin's bias-correction constant.
+_PHI = 0.77351
+
+#: Bits tracked per bitmap (hash width after bucket selection).
+_BITMAP_WIDTH = 56
+
+
+class FlajoletMartin(DistinctSketch):
+    """PCSA: ``m`` first-set-bit bitmaps with stochastic averaging.
+
+    Parameters
+    ----------
+    bitmaps:
+        Number of bitmaps ``m`` (a power of two).
+    seed:
+        Hash seed.
+    """
+
+    name = "FM"
+
+    def __init__(self, bitmaps: int = 64, seed: int = 0) -> None:
+        if bitmaps < 1 or bitmaps & (bitmaps - 1):
+            raise InvalidParameterError(
+                f"bitmaps must be a positive power of two, got {bitmaps}"
+            )
+        self.bitmaps = int(bitmaps)
+        self.seed = int(seed)
+        self._bucket_bits = self.bitmaps.bit_length() - 1
+        self._sketch = np.zeros(self.bitmaps, dtype=np.uint64)
+
+    def add(self, values) -> None:
+        hashes = hash64(values, seed=self.seed)
+        buckets = (hashes & np.uint64(self.bitmaps - 1)).astype(np.int64)
+        payload = hashes >> np.uint64(self._bucket_bits)
+        # Rank of the lowest set bit; all-zero payloads (prob 2^-56) get
+        # the maximum rank.
+        low_bit = payload & (~payload + np.uint64(1))
+        ranks = np.where(
+            payload == 0,
+            _BITMAP_WIDTH,
+            np.log2(low_bit.astype(np.float64)).astype(np.int64),
+        )
+        ranks = np.minimum(ranks, _BITMAP_WIDTH - 1)
+        marks = np.left_shift(np.uint64(1), ranks.astype(np.uint64))
+        np.bitwise_or.at(self._sketch, buckets, marks)
+
+    def _lowest_unset_bits(self) -> np.ndarray:
+        """Position of the lowest zero bit of each bitmap (vectorized)."""
+        inverted = ~self._sketch
+        low_zero = inverted & (~inverted + np.uint64(1))
+        return np.log2(low_zero.astype(np.float64)).astype(np.int64)
+
+    def estimate(self) -> float:
+        mean_rank = float(self._lowest_unset_bits().mean())
+        raw = self.bitmaps / _PHI * 2.0**mean_rank
+        # Small-range correction (as in HyperLogLog): PCSA's 2^mean form
+        # is heavily biased while bitmaps are sparsely hit, so fall back
+        # to linear counting over the bitmaps in that regime.
+        if raw <= 2.5 * self.bitmaps:
+            empty = int(np.count_nonzero(self._sketch == 0))
+            if empty > 0:
+                return self.bitmaps * float(np.log(self.bitmaps / empty))
+        return raw
+
+    def merge(self, other: DistinctSketch) -> None:
+        self._require_compatible(other, bitmaps=self.bitmaps, seed=self.seed)
+        self._sketch |= other._sketch
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.bitmaps * 8

@@ -1,0 +1,50 @@
+"""Vectorized 64-bit hashing shared by the sketch implementations.
+
+All sketches hash values to uniform 64-bit integers.  Numeric numpy
+arrays are hashed vectorially with the SplitMix64 finalizer (a
+well-tested bijective mixer); other dtypes fall back to Python's
+``hash`` per element.  A ``seed`` parameter decorrelates independent
+sketch instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import as_column
+
+__all__ = ["hash64"]
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer applied elementwise to a uint64 array."""
+    with np.errstate(over="ignore"):
+        z = (values + np.uint64(0x9E3779B97F4A7C15)) & _MASK64
+        z = ((z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK64
+        z = ((z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _MASK64
+        return z ^ (z >> np.uint64(31))
+
+
+def hash64(values, seed: int = 0) -> np.ndarray:
+    """Hash a 1-D array of values to uniform uint64.
+
+    Integer and floating dtypes are reinterpreted as uint64 and mixed
+    vectorially; object/string arrays use Python's ``hash`` per element
+    (slower, but correct for arbitrary hashables).
+    """
+    data = as_column(values)
+    if np.issubdtype(data.dtype, np.integer):
+        raw = data.astype(np.uint64, copy=False)
+    elif np.issubdtype(data.dtype, np.floating):
+        raw = data.astype(np.float64, copy=False).view(np.uint64)
+    else:
+        raw = np.fromiter(
+            (hash(item) & 0xFFFFFFFFFFFFFFFF for item in data.tolist()),
+            dtype=np.uint64,
+            count=data.size,
+        )
+    with np.errstate(over="ignore"):
+        salted = (raw ^ np.uint64(seed & 0xFFFFFFFFFFFFFFFF)) & _MASK64
+    return _splitmix64(salted)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frequency import FrequencyProfile
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; tests that need variation reseed locally."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_profile() -> FrequencyProfile:
+    """A tiny hand-checkable profile: f1=3, f2=1, f4=1 (r=9, d=5)."""
+    return FrequencyProfile({1: 3, 2: 1, 4: 1})
+
+
+@pytest.fixture
+def uniform_profile() -> FrequencyProfile:
+    """A profile typical of uniform data: every value seen ~3 times."""
+    return FrequencyProfile({2: 10, 3: 30, 4: 10})
+
+
+@pytest.fixture
+def singleton_profile() -> FrequencyProfile:
+    """All-singletons profile (r = d = 50)."""
+    return FrequencyProfile({1: 50})

@@ -1,0 +1,141 @@
+"""Tests for the estimator framework (sanity bounds, errors, result types)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConfidenceInterval,
+    DistinctValueEstimator,
+    clamp_estimate,
+    ratio_error,
+    relative_error,
+)
+from repro.errors import InvalidParameterError
+from repro.frequency import FrequencyProfile
+
+
+class _FixedEstimator(DistinctValueEstimator):
+    """Returns a constant raw value; used to probe the base class."""
+
+    name = "fixed"
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def _estimate_raw(self, profile, population_size):
+        return self.value
+
+
+class TestClamp:
+    def test_within_bounds_untouched(self):
+        assert clamp_estimate(50.0, 10, 100) == 50.0
+
+    def test_clamps_low_to_sample_distinct(self):
+        assert clamp_estimate(3.0, 10, 100) == 10.0
+
+    def test_clamps_high_to_population(self):
+        assert clamp_estimate(1e9, 10, 100) == 100.0
+
+    def test_nan_maps_to_lower(self):
+        assert clamp_estimate(float("nan"), 10, 100) == 10.0
+
+    def test_infinity_maps_to_population(self):
+        assert clamp_estimate(math.inf, 10, 100) == 100.0
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=50, max_value=1000),
+    )
+    def test_always_within_sanity_bounds(self, raw, d, n):
+        clamped = clamp_estimate(raw, d, n)
+        assert d <= clamped <= n
+
+
+class TestRatioError:
+    def test_perfect_estimate(self):
+        assert ratio_error(100, 100) == 1.0
+
+    def test_overestimate(self):
+        assert ratio_error(200, 100) == 2.0
+
+    def test_underestimate(self):
+        assert ratio_error(50, 100) == 2.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            ratio_error(0, 100)
+        with pytest.raises(InvalidParameterError):
+            ratio_error(10, 0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1e9),
+        st.floats(min_value=0.1, max_value=1e9),
+    )
+    def test_at_least_one_and_symmetric(self, a, b):
+        assert ratio_error(a, b) >= 1.0
+        assert ratio_error(a, b) == pytest.approx(ratio_error(b, a))
+
+
+class TestRelativeError:
+    def test_signs(self):
+        assert relative_error(150, 100) == pytest.approx(0.5)
+        assert relative_error(50, 100) == pytest.approx(-0.5)
+
+    def test_rejects_nonpositive_truth(self):
+        with pytest.raises(InvalidParameterError):
+            relative_error(10, 0)
+
+
+class TestConfidenceInterval:
+    def test_width_and_contains(self):
+        interval = ConfidenceInterval(10, 30)
+        assert interval.width == 20
+        assert interval.contains(10)
+        assert interval.contains(30)
+        assert not interval.contains(31)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(InvalidParameterError):
+            ConfidenceInterval(5, 4)
+
+
+class TestEstimateFlow:
+    def test_estimate_applies_sanity_bounds(self, small_profile):
+        result = _FixedEstimator(1e12).estimate(small_profile, 1000)
+        assert result.value == 1000.0
+        assert result.raw_value == 1e12
+
+    def test_estimate_metadata(self, small_profile):
+        result = _FixedEstimator(42.0).estimate(small_profile, 1000)
+        assert result.estimator == "fixed"
+        assert result.sample_size == small_profile.sample_size
+        assert result.sample_distinct == small_profile.distinct
+        assert result.population_size == 1000
+        assert result.ratio_error(42) == 1.0
+
+    def test_callable_shorthand(self, small_profile):
+        assert _FixedEstimator(42.0)(small_profile, 1000) == 42.0
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(InvalidParameterError):
+            _FixedEstimator(1.0).estimate(FrequencyProfile.empty(), 100)
+
+    def test_rejects_nonpositive_population(self, small_profile):
+        with pytest.raises(InvalidParameterError):
+            _FixedEstimator(1.0).estimate(small_profile, 0)
+
+    def test_rejects_impossible_distinct(self):
+        profile = FrequencyProfile({1: 10})
+        with pytest.raises(InvalidParameterError):
+            _FixedEstimator(1.0).estimate(profile, 5)
+
+    def test_rejects_overlong_frequency(self):
+        profile = FrequencyProfile({50: 1})
+        with pytest.raises(InvalidParameterError):
+            _FixedEstimator(1.0).estimate(profile, 10)

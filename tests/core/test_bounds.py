@@ -1,0 +1,97 @@
+"""Tests for the GEE LOWER/UPPER bounds (paper §4, Tables 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import gee_interval, gee_lower_bound, gee_upper_bound
+from repro.data import uniform_column, zipf_column
+from repro.errors import InvalidParameterError
+from repro.frequency import FrequencyProfile
+from repro.sampling import UniformWithoutReplacement
+
+
+class TestFormulas:
+    def test_lower_is_sample_distinct(self, small_profile):
+        assert gee_lower_bound(small_profile) == small_profile.distinct
+
+    def test_upper_hand_computed(self, small_profile):
+        # non-singletons (2) + (n/r) * f1 = 2 + 100 * 3
+        assert gee_upper_bound(small_profile, 900) == pytest.approx(302.0)
+
+    def test_upper_capped_at_population(self, singleton_profile):
+        assert gee_upper_bound(singleton_profile, 60) == 60
+
+    def test_upper_validation(self, small_profile):
+        with pytest.raises(InvalidParameterError):
+            gee_upper_bound(small_profile, 0)
+        with pytest.raises(InvalidParameterError):
+            gee_upper_bound(FrequencyProfile.empty(), 100)
+
+    def test_interval_combines_both(self, small_profile):
+        interval = gee_interval(small_profile, 900)
+        assert interval.lower == 5
+        assert interval.upper == pytest.approx(302.0)
+
+
+class TestCoverageOnData:
+    """The paper: "the actual number of distinct values always lies in
+    the interval [LOWER, UPPER]" — checked across distributions/rates."""
+
+    @pytest.mark.parametrize("fraction", [0.005, 0.02, 0.08])
+    @pytest.mark.parametrize(
+        "make_column",
+        [
+            lambda rng: uniform_column(100_000, 1000, rng=rng),
+            lambda rng: uniform_column(100_000, 50_000, rng=rng),
+            lambda rng: zipf_column(100_000, z=1.0, rng=rng),
+            lambda rng: zipf_column(100_000, z=2.0, duplication=10, rng=rng),
+        ],
+    )
+    def test_truth_inside_interval(self, rng, make_column, fraction):
+        column = make_column(rng)
+        sampler = UniformWithoutReplacement()
+        for _ in range(5):
+            profile = sampler.profile(column.values, rng, fraction=fraction)
+            interval = gee_interval(profile, column.n_rows)
+            assert interval.contains(column.distinct_count)
+
+    def test_interval_shrinks_with_rate(self, rng):
+        column = uniform_column(100_000, 1000, rng=rng)
+        sampler = UniformWithoutReplacement()
+        widths = []
+        for fraction in (0.002, 0.008, 0.032, 0.128):
+            interval = gee_interval(
+                sampler.profile(column.values, rng, fraction=fraction), column.n_rows
+            )
+            widths.append(interval.width)
+        assert widths == sorted(widths, reverse=True)
+
+    def test_full_scan_interval_collapses(self, rng):
+        column = uniform_column(1000, 100, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, size=1000)
+        interval = gee_interval(profile, 1000)
+        assert interval.lower == interval.upper == column.distinct_count
+
+
+class TestProperties:
+    @settings(deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=20),
+            st.integers(min_value=1, max_value=20),
+            min_size=1,
+            max_size=6,
+        ).map(FrequencyProfile),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_interval_always_ordered(self, profile, extra):
+        n = profile.sample_size + extra
+        if profile.distinct > n or profile.max_frequency > n:
+            return
+        interval = gee_interval(profile, n)
+        assert interval.lower <= interval.upper
+        assert interval.lower == profile.distinct
+        assert interval.upper <= n

@@ -1,0 +1,221 @@
+"""Tests for the exact-expectation calculators and the analytical claims
+they let us verify (Theorem 2 and AE's unbiased coefficient)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GEE
+from repro.core.expectations import (
+    expected_distinct,
+    expected_frequency_count,
+    expected_gee,
+    expected_profile,
+    unbiased_singleton_coefficient,
+)
+from repro.errors import InvalidParameterError
+from repro.frequency import FrequencyProfile
+from repro.sampling import UniformWithoutReplacement
+
+size_vectors = st.lists(
+    st.integers(min_value=1, max_value=200), min_size=1, max_size=30
+)
+
+
+class TestValidation:
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            expected_distinct([], 5)
+        with pytest.raises(InvalidParameterError):
+            expected_distinct([0, 3], 2)
+
+    def test_rejects_oversample_without_replacement(self):
+        with pytest.raises(InvalidParameterError):
+            expected_distinct([2, 2], 5, scheme="without")
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(InvalidParameterError):
+            expected_distinct([2, 2], 2, scheme="poisson")
+
+    def test_frequency_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            expected_frequency_count([5, 5], 4, 5)
+
+
+class TestExactSmallCases:
+    def test_exhaustive_sample_sees_everything(self):
+        # r = n: every class is seen with probability 1.
+        assert expected_distinct([3, 2, 1], 6, "without") == pytest.approx(3.0)
+
+    def test_single_row_sample(self):
+        # One row: E[d] = 1, E[f1] = 1.
+        assert expected_distinct([4, 4], 1, "without") == pytest.approx(1.0)
+        assert expected_frequency_count([4, 4], 1, 1, "without") == pytest.approx(1.0)
+
+    def test_hand_computed_hypergeometric(self):
+        # Two classes of 1 row each, sample 1 of 2: each seen w.p. 1/2.
+        assert expected_distinct([1, 1], 1, "without") == pytest.approx(1.0)
+        # Classes {2, 2}, r=2, n=4: P[class unseen] = C(2,2)/C(4,2) = 1/6.
+        assert expected_distinct([2, 2], 2, "without") == pytest.approx(2 * (1 - 1 / 6))
+
+    def test_hand_computed_binomial(self):
+        # p = 1/2 each, r = 2, with replacement: P[unseen] = 1/4.
+        assert expected_distinct([2, 2], 2, "with") == pytest.approx(2 * 0.75)
+        # P[exactly once] = 2 * 1/2 * 1/2 = 1/2 per class.
+        assert expected_frequency_count([2, 2], 2, 1, "with") == pytest.approx(1.0)
+
+    def test_profile_sums_to_expected_quantities(self):
+        sizes = [10, 5, 3, 1, 1]
+        r = 8
+        profile = expected_profile(sizes, r, "without", max_frequency=r)
+        assert sum(profile.values()) == pytest.approx(
+            expected_distinct(sizes, r, "without"), rel=1e-9
+        )
+        assert sum(i * v for i, v in profile.items()) == pytest.approx(r, rel=1e-9)
+
+
+class TestMonteCarloAgreement:
+    def test_expected_distinct_matches_simulation(self, rng):
+        sizes = np.array([50, 30, 10, 5, 3, 1, 1])
+        column = np.repeat(np.arange(sizes.size), sizes)
+        r = 20
+        sampler = UniformWithoutReplacement()
+        trials = 600
+        total_d = 0
+        total_f1 = 0
+        for _ in range(trials):
+            profile = FrequencyProfile.from_sample(
+                sampler.sample(column, rng, size=r)
+            )
+            total_d += profile.distinct
+            total_f1 += profile.f1
+        assert total_d / trials == pytest.approx(
+            expected_distinct(sizes, r, "without"), rel=0.05
+        )
+        assert total_f1 / trials == pytest.approx(
+            expected_frequency_count(sizes, r, 1, "without"), rel=0.12
+        )
+
+
+class TestTheorem2Exactly:
+    """E[GEE] is within ~e*sqrt(n/r) of D on ANY class-size vector —
+    verified exactly (no sampling noise) over random populations."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(size_vectors, st.integers(min_value=1, max_value=100))
+    def test_expected_gee_within_bound(self, sizes, r):
+        n = sum(sizes)
+        r = min(r, n)
+        value = expected_gee(sizes, r, scheme="with")
+        d_true = len(sizes)
+        ratio = max(value / d_true, d_true / value)
+        bound = math.e * math.sqrt(n / r) * (1.0 + 1e-9) + 1.0
+        assert ratio <= bound
+
+    def test_matches_monte_carlo_gee(self, rng):
+        sizes = np.array([100, 40, 10, 5, 1, 1, 1, 1])
+        column = np.repeat(np.arange(sizes.size), sizes)
+        n = int(sizes.sum())
+        r = 30
+        gee = GEE()
+        trials = 500
+        total = 0.0
+        for _ in range(trials):
+            indices = rng.integers(0, n, size=r)  # with replacement
+            profile = FrequencyProfile.from_sample(column[indices])
+            total += gee.estimate(profile, n).raw_value
+        assert total / trials == pytest.approx(
+            expected_gee(sizes, r, "with"), rel=0.05
+        )
+
+
+class TestUnbiasedCoefficient:
+    def test_plugging_k_back_is_unbiased(self):
+        sizes = [40, 20, 10, 4, 2, 1, 1, 1]
+        r = 15
+        k = unbiased_singleton_coefficient(sizes, r, "without")
+        e_d = expected_distinct(sizes, r, "without")
+        e_f1 = expected_frequency_count(sizes, r, 1, "without")
+        assert e_d + k * e_f1 == pytest.approx(len(sizes), rel=1e-9)
+
+    def test_uniform_population_matches_sj_coefficient(self):
+        # Equal class sizes: K should be close to the smoothed
+        # jackknife's (1 - q) D / r (the §"SmoothedJackknife" derivation).
+        d_true, size = 50, 20
+        sizes = [size] * d_true
+        n = d_true * size
+        r = 100
+        k = unbiased_singleton_coefficient(sizes, r, "without")
+        q = r / n
+        e_d = expected_distinct(sizes, r, "without")
+        k_model = (1 - q) * d_true / r * (
+            d_true / e_d
+        )  # same family, first-order
+        assert k == pytest.approx(k_model, rel=0.35)
+
+    def test_undefined_when_no_singletons_possible(self):
+        with pytest.raises(InvalidParameterError):
+            # r = n and every class has >= 2 rows: f1 is impossible.
+            unbiased_singleton_coefficient([2, 2], 4, "without")
+
+
+class TestVarianceDistinct:
+    def test_exhaustive_sample_zero_variance(self):
+        from repro.core.expectations import variance_distinct
+
+        assert variance_distinct([3, 2, 1], 6, "without") == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_single_class_zero_variance(self):
+        from repro.core.expectations import variance_distinct
+
+        # One class: d = 1 always.
+        assert variance_distinct([10], 3, "with") == pytest.approx(0.0, abs=1e-12)
+
+    def test_hand_computed_two_classes(self):
+        from repro.core.expectations import variance_distinct
+
+        # Two classes of p = 1/2 each, r = 1 draw with replacement:
+        # d = 1 always -> variance 0... use r = 2: d = 1 w.p. 1/2, 2 w.p.
+        # 1/2 -> Var = 1/4.
+        assert variance_distinct([5, 5], 2, "with") == pytest.approx(0.25)
+
+    def test_matches_monte_carlo_without_replacement(self, rng):
+        from repro.core.expectations import variance_distinct
+
+        sizes = np.array([30, 20, 10, 5, 3, 1, 1])
+        column = np.repeat(np.arange(sizes.size), sizes)
+        r = 15
+        from repro.sampling import UniformWithoutReplacement
+
+        sampler = UniformWithoutReplacement()
+        values = []
+        for _ in range(1500):
+            sample = sampler.sample(column, rng, size=r)
+            values.append(len(np.unique(sample)))
+        empirical = float(np.var(values, ddof=1))
+        assert empirical == pytest.approx(
+            variance_distinct(sizes, r, "without"), rel=0.15
+        )
+
+    def test_matches_monte_carlo_with_replacement(self, rng):
+        from repro.core.expectations import variance_distinct
+
+        sizes = np.array([50, 25, 10, 10, 5])
+        column = np.repeat(np.arange(sizes.size), sizes)
+        n = int(sizes.sum())
+        r = 12
+        values = []
+        for _ in range(1500):
+            sample = column[rng.integers(0, n, size=r)]
+            values.append(len(np.unique(sample)))
+        empirical = float(np.var(values, ddof=1))
+        assert empirical == pytest.approx(
+            variance_distinct(sizes, r, "with"), rel=0.15
+        )

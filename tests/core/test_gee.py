@@ -1,0 +1,134 @@
+"""Tests for GEE (the Guaranteed-Error Estimator, paper §4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import GEE, gee_coefficient, gee_estimate, ratio_error
+from repro.data import uniform_column, zipf_column
+from repro.errors import InvalidParameterError
+from repro.frequency import FrequencyProfile
+from repro.sampling import UniformWithoutReplacement
+
+profiles = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=30),
+    values=st.integers(min_value=1, max_value=30),
+    min_size=1,
+    max_size=8,
+).map(FrequencyProfile)
+
+
+class TestFormula:
+    def test_hand_computed(self, small_profile):
+        # D_hat = sqrt(n/r) f1 + sum_{i>=2} f_i with n=900, r=9: sqrt=10.
+        result = GEE().estimate(small_profile, 900)
+        assert result.raw_value == pytest.approx(10.0 * 3 + 2)
+
+    def test_equivalent_form(self, small_profile):
+        # d + (sqrt(n/r) - 1) f1 is the same number.
+        n = 900
+        expected = small_profile.distinct + (math.sqrt(n / 9) - 1) * 3
+        assert GEE().estimate(small_profile, n).raw_value == pytest.approx(expected)
+
+    def test_full_scan_returns_d(self, small_profile):
+        # r = n: coefficient is 1, estimate is exactly d.
+        result = GEE().estimate(small_profile, small_profile.sample_size)
+        assert result.value == small_profile.distinct
+
+    def test_no_singletons_returns_d(self):
+        profile = FrequencyProfile({3: 7})
+        assert GEE().estimate(profile, 10_000).value == profile.distinct
+
+    def test_functional_form_matches_class(self, small_profile):
+        assert gee_estimate(small_profile, 900) == GEE()(small_profile, 900)
+
+
+class TestCoefficient:
+    def test_value(self):
+        assert gee_coefficient(10_000, 100) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            gee_coefficient(0, 10)
+        with pytest.raises(InvalidParameterError):
+            gee_coefficient(10, 0)
+
+    def test_exponent_validation(self):
+        with pytest.raises(InvalidParameterError):
+            GEE(exponent=1.5)
+
+    def test_exponent_variants_named(self):
+        assert GEE(exponent=0.25).name == "GEE(a=0.25)"
+        assert GEE().name == "GEE"
+
+    def test_exponent_one_is_upper_bound(self, small_profile):
+        # a=1 scales singletons by n/r: equals the UPPER bound.
+        result = GEE(exponent=1.0).estimate(small_profile, 900)
+        assert result.raw_value == pytest.approx(2 + 100.0 * 3)
+
+
+class TestInterval:
+    def test_interval_present_and_ordered(self, small_profile):
+        result = GEE().estimate(small_profile, 900)
+        assert result.interval is not None
+        assert result.interval.lower == small_profile.distinct
+        assert result.interval.upper == pytest.approx(2 + 100.0 * 3)
+
+    def test_estimate_inside_interval(self, small_profile):
+        result = GEE().estimate(small_profile, 900)
+        assert result.interval.contains(result.value)
+
+    @given(profiles, st.integers(min_value=1, max_value=10_000))
+    def test_estimate_always_inside_interval(self, profile, extra_rows):
+        n = profile.sample_size + extra_rows
+        if profile.distinct > n or profile.max_frequency > n:
+            return
+        result = GEE().estimate(profile, n)
+        assert result.interval.lower <= result.value <= result.interval.upper + 1e-9
+
+
+class TestTheorem2Guarantee:
+    """GEE's expected ratio error is O(sqrt(n/r)) on every input.
+
+    The proof gives the constant ~e (plus lower-order terms); we check
+    the bound e * sqrt(n/r) * 1.1 empirically across very different
+    distributions at several sampling rates.
+    """
+
+    @pytest.mark.parametrize("fraction", [0.01, 0.05, 0.2])
+    @pytest.mark.parametrize(
+        "make_column",
+        [
+            lambda rng: uniform_column(50_000, 10_000, rng=rng),
+            lambda rng: uniform_column(50_000, 13, rng=rng),
+            lambda rng: zipf_column(50_000, z=1.0, rng=rng),
+            lambda rng: zipf_column(50_000, z=3.0, duplication=10, rng=rng),
+        ],
+    )
+    def test_error_within_guarantee(self, rng, make_column, fraction):
+        column = make_column(rng)
+        sampler = UniformWithoutReplacement()
+        bound = math.e * math.sqrt(1.0 / fraction) * 1.1
+        errors = []
+        for _ in range(5):
+            profile = sampler.profile(column.values, rng, fraction=fraction)
+            value = GEE().estimate(profile, column.n_rows).value
+            errors.append(ratio_error(value, column.distinct_count))
+        assert sum(errors) / len(errors) <= bound
+
+    @given(profiles, st.integers(min_value=0, max_value=100_000))
+    def test_worst_case_ratio_never_exceeds_sqrt_bound(self, profile, extra):
+        # Deterministically, GEE's output is within sqrt(n/r) of d and of
+        # the UPPER bound, hence within sqrt(n/r) of any D in [d, UPPER].
+        n = profile.sample_size + extra
+        if profile.distinct > n or profile.max_frequency > n:
+            return
+        r = profile.sample_size
+        estimate = GEE().estimate(profile, n).value
+        coefficient = math.sqrt(n / r)
+        # estimate >= d and estimate <= coefficient * d + ... sanity:
+        assert estimate <= coefficient * profile.distinct + 1e-6 or estimate <= n

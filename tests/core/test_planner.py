@@ -1,0 +1,77 @@
+"""Tests for the sample-size planner."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import lower_bound_error
+from repro.core.planner import (
+    SamplingPlan,
+    gee_sufficient_sample_size,
+    plan_sample_size,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestSufficientSize:
+    def test_formula(self):
+        n, err = 1_000_000, 10.0
+        assert gee_sufficient_sample_size(n, err) == math.ceil(
+            math.e**2 * n / 100.0
+        )
+
+    def test_capped_at_population(self):
+        assert gee_sufficient_sample_size(1000, 1.0) == 1000
+
+    def test_envelope_met_at_sufficient_size(self):
+        n, err = 1_000_000, 8.0
+        r = gee_sufficient_sample_size(n, err)
+        assert math.e * math.sqrt(n / r) <= err + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            gee_sufficient_sample_size(0, 2.0)
+        with pytest.raises(InvalidParameterError):
+            gee_sufficient_sample_size(100, 0.9)
+
+
+class TestPlan:
+    def test_bracket_ordering(self):
+        plan = plan_sample_size(1_000_000, 5.0)
+        assert plan.necessary_rows <= plan.sufficient_rows
+
+    def test_fractions(self):
+        plan = plan_sample_size(1_000_000, 5.0)
+        assert plan.necessary_fraction == plan.necessary_rows / 1_000_000
+        assert 0.0 < plan.sufficient_fraction <= 1.0
+
+    def test_tight_targets_need_full_scan(self):
+        plan = plan_sample_size(1_000_000, 1.5)
+        assert plan.full_scan_needed
+
+    def test_loose_targets_do_not(self):
+        plan = plan_sample_size(1_000_000, 20.0)
+        assert not plan.full_scan_needed
+        assert plan.sufficient_fraction < 0.05
+
+    def test_necessary_is_theorem1_consistent(self):
+        n, err = 1_000_000, 3.0
+        plan = plan_sample_size(n, err)
+        # At the necessary size the Theorem 1 floor permits the target...
+        assert lower_bound_error(n, plan.necessary_rows) <= err + 1e-6
+        # ...and below it, it does not.
+        assert lower_bound_error(n, plan.necessary_rows - 1) > err - 1e-6
+
+    @given(
+        st.integers(min_value=100, max_value=10**8),
+        st.floats(min_value=1.01, max_value=500.0),
+    )
+    def test_bracket_always_consistent(self, n, err):
+        plan = plan_sample_size(n, err)
+        assert isinstance(plan, SamplingPlan)
+        assert 1 <= plan.necessary_rows <= n
+        assert plan.necessary_rows <= plan.sufficient_rows <= n

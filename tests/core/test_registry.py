@@ -1,0 +1,47 @@
+"""Tests for the estimator registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    PAPER_ESTIMATORS,
+    available_estimators,
+    make_estimator,
+    make_estimators,
+)
+from repro.core.base import DistinctValueEstimator
+from repro.errors import InvalidParameterError
+
+
+def test_paper_estimator_set():
+    assert PAPER_ESTIMATORS == ("GEE", "AE", "HYBGEE", "HYBSKEW", "HYBVAR", "DUJ2A")
+
+
+def test_every_registered_name_instantiates():
+    for name in available_estimators():
+        estimator = make_estimator(name)
+        assert isinstance(estimator, DistinctValueEstimator)
+        assert estimator.name == name
+
+
+def test_unknown_name_raises_with_suggestions():
+    with pytest.raises(InvalidParameterError, match="GEE"):
+        make_estimator("nope")
+
+
+def test_make_estimators_preserves_order():
+    estimators = make_estimators(["AE", "GEE"])
+    assert [e.name for e in estimators] == ["AE", "GEE"]
+
+
+def test_factories_produce_fresh_instances():
+    assert make_estimator("GEE") is not make_estimator("GEE")
+
+
+def test_every_registered_estimator_estimates(small_profile):
+    """Every estimator in the registry handles a tiny profile sanely."""
+    n = 1000
+    for name in available_estimators():
+        value = make_estimator(name).estimate(small_profile, n).value
+        assert small_profile.distinct <= value <= n, name

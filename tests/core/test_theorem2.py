@@ -1,0 +1,87 @@
+"""Numeric verification of Theorem 2's per-class case analysis."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theorem2 import (
+    contribution_lower_bound,
+    contribution_upper_bound,
+    per_class_contribution,
+    worst_case_ratio,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestContribution:
+    def test_certain_class_contributes_one_ish(self):
+        # p = 1: the class fills the column; x = 1, y = 0 (for r > 1).
+        assert per_class_contribution(1.0, 1000, 100) == pytest.approx(1.0)
+
+    def test_rare_class_contribution(self):
+        # p = 1/n with r << n: x ~ r/n, y ~ (r/n), c ~ sqrt(r/n).
+        n, r = 1_000_000, 100
+        c = per_class_contribution(1.0 / n, n, r)
+        assert c == pytest.approx(math.sqrt(r / n), rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            per_class_contribution(0.5, 100, 0)
+        with pytest.raises(InvalidParameterError):
+            per_class_contribution(1e-9, 100, 10)  # p < 1/n
+        with pytest.raises(InvalidParameterError):
+            per_class_contribution(1.5, 100, 10)
+
+
+class TestEnvelope:
+    @pytest.mark.parametrize(
+        "n,r",
+        [(1000, 10), (1_000_000, 1000), (1_000_000, 200_000), (10**9, 100)],
+    )
+    def test_contribution_within_envelope_on_grid(self, n, r):
+        lo = contribution_lower_bound(n, r)
+        hi = contribution_upper_bound(n, r)
+        for p in np.logspace(math.log10(1.0 / n), 0.0, 500):
+            c = per_class_contribution(min(float(p), 1.0), n, r)
+            assert c <= hi * (1.0 + 1e-9), p
+            assert c >= lo * (1.0 - 1e-9), p
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.integers(min_value=10, max_value=10**9),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_envelope_fuzz(self, n, r_frac, p_frac):
+        r = max(1, min(n, round(r_frac * n)))
+        # p log-interpolated between 1/n and 1.
+        log_p = p_frac * (0.0 - math.log(1.0 / n)) + math.log(1.0 / n)
+        p = min(1.0, math.exp(log_p))
+        c = per_class_contribution(p, n, r)
+        assert c <= contribution_upper_bound(n, r) * (1 + 1e-9)
+        assert c >= contribution_lower_bound(n, r) * (1 - 1e-9)
+
+
+class TestWorstCase:
+    def test_theorem2_constant(self):
+        # The worst single-class distortion never exceeds e*sqrt(n/r)
+        # once the o(1) term is accounted for.
+        for n, r in ((1_000_000, 10_000), (1_000_000, 100), (10**8, 10**4)):
+            worst = worst_case_ratio(n, r)
+            ceiling = math.e * math.sqrt(n / r) / (1.0 - math.sqrt(r / n))
+            assert worst <= ceiling * (1.0 + 1e-6)
+
+    def test_full_scan_is_exact(self):
+        # r = n: coefficient 1, contribution = x in (0, 1]; worst gap is
+        # 1/x at p = 1/n, which equals ~n/r / ... bounded by e*(1) / o..
+        worst = worst_case_ratio(1000, 1000)
+        assert worst < math.e * 2
+
+    def test_grid_validation(self):
+        with pytest.raises(InvalidParameterError):
+            worst_case_ratio(100, 10, grid_points=1)

@@ -1,0 +1,127 @@
+"""Tests for the Theorem 1 machinery (paper §3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    adversarial_k,
+    adversarial_pair,
+    lower_bound_error,
+    make_estimators,
+    minimum_sample_size_for_error,
+    ratio_error,
+)
+from repro.errors import InvalidParameterError
+from repro.frequency import FrequencyProfile
+from repro.sampling import UniformWithoutReplacement
+
+
+class TestLowerBoundFormula:
+    def test_paper_numeric_example(self):
+        # Section 3: r = 0.2 n, gamma = 0.5 gives a bound of about 1.18.
+        n = 1_000_000
+        bound = lower_bound_error(n, int(0.2 * n), gamma=0.5)
+        assert bound == pytest.approx(1.18, abs=0.02)
+
+    def test_bound_grows_as_sample_shrinks(self):
+        n = 100_000
+        bounds = [lower_bound_error(n, r) for r in (50_000, 10_000, 1000, 100)]
+        assert bounds == sorted(bounds)
+
+    def test_matches_k(self):
+        n, r, gamma = 10_000, 100, 0.3
+        assert lower_bound_error(n, r, gamma) == pytest.approx(
+            math.sqrt(adversarial_k(n, r, gamma))
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            lower_bound_error(100, 100)
+        with pytest.raises(InvalidParameterError):
+            lower_bound_error(100, 0)
+        with pytest.raises(InvalidParameterError):
+            lower_bound_error(100, 10, gamma=0.0)
+        with pytest.raises(InvalidParameterError):
+            # gamma below e^-r is outside the theorem's range.
+            lower_bound_error(100, 2, gamma=1e-9)
+
+
+class TestMinimumSampleSize:
+    def test_inverts_bound(self):
+        n, target = 1_000_000, 2.0
+        r = minimum_sample_size_for_error(n, target)
+        # At r, the floor is at most the target...
+        assert lower_bound_error(n, r) <= target + 1e-6
+        # ...and one fewer row makes the floor exceed it.
+        if r > 1:
+            assert lower_bound_error(n, r - 1) > target - 1e-6
+
+    def test_tight_error_needs_most_of_table(self):
+        n = 1_000_000
+        r = minimum_sample_size_for_error(n, 1.05)
+        assert r > 0.2 * n
+
+    def test_loose_error_needs_little(self):
+        n = 1_000_000
+        r = minimum_sample_size_for_error(n, 50.0)
+        assert r < 0.01 * n
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            minimum_sample_size_for_error(100, 0.5)
+
+    @given(
+        st.integers(min_value=100, max_value=10**7),
+        st.floats(min_value=1.01, max_value=100.0),
+    )
+    def test_always_within_range(self, n, target):
+        r = minimum_sample_size_for_error(n, target)
+        assert 1 <= r <= n
+
+
+class TestAdversarialPair:
+    def test_shapes_and_truths(self, rng):
+        pair = adversarial_pair(10_000, 100, rng=rng)
+        assert pair.scenario_a.size == pair.scenario_b.size == 10_000
+        assert pair.distinct_a == 1
+        assert len(np.unique(pair.scenario_b)) == pair.distinct_b == pair.k + 1
+
+    def test_scenario_b_has_heavy_value_plus_singletons(self, rng):
+        pair = adversarial_pair(10_000, 100, rng=rng)
+        profile = FrequencyProfile.from_sample(pair.scenario_b)
+        assert profile.f1 == pair.k
+        assert profile.f(10_000 - pair.k) == 1
+
+    def test_indistinguishability_floor(self, rng):
+        pair = adversarial_pair(10_000, 100, rng=rng)
+        assert pair.indistinguishability_floor == pytest.approx(
+            math.sqrt(pair.k + 1)
+        )
+
+    def test_every_estimator_fails_on_one_scenario(self, rng):
+        """The operational content of Theorem 1: no estimator in the
+        suite achieves a small error on both scenarios simultaneously."""
+        n, r = 50_000, 500
+        pair = adversarial_pair(n, r, gamma=0.5, rng=rng)
+        sampler = UniformWithoutReplacement()
+        floor = lower_bound_error(n, r, gamma=0.5)
+        for estimator in make_estimators(["GEE", "AE", "HYBSKEW", "DUJ2A"]):
+            worst = 0.0
+            for data, truth in (
+                (pair.scenario_a, 1),
+                (pair.scenario_b, pair.k + 1),
+            ):
+                errors = []
+                for _ in range(5):
+                    profile = sampler.profile(data, rng, size=r)
+                    value = estimator.estimate(profile, n).value
+                    errors.append(ratio_error(value, truth))
+                worst = max(worst, sum(errors) / len(errors))
+            # Allow a little statistical slack below the asymptotic floor.
+            assert worst >= 0.8 * floor

@@ -1,0 +1,104 @@
+"""Tests for the bootstrap uncertainty machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AE, GEE
+from repro.core.uncertainty import (
+    BootstrapSummary,
+    bootstrap_estimate,
+    bootstrap_profile,
+    coefficient_of_variation,
+)
+from repro.data import uniform_column, zipf_column
+from repro.errors import InvalidParameterError
+from repro.estimators import HybridSkew
+from repro.frequency import FrequencyProfile
+from repro.sampling import UniformWithoutReplacement
+
+
+class TestBootstrapProfile:
+    def test_preserves_sample_size(self, rng, small_profile):
+        replicate = bootstrap_profile(small_profile, rng)
+        assert replicate.sample_size == small_profile.sample_size
+
+    def test_never_more_classes_than_observed(self, rng, small_profile):
+        for _ in range(20):
+            replicate = bootstrap_profile(small_profile, rng)
+            assert replicate.distinct <= small_profile.distinct
+
+    def test_single_class_is_fixed_point(self, rng):
+        profile = FrequencyProfile({7: 1})
+        replicate = bootstrap_profile(profile, rng)
+        assert replicate.counts == {7: 1}
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(InvalidParameterError):
+            bootstrap_profile(FrequencyProfile.empty(), rng)
+
+    def test_mean_class_count_preserved(self, rng):
+        # E[resampled count of class j] = c_j: check via averaging d.
+        profile = FrequencyProfile({1: 10, 5: 2})
+        total_rows = 0
+        for _ in range(200):
+            replicate = bootstrap_profile(profile, rng)
+            total_rows += replicate.sample_size
+        assert total_rows == 200 * profile.sample_size
+
+
+class TestBootstrapEstimate:
+    def test_summary_fields(self, rng):
+        column = uniform_column(10_000, 200, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, size=500)
+        summary = bootstrap_estimate(
+            GEE(), profile, column.n_rows, rng, replicates=50
+        )
+        assert isinstance(summary, BootstrapSummary)
+        assert summary.replicates == 50
+        assert summary.interval.lower <= summary.interval.upper
+        assert summary.std >= 0.0
+
+    def test_point_estimate_usually_inside_interval(self, rng):
+        column = zipf_column(50_000, z=1.0, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, size=1000)
+        summary = bootstrap_estimate(
+            AE(), profile, column.n_rows, rng, replicates=100
+        )
+        # Basic-bootstrap intervals are centered on the point estimate.
+        assert summary.interval.lower <= summary.estimate
+        assert summary.interval.upper >= summary.estimate
+
+    def test_validation(self, rng, small_profile):
+        with pytest.raises(InvalidParameterError):
+            bootstrap_estimate(GEE(), small_profile, 1000, rng, replicates=5)
+        with pytest.raises(InvalidParameterError):
+            bootstrap_estimate(
+                GEE(), small_profile, 1000, rng, confidence=1.5
+            )
+
+    def test_hybskew_less_stable_than_ae_on_boundary_data(self, rng):
+        """The §5.2 instability claim, measured by bootstrap CV: on data
+        near the chi-squared decision boundary, HYBSKEW's replicates
+        flip branches while AE stays put."""
+        column = zipf_column(200_000, z=2.0, duplication=100, rng=rng)
+        profile = UniformWithoutReplacement().profile(
+            column.values, rng, fraction=0.005
+        )
+        hybskew = bootstrap_estimate(
+            HybridSkew(), profile, column.n_rows, rng, replicates=60
+        )
+        ae = bootstrap_estimate(AE(), profile, column.n_rows, rng, replicates=60)
+        assert coefficient_of_variation(hybskew) >= coefficient_of_variation(ae) * 0.5
+
+    def test_cv_validation(self):
+        summary = BootstrapSummary(
+            estimate=0.0,
+            interval=__import__("repro.core", fromlist=["ConfidenceInterval"]).ConfidenceInterval(0, 1),
+            std=1.0,
+            replicates=20,
+            confidence=0.9,
+        )
+        with pytest.raises(InvalidParameterError):
+            coefficient_of_variation(summary)

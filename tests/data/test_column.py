@@ -1,0 +1,48 @@
+"""Tests for the Column abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Column
+from repro.errors import InvalidParameterError
+from repro.frequency import FrequencyProfile
+
+
+class TestValidation:
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidParameterError):
+            Column("x", np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            Column("x", np.array([]))
+
+
+class TestGroundTruth:
+    def test_distinct_count(self):
+        column = Column("x", np.array([1, 1, 2, 3, 3, 3]))
+        assert column.distinct_count == 3
+        assert column.n_rows == 6
+        assert len(column) == 6
+
+    def test_class_sizes(self):
+        column = Column("x", np.array([1, 1, 2, 3, 3, 3]))
+        assert sorted(column.class_sizes.tolist()) == [1, 2, 3]
+
+    def test_population_profile(self):
+        column = Column("x", np.array([1, 1, 2, 3, 3, 3]))
+        profile = column.population_profile()
+        assert profile == FrequencyProfile({1: 1, 2: 1, 3: 1})
+
+    def test_caching(self):
+        column = Column("x", np.arange(100))
+        first = column.class_sizes
+        assert column.class_sizes is first  # computed once
+
+    def test_precomputed_sizes_respected(self):
+        sizes = np.array([2, 4])
+        column = Column("x", np.array([0, 0, 1, 1, 1, 1]), _class_sizes=sizes)
+        assert column.class_sizes is sizes
+        assert column.distinct_count == 2

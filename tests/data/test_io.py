@@ -1,0 +1,116 @@
+"""Tests for the file loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_column, load_csv_column
+from repro.errors import DataGenerationError
+
+
+class TestCsv:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "data.csv"
+        path.write_text(text)
+        return path
+
+    def test_integer_column(self, tmp_path):
+        path = self._write(tmp_path, "id,city\n1,rome\n2,oslo\n2,rome\n")
+        column = load_csv_column(path, "id")
+        assert column.values.dtype == np.int64
+        assert column.distinct_count == 2
+
+    def test_string_column(self, tmp_path):
+        path = self._write(tmp_path, "id,city\n1,rome\n2,oslo\n2,rome\n")
+        column = load_csv_column(path, "city")
+        assert column.distinct_count == 2
+        assert column.name == "city"
+
+    def test_float_column(self, tmp_path):
+        path = self._write(tmp_path, "price\n1.5\n2.5\n1.5\n")
+        column = load_csv_column(path, "price")
+        assert column.values.dtype == np.float64
+
+    def test_missing_column(self, tmp_path):
+        path = self._write(tmp_path, "a\n1\n")
+        with pytest.raises(DataGenerationError, match="no column"):
+            load_csv_column(path, "b")
+
+    def test_empty_csv(self, tmp_path):
+        path = self._write(tmp_path, "a\n")
+        with pytest.raises(DataGenerationError, match="no data rows"):
+            load_csv_column(path, "a")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataGenerationError, match="no such file"):
+            load_csv_column(tmp_path / "nope.csv", "a")
+
+
+class TestGenericLoader:
+    def test_npy(self, tmp_path):
+        path = tmp_path / "col.npy"
+        np.save(path, np.array([1, 2, 2, 3]))
+        column = load_column(path)
+        assert column.distinct_count == 3
+        assert column.name == "col"
+
+    def test_text(self, tmp_path):
+        path = tmp_path / "col.txt"
+        path.write_text("7\n7\n\n9\n")
+        column = load_column(path)
+        assert column.n_rows == 3
+        assert column.distinct_count == 2
+
+    def test_text_strings(self, tmp_path):
+        path = tmp_path / "col.txt"
+        path.write_text("x\ny\nx\n")
+        assert load_column(path).distinct_count == 2
+
+    def test_csv_requires_column(self, tmp_path):
+        path = tmp_path / "col.csv"
+        path.write_text("a\n1\n2\n")
+        with pytest.raises(DataGenerationError, match="column="):
+            load_column(path)
+        assert load_column(path, column="a").n_rows == 2
+
+    def test_custom_name(self, tmp_path):
+        path = tmp_path / "col.txt"
+        path.write_text("1\n")
+        assert load_column(path, name="renamed").name == "renamed"
+
+    def test_empty_text(self, tmp_path):
+        path = tmp_path / "col.txt"
+        path.write_text("\n\n")
+        with pytest.raises(DataGenerationError):
+            load_column(path)
+
+
+class TestCsvTable:
+    def test_all_columns_loaded(self, tmp_path):
+        from repro.data.io import load_csv_table
+
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,x\n2,y\n2,x\n")
+        columns = load_csv_table(path)
+        assert set(columns) == {"a", "b"}
+        assert columns["a"].tolist() == [1, 2, 2]
+        assert columns["b"].tolist() == ["x", "y", "x"]
+
+    def test_plugs_into_table(self, tmp_path):
+        from repro.data.io import load_csv_table
+        from repro.db import Table
+
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n3,4\n")
+        table = Table(name="t", columns=load_csv_table(path))
+        assert table.n_rows == 2
+
+    def test_empty_rejected(self, tmp_path):
+        from repro.data.io import load_csv_table
+        from repro.errors import DataGenerationError
+
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(DataGenerationError):
+            load_csv_table(path)

@@ -1,0 +1,90 @@
+"""Tests for the real-dataset surrogates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import census, covertype, mssales
+from repro.data.surrogates import (
+    CENSUS_COLUMNS,
+    CENSUS_ROWS,
+    COVERTYPE_COLUMNS,
+    COVERTYPE_ROWS,
+    MSSALES_COLUMNS,
+    MSSALES_ROWS,
+    Dataset,
+)
+from repro.errors import DataGenerationError
+
+
+class TestCensus:
+    def test_shape_matches_paper(self, rng):
+        dataset = census(rng, scale=0.1)
+        assert dataset.name == "Census"
+        assert len(dataset) == 15  # paper: "15 columns (Age, Marital-Status, ...)"
+
+    def test_full_scale_metadata(self):
+        assert CENSUS_ROWS == 32_561
+        names = [spec.name for spec in CENSUS_COLUMNS]
+        assert "age" in names and "marital_status" in names
+
+    def test_distinct_counts_match_specs(self, rng):
+        dataset = census(rng, scale=1.0)
+        assert dataset.n_rows == CENSUS_ROWS
+        for spec in CENSUS_COLUMNS:
+            column = dataset.column(spec.name)
+            assert column.distinct_count == spec.distinct, spec.name
+
+
+class TestCovertypeAndMssales:
+    def test_covertype_shape(self, rng):
+        dataset = covertype(rng, scale=0.02)
+        assert len(dataset) == 11  # paper: "11 columns (Elevation, Aspect, ...)"
+        assert COVERTYPE_ROWS == 581_012
+
+    def test_mssales_shape(self, rng):
+        dataset = mssales(rng, scale=0.01)
+        assert len(dataset) == 20  # paper: "20 columns (Product, Division, ...)"
+        assert MSSALES_ROWS == 1_996_290
+        names = [spec.name for spec in MSSALES_COLUMNS]
+        for expected in ("product", "division", "license_number", "revenue"):
+            assert expected in names
+
+    def test_scaling_shrinks_rows_and_cardinalities(self, rng):
+        dataset = covertype(rng, scale=0.02)
+        assert dataset.n_rows == round(COVERTYPE_ROWS * 0.02)
+        elevation = dataset.column("elevation")
+        assert elevation.distinct_count == round(1978 * 0.02)
+
+    def test_scale_validation(self, rng):
+        with pytest.raises(DataGenerationError):
+            census(rng, scale=0.0)
+        with pytest.raises(DataGenerationError):
+            census(rng, scale=1.5)
+
+
+class TestDatasetContainer:
+    def test_iteration_and_lookup(self, rng):
+        dataset = census(rng, scale=0.05)
+        names = [column.name for column in dataset]
+        assert names == dataset.column_names
+        assert dataset.column("age").name == "age"
+
+    def test_missing_column_raises(self, rng):
+        dataset = census(rng, scale=0.05)
+        with pytest.raises(DataGenerationError):
+            dataset.column("nope")
+
+    def test_empty_dataset(self):
+        assert Dataset(name="empty").n_rows == 0
+
+    def test_columns_share_row_count(self, rng):
+        dataset = mssales(rng, scale=0.005)
+        row_counts = {column.n_rows for column in dataset}
+        assert len(row_counts) == 1
+
+    def test_deterministic_given_seed(self):
+        a = census(np.random.default_rng(3), scale=0.02)
+        b = census(np.random.default_rng(3), scale=0.02)
+        assert np.array_equal(a.column("age").values, b.column("age").values)

@@ -1,0 +1,130 @@
+"""Tests for the synthetic workload constructors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    all_distinct_column,
+    bounded_scaleup_column,
+    column_with_distinct,
+    constant_column,
+    needle_column,
+    unbounded_scaleup_column,
+    uniform_column,
+)
+from repro.errors import DataGenerationError
+
+
+class TestScaleupColumns:
+    def test_bounded_domain_keeps_distinct_constant(self, rng):
+        columns = [
+            bounded_scaleup_column(n, base_rows=1000, z=2.0, rng=rng)
+            for n in (100_000, 500_000)
+        ]
+        assert columns[0].distinct_count == columns[1].distinct_count
+
+    def test_bounded_requires_multiple(self, rng):
+        with pytest.raises(DataGenerationError):
+            bounded_scaleup_column(1500, base_rows=1000, rng=rng)
+
+    def test_unbounded_domain_grows_distinct(self, rng):
+        small = unbounded_scaleup_column(100_000, rng=rng)
+        large = unbounded_scaleup_column(1_000_000, rng=rng)
+        assert large.distinct_count > small.distinct_count
+
+    def test_unbounded_requires_multiple(self, rng):
+        with pytest.raises(DataGenerationError):
+            unbounded_scaleup_column(100_050, duplication=100, rng=rng)
+
+
+class TestCornerColumns:
+    def test_all_distinct(self):
+        column = all_distinct_column(100)
+        assert column.distinct_count == 100
+
+    def test_constant(self):
+        column = constant_column(100)
+        assert column.distinct_count == 1
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            all_distinct_column(0)
+        with pytest.raises(DataGenerationError):
+            constant_column(0)
+
+    def test_uniform_column_sizes(self, rng):
+        column = uniform_column(103, 10, rng=rng)
+        assert column.distinct_count == 10
+        sizes = column.class_sizes
+        assert sizes.sum() == 103
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_uniform_validation(self, rng):
+        with pytest.raises(DataGenerationError):
+            uniform_column(10, 11, rng=rng)
+
+    def test_needle_column_is_scenario_b(self, rng):
+        column = needle_column(1000, 25, rng=rng)
+        assert column.distinct_count == 26
+        sizes = np.sort(column.class_sizes)
+        assert sizes[-1] == 975
+        assert (sizes[:-1] == 1).all()
+
+    def test_needle_validation(self, rng):
+        with pytest.raises(DataGenerationError):
+            needle_column(10, 10, rng=rng)
+
+
+class TestColumnWithDistinct:
+    @pytest.mark.parametrize("distinct", [1, 7, 100, 5000])
+    @pytest.mark.parametrize("z", [0.0, 0.5, 1.5, 3.0])
+    def test_exact_distinct_and_rows(self, rng, distinct, z):
+        column = column_with_distinct(10_000, distinct, z=z, rng=rng)
+        assert column.n_rows == 10_000
+        assert column.distinct_count == distinct
+
+    def test_near_unique_column(self, rng):
+        column = column_with_distinct(10_000, 9_990, z=0.1, rng=rng)
+        assert column.distinct_count == 9_990
+        assert column.class_sizes.sum() == 10_000
+
+    def test_skew_shapes_head(self, rng):
+        flat = column_with_distinct(10_000, 100, z=0.0, rng=rng)
+        skewed = column_with_distinct(10_000, 100, z=2.0, rng=rng)
+        assert skewed.class_sizes.max() > 2 * flat.class_sizes.max()
+
+    def test_validation(self, rng):
+        with pytest.raises(DataGenerationError):
+            column_with_distinct(10, 11, rng=rng)
+        with pytest.raises(DataGenerationError):
+            column_with_distinct(10, 5, z=-1.0, rng=rng)
+
+
+class TestClusteredColumn:
+    def test_runs_are_consecutive(self):
+        from repro.data import clustered_column
+
+        column = clustered_column(1000, 10)
+        values = column.values
+        # Each value occupies exactly one contiguous run.
+        changes = int((values[1:] != values[:-1]).sum())
+        assert changes == 9
+        assert column.distinct_count == 10
+
+    def test_remainder_absorbed(self):
+        from repro.data import clustered_column
+
+        column = clustered_column(103, 10)
+        assert column.n_rows == 103
+        assert column.class_sizes.sum() == 103
+        assert column.class_sizes.max() - column.class_sizes.min() <= 1
+
+    def test_validation(self):
+        from repro.data import clustered_column
+        from repro.errors import DataGenerationError
+        import pytest as _pytest
+
+        with _pytest.raises(DataGenerationError):
+            clustered_column(5, 6)

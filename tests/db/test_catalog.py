@@ -1,0 +1,143 @@
+"""Tests for the system catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConfidenceInterval
+from repro.db import Catalog, ColumnStatistics, Table
+from repro.errors import CatalogError
+
+
+def _catalog() -> tuple[Catalog, Table]:
+    table = Table(name="t", columns={"a": np.arange(100)})
+    catalog = Catalog()
+    catalog.register(table)
+    return catalog, table
+
+
+def _stats(**overrides) -> ColumnStatistics:
+    defaults = dict(
+        table="t",
+        column="a",
+        n_rows=100,
+        distinct_estimate=40.0,
+        sample_size=10,
+        estimator="GEE",
+        interval=ConfidenceInterval(10, 90),
+    )
+    defaults.update(overrides)
+    return ColumnStatistics(**defaults)
+
+
+class TestTables:
+    def test_register_and_lookup(self):
+        catalog, table = _catalog()
+        assert catalog.table("t") is table
+        assert len(catalog) == 1
+
+    def test_unknown_table(self):
+        catalog, _ = _catalog()
+        with pytest.raises(CatalogError):
+            catalog.table("missing")
+
+
+class TestStatistics:
+    def test_roundtrip(self):
+        catalog, _ = _catalog()
+        stats = _stats()
+        catalog.put_statistics(stats)
+        assert catalog.column_statistics("t", "a") is stats
+        assert catalog.distinct_count("t", "a") == 40.0
+        assert catalog.has_statistics("t", "a")
+
+    def test_missing_statistics(self):
+        catalog, _ = _catalog()
+        assert not catalog.has_statistics("t", "a")
+        with pytest.raises(CatalogError):
+            catalog.column_statistics("t", "a")
+
+    def test_rejects_unregistered_table(self):
+        catalog, _ = _catalog()
+        with pytest.raises(CatalogError):
+            catalog.put_statistics(_stats(table="other"))
+
+    def test_rejects_unknown_column(self):
+        catalog, _ = _catalog()
+        with pytest.raises(CatalogError):
+            catalog.put_statistics(_stats(column="nope"))
+
+
+class TestColumnStatistics:
+    def test_derived_quantities(self):
+        stats = _stats()
+        assert stats.sampling_fraction == pytest.approx(0.1)
+        assert stats.density == pytest.approx(100 / 40)
+
+    def test_density_degenerate(self):
+        stats = _stats(distinct_estimate=0.0)
+        assert stats.density == 100
+
+
+class TestStaleness:
+    def test_fresh_statistics(self):
+        catalog, _ = _catalog()
+        catalog.put_statistics(_stats())
+        assert catalog.staleness("t", "a") == 0.0
+
+    def test_drift_after_growth(self):
+        catalog, _ = _catalog()
+        # Statistics collected when the table had 50 rows; it now has 100.
+        catalog.put_statistics(_stats(n_rows=50))
+        assert catalog.staleness("t", "a") == pytest.approx(1.0)
+
+    def test_degenerate_n(self):
+        catalog, _ = _catalog()
+        catalog.put_statistics(_stats(n_rows=0))
+        assert catalog.staleness("t", "a") == float("inf")
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        catalog, _ = _catalog()
+        catalog.put_statistics(_stats())
+        path = tmp_path / "stats.json"
+        catalog.save_statistics(path)
+
+        fresh, _ = _catalog()
+        assert fresh.load_statistics(path) == 1
+        loaded = fresh.column_statistics("t", "a")
+        assert loaded.distinct_estimate == 40.0
+        assert loaded.interval.lower == 10
+        assert loaded.interval.upper == 90
+        assert loaded.estimator == "GEE"
+
+    def test_roundtrip_without_interval(self, tmp_path):
+        catalog, _ = _catalog()
+        catalog.put_statistics(_stats(interval=None))
+        path = tmp_path / "stats.json"
+        catalog.save_statistics(path)
+        fresh, _ = _catalog()
+        fresh.load_statistics(path)
+        assert fresh.column_statistics("t", "a").interval is None
+
+    def test_strict_rejects_unknown_table(self, tmp_path):
+        catalog, _ = _catalog()
+        catalog.put_statistics(_stats())
+        path = tmp_path / "stats.json"
+        catalog.save_statistics(path)
+
+        empty = Catalog()
+        with pytest.raises(CatalogError):
+            empty.load_statistics(path)
+        assert empty.load_statistics(path, strict=False) == 0
+
+    def test_missing_and_malformed_files(self, tmp_path):
+        catalog, _ = _catalog()
+        with pytest.raises(CatalogError):
+            catalog.load_statistics(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(CatalogError):
+            catalog.load_statistics(bad)

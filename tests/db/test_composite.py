@@ -1,0 +1,127 @@
+"""Tests for composite-key distinct estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AE, ratio_error
+from repro.db import Table
+from repro.db.composite import (
+    composite_upper_bound,
+    composite_values,
+    correlation_ratio,
+    estimate_composite_distinct,
+)
+from repro.errors import InvalidParameterError
+
+
+def _table(rng, n=100_000) -> Table:
+    region = rng.integers(0, 20, size=n)
+    return Table(
+        name="t",
+        columns={
+            "region": region,
+            # 'city' is determined by region (5 cities per region):
+            # fully correlated columns.
+            "city": region * 5 + rng.integers(0, 5, size=n),
+            # 'order' is independent of both.
+            "order": rng.integers(0, 1000, size=n),
+        },
+    )
+
+
+class TestCompositeValues:
+    def test_equal_tuples_equal_packed(self, rng):
+        table = _table(rng, n=1000)
+        packed = composite_values(table, ["region", "city"])
+        rows = list(zip(table.column("region"), table.column("city")))
+        seen: dict[tuple, int] = {}
+        for row, value in zip(rows, packed):
+            if row in seen:
+                assert seen[row] == value
+            seen[row] = value
+
+    def test_distinct_tuples_distinct_packed(self, rng):
+        table = _table(rng)
+        packed = composite_values(table, ["region", "city", "order"])
+        true_tuples = len(
+            set(
+                zip(
+                    table.column("region"),
+                    table.column("city"),
+                    table.column("order"),
+                )
+            )
+        )
+        assert np.unique(packed).size == true_tuples
+
+    def test_column_order_matters(self, rng):
+        table = _table(rng, n=100)
+        a = composite_values(table, ["region", "order"])
+        b = composite_values(table, ["order", "region"])
+        assert not np.array_equal(a, b)
+
+    def test_single_column_ok(self, rng):
+        table = _table(rng, n=100)
+        packed = composite_values(table, ["region"])
+        assert np.unique(packed).size == np.unique(table.column("region")).size
+
+    def test_requires_columns(self, rng):
+        with pytest.raises(InvalidParameterError):
+            composite_values(_table(rng, n=10), [])
+
+
+class TestEstimation:
+    def test_estimate_near_truth(self, rng):
+        table = _table(rng)
+        truth = len(set(zip(table.column("region"), table.column("city"))))
+        estimate = estimate_composite_distinct(
+            table, ["region", "city"], rng, estimator=AE(), fraction=0.05
+        )
+        assert ratio_error(estimate.value, truth) < 1.5
+
+    def test_fraction_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            estimate_composite_distinct(
+                _table(rng, n=100), ["region"], rng, fraction=0.0
+            )
+
+
+class TestIndependenceCap:
+    def test_cap_formula(self, rng):
+        table = _table(rng)
+        cap = composite_upper_bound(table, ["region", "city"], [20, 100])
+        assert cap == 2000.0
+
+    def test_capped_at_rows(self, rng):
+        table = _table(rng, n=500)
+        cap = composite_upper_bound(table, ["a", "b"], [1000, 1000])
+        assert cap == 500.0
+
+    def test_validation(self, rng):
+        table = _table(rng, n=100)
+        with pytest.raises(InvalidParameterError):
+            composite_upper_bound(table, ["a"], [1, 2])
+        with pytest.raises(InvalidParameterError):
+            composite_upper_bound(table, ["a"], [0])
+
+    def test_correlated_columns_sit_below_cap(self, rng):
+        """The module's point: city is determined by region, so the true
+        composite count (100) is 20x below the independence cap (2000)."""
+        table = _table(rng)
+        truth = len(set(zip(table.column("region"), table.column("city"))))
+        cap = composite_upper_bound(table, ["region", "city"], [20, 100])
+        assert truth <= cap / 10
+        ratio = correlation_ratio(truth, [20, 100], table.n_rows)
+        assert ratio < 0.1
+
+    def test_independent_columns_near_cap(self, rng):
+        table = _table(rng)
+        truth = len(set(zip(table.column("region"), table.column("order"))))
+        ratio = correlation_ratio(truth, [20, 1000], table.n_rows)
+        assert ratio > 0.9
+
+    def test_ratio_validation(self):
+        with pytest.raises(InvalidParameterError):
+            correlation_ratio(0.0, [10], 100)

@@ -1,0 +1,108 @@
+"""Property-based tests: the executor against brute-force references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Catalog, ColumnStatistics, JoinPredicate, Table
+from repro.db.engine import ExecutionStats, hash_aggregate, hash_join, sort_aggregate
+from repro.db.optimizer import choose_join_order, enumerate_left_deep_plans
+
+key_arrays = st.lists(
+    st.integers(min_value=0, max_value=8), min_size=1, max_size=60
+).map(lambda values: np.array(values, dtype=np.int64))
+
+
+class TestHashJoinFuzz:
+    @settings(deadline=None, max_examples=50)
+    @given(left_keys=key_arrays, right_keys=key_arrays)
+    def test_matches_nested_loop_reference(self, left_keys, right_keys):
+        left = {"l.k": left_keys, "l.row": np.arange(left_keys.size)}
+        right = {"r.k": right_keys, "r.row": np.arange(right_keys.size)}
+        joined = hash_join(left, right, "l.k", "r.k", ExecutionStats())
+        # Brute force: every matching pair, as a multiset.
+        expected = sorted(
+            (int(lk), int(lr), int(rr))
+            for lr, lk in enumerate(left_keys)
+            for rr, rk in enumerate(right_keys)
+            if lk == rk
+        )
+        produced = sorted(
+            zip(
+                joined["l.k"].tolist(),
+                joined["l.row"].tolist(),
+                joined["r.row"].tolist(),
+            )
+        )
+        assert produced == expected
+
+    @settings(deadline=None, max_examples=30)
+    @given(left_keys=key_arrays, right_keys=key_arrays)
+    def test_join_is_symmetric_in_size(self, left_keys, right_keys):
+        a = hash_join(
+            {"l.k": left_keys}, {"r.k": right_keys}, "l.k", "r.k", ExecutionStats()
+        )
+        b = hash_join(
+            {"r.k": right_keys}, {"l.k": left_keys}, "r.k", "l.k", ExecutionStats()
+        )
+        assert a["l.k"].size == b["l.k"].size
+
+
+class TestAggregateFuzz:
+    @settings(deadline=None, max_examples=50)
+    @given(keys=key_arrays)
+    def test_hash_and_sort_always_agree(self, keys):
+        a = hash_aggregate({"t.g": keys}, "t.g", ExecutionStats())
+        b = sort_aggregate({"t.g": keys}, "t.g", ExecutionStats())
+        assert np.array_equal(a["t.g"], b["t.g"])
+        assert np.array_equal(a["count"], b["count"])
+        assert int(a["count"].sum()) == keys.size
+
+
+def _random_catalog(rng: np.random.Generator, n_tables: int) -> tuple[Catalog, list]:
+    catalog = Catalog()
+    names = [f"t{i}" for i in range(n_tables)]
+    for name in names:
+        rows = int(rng.integers(10, 500))
+        catalog.register(
+            Table(name=name, columns={"k": rng.integers(0, 20, size=rows)})
+        )
+        catalog.put_statistics(
+            ColumnStatistics(
+                table=name,
+                column="k",
+                n_rows=rows,
+                distinct_estimate=float(rng.integers(1, 21)),
+                sample_size=rows,
+                estimator="fuzz",
+            )
+        )
+    # A connected chain of predicates.
+    predicates = [
+        JoinPredicate(names[i], "k", names[i + 1], "k")
+        for i in range(n_tables - 1)
+    ]
+    return catalog, predicates
+
+
+class TestOptimizerFuzz:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        seed=st.integers(0, 2**31),
+        n_tables=st.integers(min_value=2, max_value=4),
+    )
+    def test_plan_enumeration_invariants(self, seed, n_tables):
+        rng = np.random.default_rng(seed)
+        catalog, predicates = _random_catalog(rng, n_tables)
+        plans = enumerate_left_deep_plans(catalog, predicates)
+        tables = {f"t{i}" for i in range(n_tables)}
+        best = choose_join_order(catalog, predicates)
+        assert best.cost == min(plan.cost for plan in plans)
+        for plan in plans:
+            assert set(plan.order) == tables
+            assert plan.cost >= 0.0
+            assert len(plan.intermediate_cardinalities) == n_tables - 1
+            assert all(c >= 0 for c in plan.intermediate_cardinalities)

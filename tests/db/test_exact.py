@@ -1,0 +1,45 @@
+"""Tests for the exact full-scan counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import zipf_column
+from repro.db import exact_distinct_hash, exact_distinct_sort
+from repro.errors import InvalidParameterError
+
+
+class TestExactCounts:
+    def test_simple(self):
+        data = np.array([3, 1, 4, 1, 5, 9, 2, 6, 5, 3])
+        assert exact_distinct_sort(data) == 7
+        assert exact_distinct_hash(data) == 7
+
+    def test_single_value(self):
+        data = np.zeros(100, dtype=np.int64)
+        assert exact_distinct_sort(data) == 1
+        assert exact_distinct_hash(data) == 1
+
+    def test_agree_on_generated_data(self, rng):
+        column = zipf_column(100_000, z=1.0, duplication=10, rng=rng)
+        truth = column.distinct_count
+        assert exact_distinct_sort(column.values) == truth
+        assert exact_distinct_hash(column.values) == truth
+
+    def test_chunking_boundaries(self):
+        data = np.arange(1000) % 37
+        for chunk in (1, 7, 999, 1000, 5000):
+            assert exact_distinct_hash(data, chunk_size=chunk) == 37
+
+    def test_chunk_validation(self):
+        with pytest.raises(InvalidParameterError):
+            exact_distinct_hash(np.arange(10), chunk_size=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=500))
+    def test_matches_python_set(self, values):
+        data = np.array(values)
+        assert exact_distinct_sort(data) == len(set(values))
+        assert exact_distinct_hash(data, chunk_size=64) == len(set(values))

@@ -1,0 +1,113 @@
+"""Tests for the sample-built equi-depth histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AE
+from repro.data import uniform_column, zipf_column
+from repro.db.histogram import EquiDepthHistogram
+from repro.errors import InvalidParameterError
+from repro.sampling import UniformWithoutReplacement
+
+
+def _histogram(rng, column, fraction=0.05, buckets=10, estimator=None):
+    sample = UniformWithoutReplacement().sample(column.values, rng, fraction=fraction)
+    return EquiDepthHistogram.from_sample(
+        sample, column.n_rows, bucket_count=buckets, estimator=estimator
+    )
+
+
+class TestConstruction:
+    def test_bucket_fractions_sum_to_one(self, rng):
+        column = uniform_column(100_000, 1000, rng=rng)
+        histogram = _histogram(rng, column)
+        assert sum(b.row_fraction for b in histogram.buckets) == pytest.approx(1.0)
+
+    def test_equi_depth_property(self, rng):
+        column = uniform_column(100_000, 5000, rng=rng)
+        histogram = _histogram(rng, column, buckets=8)
+        fractions = [b.row_fraction for b in histogram.buckets]
+        # Depths within 3x of each other on smooth data.
+        assert max(fractions) < 3 * min(fractions)
+
+    def test_boundaries_ordered_and_disjoint(self, rng):
+        column = zipf_column(100_000, z=1.0, rng=rng)
+        histogram = _histogram(rng, column)
+        for left, right in zip(histogram.buckets, histogram.buckets[1:]):
+            assert left.high <= right.low
+
+    def test_heavy_value_confined_to_one_bucket(self, rng):
+        # One value holding 60% of rows: equal values must not straddle.
+        column = zipf_column(100_000, z=2.0, rng=rng)
+        histogram = _histogram(rng, column, buckets=10)
+        assert len(histogram) <= 10
+
+    def test_validation(self, rng):
+        column = uniform_column(1000, 100, rng=rng)
+        sample = column.values[:100]
+        with pytest.raises(InvalidParameterError):
+            EquiDepthHistogram.from_sample(sample, 1000, bucket_count=0)
+        with pytest.raises(InvalidParameterError):
+            EquiDepthHistogram.from_sample(sample, 50)  # n < sample
+        with pytest.raises(InvalidParameterError):
+            EquiDepthHistogram.from_sample(np.array([]), 100)
+        with pytest.raises(InvalidParameterError):
+            EquiDepthHistogram.from_sample(
+                np.array(["a", "b"], dtype=object), 100
+            )
+
+
+class TestDistinctEstimates:
+    def test_column_estimate_near_truth_uniform(self, rng):
+        column = uniform_column(200_000, 2000, rng=rng)
+        histogram = _histogram(rng, column, fraction=0.05, estimator=AE())
+        truth = column.distinct_count
+        assert truth / 2 <= histogram.distinct_estimate <= truth * 2
+
+    def test_capped_at_population(self, rng):
+        column = uniform_column(1000, 1000, rng=rng)
+        histogram = _histogram(rng, column, fraction=0.5)
+        assert histogram.distinct_estimate <= 1000
+
+
+class TestSelectivity:
+    def test_full_range_is_everything(self, rng):
+        column = uniform_column(100_000, 1000, rng=rng)
+        histogram = _histogram(rng, column)
+        low = histogram.buckets[0].low
+        high = histogram.buckets[-1].high
+        assert histogram.range_selectivity(low, high) == pytest.approx(1.0)
+
+    def test_half_range_on_uniform_values(self, rng):
+        # Values 0..999 uniformly: [0, 499] holds ~half the rows.
+        column = uniform_column(200_000, 1000, rng=rng)
+        histogram = _histogram(rng, column, fraction=0.1)
+        estimate = histogram.range_selectivity(0, 499)
+        assert estimate == pytest.approx(0.5, abs=0.08)
+
+    def test_empty_range_validation(self, rng):
+        column = uniform_column(1000, 10, rng=rng)
+        histogram = _histogram(rng, column, fraction=0.5)
+        with pytest.raises(InvalidParameterError):
+            histogram.range_selectivity(5, 4)
+
+    def test_out_of_domain_equality_is_zero(self, rng):
+        column = uniform_column(10_000, 100, rng=rng)
+        histogram = _histogram(rng, column, fraction=0.2)
+        assert histogram.equality_selectivity(-1e9) == 0.0
+
+    def test_equality_selectivity_near_truth(self, rng):
+        # Uniform 1000 values: each value holds ~1/1000 of the rows.
+        column = uniform_column(200_000, 1000, rng=rng)
+        histogram = _histogram(rng, column, fraction=0.1, estimator=AE())
+        estimate = histogram.equality_selectivity(500)
+        assert estimate == pytest.approx(1 / 1000, rel=0.6)
+
+    def test_heavy_hitter_selectivity(self, rng):
+        # Zipf-2: value 0 holds the majority of rows; equality
+        # selectivity for it should be large.
+        column = zipf_column(100_000, z=2.0, rng=rng)
+        histogram = _histogram(rng, column, fraction=0.1)
+        assert histogram.equality_selectivity(0) > 0.05

@@ -1,0 +1,84 @@
+"""Tests for the sampling I/O cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.iocost import (
+    expected_pages_row_sampling,
+    io_cost_summary,
+    pages_block_sampling,
+    pages_in_table,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestFormulas:
+    def test_pages_in_table(self):
+        assert pages_in_table(1000, 100) == 10
+        assert pages_in_table(1001, 100) == 11
+        assert pages_in_table(1, 100) == 1
+
+    def test_block_pages(self):
+        assert pages_block_sampling(10_000, 250, 100) == 3
+
+    def test_coupon_collector_headline(self):
+        # 1M rows, 100/page, 1% row sample: ~63% of pages touched.
+        fraction = (
+            expected_pages_row_sampling(1_000_000, 10_000, 100) / 10_000
+        )
+        assert fraction == pytest.approx(1 - np.exp(-1), abs=0.01)
+
+    def test_tiny_sample_one_page_per_row(self):
+        # r << P: every sampled row is on its own page.
+        pages = expected_pages_row_sampling(1_000_000, 10, 100)
+        assert pages == pytest.approx(10.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            pages_in_table(0, 100)
+        with pytest.raises(InvalidParameterError):
+            expected_pages_row_sampling(100, 0, 10)
+        with pytest.raises(InvalidParameterError):
+            pages_block_sampling(100, 200, 10)
+
+
+class TestSummary:
+    def test_orderings(self):
+        summary = io_cost_summary(1_000_000, 10_000, page_size=100)
+        # Block sampling is the cheapest, row sampling in between (or up
+        # to a full scan), the scan is everything.
+        assert (
+            summary["block_sampling_pages"]
+            <= summary["row_sampling_pages"]
+            <= summary["total_pages"]
+        )
+        assert summary["block_sampling_fraction"] == pytest.approx(0.01)
+        assert summary["row_sampling_fraction"] > 0.6
+
+    def test_monte_carlo_agreement(self, rng):
+        n, r, page = 20_000, 500, 50
+        pages_touched = []
+        for _ in range(200):
+            rows = rng.choice(n, size=r, replace=False)
+            pages_touched.append(len(np.unique(rows // page)))
+        assert np.mean(pages_touched) == pytest.approx(
+            expected_pages_row_sampling(n, r, page), rel=0.03
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        n=st.integers(min_value=10, max_value=10**7),
+        r_frac=st.floats(min_value=0.001, max_value=1.0),
+        page=st.integers(min_value=1, max_value=1000),
+    )
+    def test_bounds_always_hold(self, n, r_frac, page):
+        r = max(1, min(n, round(r_frac * n)))
+        total = pages_in_table(n, page)
+        row = expected_pages_row_sampling(n, r, page)
+        block = pages_block_sampling(n, r, page)
+        assert 1 <= block <= total
+        assert 0 < row <= total + 1e-9

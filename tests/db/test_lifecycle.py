@@ -1,0 +1,107 @@
+"""End-to-end lifecycle: generate → ANALYZE → persist → reload → decide.
+
+One test class walks the whole production flow the library supports,
+the way a downstream system would wire it together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AE
+from repro.data import column_with_distinct, zipf_column
+from repro.db import (
+    Catalog,
+    EquiDepthHistogram,
+    FilterSpec,
+    JoinPredicate,
+    Table,
+    analyze,
+    attach_histogram,
+    choose_aggregate_strategy,
+    choose_join_order,
+    estimate_selectivity,
+    execute_join_plan,
+    execute_sql,
+)
+from repro.sampling import UniformWithoutReplacement
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = np.random.default_rng(99)
+    n = 200_000
+    orders = Table(
+        name="orders",
+        columns={
+            "customer": column_with_distinct(n, 20_000, z=1.0, rng=rng).values,
+            "product": zipf_column(n, z=0.0, duplication=n // 400, rng=rng).values,
+            "amount": rng.integers(0, 1000, size=n),
+        },
+    )
+    customers = Table(name="customers", columns={"id": np.arange(20_000)})
+    catalog = Catalog()
+    catalog.register(orders)
+    catalog.register(customers)
+    return catalog, rng
+
+
+class TestLifecycle:
+    def test_full_cycle(self, world, tmp_path):
+        catalog, rng = world
+
+        # 1. ANALYZE everything with AE at 2%.
+        collected = analyze(catalog, "orders", rng, estimator=AE(), fraction=0.02)
+        analyze(catalog, "customers", rng, fraction=0.05)
+        assert len(collected) == 3
+
+        # 2. Build and attach a histogram for the filter column.
+        sample = UniformWithoutReplacement().sample(
+            catalog.table("orders").column("amount"), rng, fraction=0.02
+        )
+        attach_histogram(
+            catalog,
+            "orders",
+            "amount",
+            EquiDepthHistogram.from_sample(sample, catalog.table("orders").n_rows),
+        )
+
+        # 3. Persist and reload into a fresh catalog over the same tables.
+        path = tmp_path / "stats.json"
+        catalog.save_statistics(path)
+        reloaded = Catalog()
+        reloaded.register(catalog.table("orders"))
+        reloaded.register(catalog.table("customers"))
+        assert reloaded.load_statistics(path) == 4
+        assert reloaded.staleness("orders", "customer") == 0.0
+
+        # 4. The reloaded statistics drive sane decisions.
+        product_estimate = reloaded.distinct_count("orders", "product")
+        assert 200 <= product_estimate <= 800  # truth: 400
+        assert (
+            choose_aggregate_strategy(reloaded, "orders", "product", 1000) == "hash"
+        )
+        assert (
+            choose_aggregate_strategy(reloaded, "orders", "customer", 1000) == "sort"
+        )
+
+        # 5. Join planning + execution agree with the statistics.
+        predicates = [JoinPredicate("orders", "customer", "customers", "id")]
+        plan = choose_join_order(reloaded, predicates)
+        _, stats = execute_join_plan(reloaded, plan, predicates)
+        assert stats.rows_output == catalog.table("orders").n_rows
+
+        # 6. Selectivity from the original catalog's histogram is sane.
+        selectivity = estimate_selectivity(
+            catalog, FilterSpec("orders", "amount", "<", 500)
+        )
+        assert selectivity == pytest.approx(0.5, abs=0.1)
+
+        # 7. And the SQL surface sees it all.
+        result = execute_sql(
+            catalog,
+            "SELECT COUNT(DISTINCT product) FROM orders SAMPLE 5% USING AE",
+            rng,
+        )
+        assert 300 <= result.value <= 500

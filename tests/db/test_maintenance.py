@@ -1,0 +1,120 @@
+"""Tests for incremental statistics maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AE
+from repro.db import Catalog, Table
+from repro.db.maintenance import MaintainedStatistics
+from repro.errors import InvalidParameterError
+
+
+def _registered_catalog(n: int) -> Catalog:
+    catalog = Catalog()
+    catalog.register(Table(name="events", columns={"user": np.zeros(n)}))
+    return catalog
+
+
+class TestAppendPath:
+    def test_counts_rows(self, rng):
+        maintained = MaintainedStatistics("events", "user", 100, rng)
+        maintained.append(np.arange(40))
+        maintained.append(np.arange(25))
+        assert maintained.rows_seen == 65
+
+    def test_small_stream_exact(self, rng):
+        maintained = MaintainedStatistics("events", "user", 1000, rng)
+        maintained.append(np.arange(100) % 7)
+        estimate = maintained.current_estimate()
+        assert estimate.value == 7  # full data in reservoir: exact
+
+    def test_estimate_tracks_growth(self, rng):
+        maintained = MaintainedStatistics("events", "user", 2000, rng, estimator=AE())
+        # Phase 1: 10 distinct users.
+        maintained.append(rng.integers(0, 10, size=20_000))
+        early = maintained.current_estimate().value
+        # Phase 2: 5000 new users arrive.
+        maintained.append(rng.integers(10, 5010, size=80_000))
+        late = maintained.current_estimate().value
+        assert late > 5 * early
+
+    def test_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            MaintainedStatistics("t", "c", 0, rng)
+        maintained = MaintainedStatistics("t", "c", 10, rng)
+        with pytest.raises(InvalidParameterError):
+            maintained.append(np.zeros((2, 2)))
+        with pytest.raises(InvalidParameterError):
+            maintained.current_estimate()
+
+
+class TestPublishAndDrift:
+    def test_publish_writes_catalog(self, rng):
+        catalog = _registered_catalog(50_000)
+        maintained = MaintainedStatistics("events", "user", 500, rng)
+        maintained.append(rng.integers(0, 100, size=50_000))
+        stats = maintained.publish(catalog)
+        assert catalog.has_statistics("events", "user")
+        assert stats.n_rows == 50_000
+        assert stats.sample_size == 500
+
+    def test_drift_one_after_publish(self, rng):
+        catalog = _registered_catalog(10_000)
+        maintained = MaintainedStatistics("events", "user", 500, rng)
+        maintained.append(rng.integers(0, 100, size=10_000))
+        maintained.publish(catalog)
+        assert maintained.drift() == pytest.approx(1.0)
+        assert not maintained.should_republish()
+
+    def test_drift_grows_with_distribution_shift(self, rng):
+        catalog = _registered_catalog(10_000)
+        maintained = MaintainedStatistics("events", "user", 1000, rng)
+        maintained.append(rng.integers(0, 50, size=10_000))
+        maintained.publish(catalog)
+        # A flood of fresh users: the live estimate should drift far
+        # beyond the published one.
+        maintained.append(np.arange(1_000_000, 1_050_000))
+        assert maintained.drift() > 2.0
+        assert maintained.should_republish(max_drift=1.5)
+
+    def test_unpublished_drift_is_infinite(self, rng):
+        maintained = MaintainedStatistics("events", "user", 10, rng)
+        maintained.append(np.arange(5))
+        assert maintained.drift() == float("inf")
+        assert maintained.should_republish()
+
+    def test_republish_resets(self, rng):
+        catalog = _registered_catalog(10_000)
+        maintained = MaintainedStatistics("events", "user", 500, rng)
+        maintained.append(rng.integers(0, 50, size=10_000))
+        maintained.publish(catalog)
+        maintained.append(np.arange(500, 10_500))
+        assert maintained.should_republish(max_drift=1.3)
+        maintained.publish(catalog)
+        assert maintained.drift() == pytest.approx(1.0)
+
+    def test_drift_threshold_validation(self, rng):
+        maintained = MaintainedStatistics("events", "user", 10, rng)
+        with pytest.raises(InvalidParameterError):
+            maintained.should_republish(max_drift=1.0)
+
+
+class TestReservoirUniformity:
+    def test_matches_batch_distribution(self, rng):
+        """Appending in many batches gives the same expected sample
+        distinct count as one-shot sampling."""
+        from repro.sampling import UniformWithoutReplacement
+
+        column = rng.integers(0, 300, size=30_000)
+        r, runs = 600, 50
+        streamed, batch = 0, 0
+        sampler = UniformWithoutReplacement()
+        for _ in range(runs):
+            maintained = MaintainedStatistics("t", "c", r, rng)
+            for start in range(0, column.size, 4096):
+                maintained.append(column[start : start + 4096])
+            streamed += len(np.unique(maintained._reservoir.values()))
+            batch += sampler.profile(column, rng, size=r).distinct
+        assert streamed / runs == pytest.approx(batch / runs, rel=0.03)

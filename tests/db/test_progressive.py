@@ -1,0 +1,74 @@
+"""Tests for progressive ANALYZE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import all_distinct_column, uniform_column, zipf_column
+from repro.db.progressive import progressive_analyze
+from repro.errors import InvalidParameterError
+
+
+class TestStoppingRule:
+    def test_easy_column_certifies_quickly(self, rng):
+        # Heavily duplicated column: the interval collapses fast.
+        column = uniform_column(200_000, 200, rng=rng)
+        result = progressive_analyze(column.values, rng, target_ratio=2.0)
+        assert result.certified
+        assert result.final.certified_ratio <= 2.0
+        assert result.rows_read < 0.25 * column.n_rows
+
+    def test_impossible_column_exhausts_budget(self, rng):
+        # All-distinct column: Theorem 1 keeps the certificate wide.
+        column = all_distinct_column(100_000)
+        result = progressive_analyze(
+            column.values, rng, target_ratio=1.5, max_fraction=0.05
+        )
+        assert not result.certified
+        assert result.rows_read == round(0.05 * column.n_rows)
+
+    def test_stages_double(self, rng):
+        column = zipf_column(100_000, z=1.0, duplication=10, rng=rng)
+        result = progressive_analyze(
+            column.values, rng, target_ratio=1.2, initial_fraction=0.001
+        )
+        sizes = [stage.sample_size for stage in result.stages]
+        for previous, current in zip(sizes, sizes[1:]):
+            assert current <= 2 * previous
+            assert current > previous
+
+    def test_certificate_honest(self, rng):
+        """Whenever certification succeeds, the truth really is within
+        the certified ratio of the estimate."""
+        column = uniform_column(100_000, 1000, rng=rng)
+        for _ in range(5):
+            result = progressive_analyze(column.values, rng, target_ratio=2.0)
+            if not result.certified:
+                continue
+            stage = result.final
+            assert stage.interval.contains(column.distinct_count)
+            truth = column.distinct_count
+            geometric = np.sqrt(stage.interval.lower * stage.interval.upper)
+            ratio = max(geometric / truth, truth / geometric)
+            assert ratio <= result.target_ratio * 1.0001
+
+    def test_tighter_targets_read_more(self, rng):
+        column = uniform_column(200_000, 2000, rng=rng)
+        loose = progressive_analyze(column.values, rng, target_ratio=4.0)
+        tight = progressive_analyze(column.values, rng, target_ratio=1.3)
+        assert tight.rows_read >= loose.rows_read
+
+
+class TestValidation:
+    def test_bad_target(self, rng):
+        with pytest.raises(InvalidParameterError):
+            progressive_analyze(np.arange(100), rng, target_ratio=1.0)
+
+    def test_bad_fractions(self, rng):
+        with pytest.raises(InvalidParameterError):
+            progressive_analyze(
+                np.arange(100), rng, initial_fraction=0.5, max_fraction=0.1
+            )
+        with pytest.raises(InvalidParameterError):
+            progressive_analyze(np.arange(100), rng, initial_fraction=0.0)

@@ -1,0 +1,86 @@
+"""Property-based fuzzing of the micro-SQL front end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Catalog, Table
+from repro.db.sql import execute_sql
+from repro.errors import InvalidParameterError, ReproError
+
+
+def _catalog(seed: int = 0) -> Catalog:
+    rng = np.random.default_rng(seed)
+    table = Table(
+        name="t",
+        columns={
+            "a": rng.integers(0, 50, size=3000),
+            "b": rng.integers(-10, 10, size=3000),
+        },
+    )
+    registry = Catalog()
+    registry.register(table)
+    return registry
+
+
+CATALOG = _catalog()
+
+estimators = st.sampled_from(["GEE", "AE", "DUJ2A", "HYBGEE", "SJ", "Chao84"])
+ops = st.sampled_from(["<", "<=", ">", ">=", "=", "==", "!="])
+
+
+class TestGeneratedStatements:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        column=st.sampled_from(["a", "b"]),
+        percent=st.integers(min_value=1, max_value=100),
+        estimator=estimators,
+        seed=st.integers(0, 2**31),
+    )
+    def test_sampled_statements_always_sane(self, column, percent, estimator, seed):
+        rng = np.random.default_rng(seed)
+        statement = (
+            f"SELECT COUNT(DISTINCT {column}) FROM t "
+            f"SAMPLE {percent}% USING {estimator}"
+        )
+        result = execute_sql(CATALOG, statement, rng)
+        truth = len(np.unique(CATALOG.table("t").column(column)))
+        assert 1 <= result.value <= 3000
+        if result.interval is not None:
+            assert result.interval.lower <= result.value <= result.interval.upper
+            assert result.interval.contains(truth)
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        column=st.sampled_from(["a", "b"]),
+        wcol=st.sampled_from(["a", "b"]),
+        op=ops,
+        value=st.integers(min_value=-15, max_value=60),
+    )
+    def test_exact_filtered_statements_match_numpy(self, column, wcol, op, value):
+        statement = (
+            f"SELECT COUNT(DISTINCT {column}) FROM t WHERE {wcol} {op} {value}"
+        )
+        data = CATALOG.table("t")
+        mask_ops = {
+            "<": np.less, "<=": np.less_equal, ">": np.greater,
+            ">=": np.greater_equal, "=": np.equal, "==": np.equal,
+            "!=": np.not_equal,
+        }
+        mask = mask_ops[op](data.column(wcol), value)
+        expected = len(np.unique(data.column(column)[mask]))
+        result = execute_sql(CATALOG, statement)
+        assert result.value == expected
+
+    @settings(deadline=None, max_examples=30)
+    @given(garbage=st.text(min_size=1, max_size=60))
+    def test_garbage_never_crashes_uncontrolled(self, garbage):
+        try:
+            execute_sql(CATALOG, garbage, np.random.default_rng(0))
+        except ReproError:
+            pass  # the designed failure mode (includes KeyError-based CatalogError)
+        except KeyError:
+            pytest.fail("raw KeyError escaped the SQL layer")

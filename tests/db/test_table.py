@@ -1,0 +1,72 @@
+"""Tests for the Table substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import census
+from repro.db import Table
+from repro.errors import CatalogError, InvalidParameterError
+
+
+def _table() -> Table:
+    return Table(
+        name="t",
+        columns={"a": np.arange(250), "b": np.repeat([1, 2], 125)},
+        page_size=100,
+    )
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        table = _table()
+        assert table.n_rows == 250
+        assert table.n_pages == 3
+        assert table.column_names == ["a", "b"]
+
+    def test_from_dataset(self, rng):
+        dataset = census(rng, scale=0.02)
+        table = Table.from_dataset(dataset)
+        assert table.name == "Census"
+        assert table.n_rows == dataset.n_rows
+        assert set(table.column_names) == set(dataset.column_names)
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(InvalidParameterError):
+            Table(name="t", columns={"a": np.arange(10), "b": np.arange(9)})
+
+    def test_rejects_2d_columns(self):
+        with pytest.raises(InvalidParameterError):
+            Table(name="t", columns={"a": np.zeros((2, 2))})
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(InvalidParameterError):
+            Table(name="t", columns={}, page_size=0)
+
+    def test_empty_table(self):
+        table = Table(name="t")
+        assert table.n_rows == 0
+        assert table.n_pages == 0
+
+
+class TestAccess:
+    def test_column_lookup(self):
+        table = _table()
+        assert table.column("a").size == 250
+        assert "a" in table and "zzz" not in table
+
+    def test_missing_column_raises(self):
+        with pytest.raises(CatalogError):
+            _table().column("zzz")
+
+    def test_page_access(self):
+        table = _table()
+        assert table.page("a", 0).tolist() == list(range(100))
+        assert table.page("a", 2).size == 50  # last partial page
+
+    def test_page_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            _table().page("a", 3)
+        with pytest.raises(InvalidParameterError):
+            _table().page("a", -1)

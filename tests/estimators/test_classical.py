@@ -1,0 +1,134 @@
+"""Tests for the classical species-richness baselines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ratio_error
+from repro.data import uniform_column
+from repro.estimators import (
+    Bootstrap,
+    Chao,
+    ChaoLee,
+    Goodman,
+    HorvitzThompson,
+    NaiveScaleUp,
+    SampleDistinct,
+)
+from repro.frequency import FrequencyProfile
+from repro.sampling import UniformWithoutReplacement
+
+profiles = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=25),
+    values=st.integers(min_value=1, max_value=25),
+    min_size=1,
+    max_size=6,
+).map(FrequencyProfile)
+
+ALL_CLASSICAL = (
+    Chao(),
+    ChaoLee(),
+    Goodman(),
+    Bootstrap(),
+    HorvitzThompson(),
+    NaiveScaleUp(),
+    SampleDistinct(),
+)
+
+
+class TestChao:
+    def test_formula_with_doubletons(self, small_profile):
+        # d + f1^2 / (2 f2) = 5 + 9/2
+        assert Chao().estimate(small_profile, 1000).raw_value == pytest.approx(9.5)
+
+    def test_bias_corrected_without_doubletons(self):
+        profile = FrequencyProfile({1: 4, 3: 1})
+        # d + f1(f1-1)/2 = 5 + 6
+        assert Chao().estimate(profile, 1000).raw_value == pytest.approx(11.0)
+
+
+class TestChaoLee:
+    def test_formula_components(self, small_profile):
+        result = ChaoLee().estimate(small_profile, 1000)
+        assert result.details["coverage"] == pytest.approx(1 - 3 / 9)
+        assert result.details["cv_squared"] >= 0.0
+
+    def test_zero_coverage_clamps_to_population(self, singleton_profile):
+        result = ChaoLee().estimate(singleton_profile, 500)
+        assert result.value == 500
+
+    def test_uniform_data_accuracy(self, rng):
+        column = uniform_column(100_000, 1000, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.05)
+        error = ratio_error(ChaoLee()(profile, column.n_rows), column.distinct_count)
+        assert error < 1.3
+
+
+class TestGoodman:
+    def test_exhaustive_sample_returns_d(self, small_profile):
+        assert Goodman().estimate(small_profile, 9).value == small_profile.distinct
+
+    def test_small_case_unbiased_shape(self):
+        # n=4, r=2, sample = two distinct singletons.
+        profile = FrequencyProfile({1: 2})
+        value = Goodman().estimate(profile, 4).raw_value
+        # coefficients: i=1: (n-r+1)!(r-1)!/((n-r)!r!) = 3/2; i=2: -(4*2)/(2*2)=...
+        # D_hat = d + 1.5*2 = 5 -> clamped to n=4.
+        assert value == pytest.approx(5.0)
+
+    def test_explodes_for_small_samples(self):
+        # The famous pathology: astronomically large alternating
+        # coefficients; the raw value is astronomical (either sign) and
+        # the sanity bounds pin the estimate to [d, n].
+        profile = FrequencyProfile({1: 5, 2: 5, 20: 2})
+        result = Goodman().estimate(profile, 10_000_000)
+        assert abs(result.raw_value) > 1e50
+        assert result.value in (profile.distinct, 10_000_000)
+
+
+class TestBootstrap:
+    def test_formula(self):
+        profile = FrequencyProfile({1: 2, 2: 1})  # r=4, d=3
+        expected = 3 + 2 * (1 - 1 / 4) ** 4 + 1 * (1 - 2 / 4) ** 4
+        assert Bootstrap().estimate(profile, 1000).raw_value == pytest.approx(expected)
+
+    def test_underestimates_at_low_rates(self, rng):
+        column = uniform_column(1_000_000, 100_000, rng=rng)
+        profile = UniformWithoutReplacement().profile(
+            column.values, rng, fraction=0.001
+        )
+        assert Bootstrap()(profile, column.n_rows) < 0.1 * column.distinct_count
+
+
+class TestHorvitzThompson:
+    def test_frequent_classes_count_once(self):
+        profile = FrequencyProfile({50: 3})
+        value = HorvitzThompson().estimate(profile, 1000).raw_value
+        assert value == pytest.approx(3.0, rel=1e-6)
+
+    def test_exhaustive_returns_d(self, small_profile):
+        assert HorvitzThompson().estimate(small_profile, 9).value == 5
+
+
+class TestNaive:
+    def test_scale_up(self, small_profile):
+        assert NaiveScaleUp().estimate(small_profile, 900).raw_value == pytest.approx(
+            5 * 100.0
+        )
+
+    def test_sample_distinct(self, small_profile):
+        assert SampleDistinct().estimate(small_profile, 900).value == 5
+
+
+class TestProperties:
+    @settings(deadline=None)
+    @given(profiles, st.integers(min_value=0, max_value=100_000))
+    def test_sanity_bounds_for_all(self, profile, extra):
+        n = profile.sample_size + extra
+        if profile.distinct > n or profile.max_frequency > n:
+            return
+        for estimator in ALL_CLASSICAL:
+            value = estimator.estimate(profile, n).value
+            assert profile.distinct <= value <= n, estimator.name

@@ -1,0 +1,99 @@
+"""Tests for Good-Turing coverage and Good-Toulmin extrapolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ratio_error
+from repro.data import uniform_column, zipf_column
+from repro.errors import InvalidParameterError
+from repro.estimators.extrapolation import (
+    GoodTuring,
+    good_toulmin_extrapolation,
+)
+from repro.frequency import FrequencyProfile
+from repro.sampling import UniformWithoutReplacement
+
+
+class TestGoodTuring:
+    def test_no_singletons_returns_d(self, uniform_profile):
+        assert GoodTuring().estimate(uniform_profile, 10_000).value == pytest.approx(
+            uniform_profile.distinct
+        )
+
+    def test_accurate_on_uniform(self, rng):
+        column = uniform_column(500_000, 5000, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.01)
+        error = ratio_error(
+            GoodTuring()(profile, column.n_rows), column.distinct_count
+        )
+        assert error < 1.3
+
+    def test_underestimates_skewed(self, rng):
+        column = zipf_column(500_000, z=1.0, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.01)
+        assert GoodTuring()(profile, column.n_rows) < column.distinct_count
+
+    def test_all_singletons_clamps_to_population(self, singleton_profile):
+        assert GoodTuring().estimate(singleton_profile, 200).value == 200
+
+
+class TestGoodToulmin:
+    def test_zero_extension_is_zero(self, small_profile):
+        assert good_toulmin_extrapolation(small_profile, 0.0) == 0.0
+
+    def test_raw_series_hand_computed(self):
+        profile = FrequencyProfile({1: 4, 2: 1})
+        # U(1) = f1 - f2 = 3.
+        assert good_toulmin_extrapolation(
+            profile, 1.0, smoothed=False
+        ) == pytest.approx(3.0)
+
+    def test_never_negative(self):
+        profile = FrequencyProfile({2: 10})  # f1=0: -f2 t^2 < 0, clamp
+        assert good_toulmin_extrapolation(profile, 1.0, smoothed=False) == 0.0
+
+    def test_validation(self, small_profile):
+        with pytest.raises(InvalidParameterError):
+            good_toulmin_extrapolation(small_profile, -0.5)
+        with pytest.raises(InvalidParameterError):
+            good_toulmin_extrapolation(small_profile, 1.0, smoothing_success=1.5)
+        with pytest.raises(InvalidParameterError):
+            good_toulmin_extrapolation(small_profile, 1.0, order=0)
+
+    def test_raw_overflow_guard(self):
+        profile = FrequencyProfile({1: 5, 5000: 1})
+        with pytest.raises(InvalidParameterError):
+            good_toulmin_extrapolation(profile, 3.0, smoothed=False)
+        # The smoothed variant handles the same profile.
+        assert good_toulmin_extrapolation(profile, 3.0) >= 0.0
+
+    def test_doubling_prediction_matches_reality(self, rng):
+        """Predict the new distinct values from doubling the sample,
+        then actually double it and compare."""
+        column = zipf_column(500_000, z=1.0, rng=rng)
+        sampler = UniformWithoutReplacement()
+        r = 5000
+        predictions, actuals = [], []
+        for _ in range(5):
+            rows = sampler.sample(column.values, rng, size=2 * r)
+            first = FrequencyProfile.from_sample(rows[:r])
+            both = FrequencyProfile.from_sample(rows)
+            predictions.append(good_toulmin_extrapolation(first, 1.0))
+            actuals.append(both.distinct - first.distinct)
+        assert np.mean(predictions) == pytest.approx(np.mean(actuals), rel=0.2)
+
+    def test_smoothed_close_to_raw_for_small_t(self, rng):
+        column = zipf_column(100_000, z=1.0, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, size=2000)
+        raw = good_toulmin_extrapolation(profile, 0.5, smoothed=False)
+        smooth = good_toulmin_extrapolation(profile, 0.5, smoothed=True)
+        assert smooth == pytest.approx(raw, rel=0.35)
+
+    def test_more_rows_more_new_values(self, rng):
+        column = zipf_column(100_000, z=1.0, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, size=2000)
+        u1 = good_toulmin_extrapolation(profile, 0.5)
+        u2 = good_toulmin_extrapolation(profile, 1.0)
+        assert u2 >= u1 >= 0.0

@@ -1,0 +1,95 @@
+"""Tests for the HYBSKEW and HYBVAR hybrid baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GEE
+from repro.data import uniform_column, zipf_column
+from repro.errors import InvalidParameterError
+from repro.estimators import (
+    HybridSkew,
+    HybridVariance,
+    Shlosser,
+    SmoothedJackknife,
+)
+from repro.sampling import UniformWithoutReplacement
+
+
+class TestHybridSkew:
+    def test_alpha_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HybridSkew(alpha=0.0)
+        with pytest.raises(InvalidParameterError):
+            HybridSkew(alpha=1.0)
+
+    def test_low_skew_branch(self, rng):
+        column = uniform_column(100_000, 1000, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.02)
+        result = HybridSkew().estimate(profile, column.n_rows)
+        assert result.details["branch"] == "SJ"
+        assert result.value == SmoothedJackknife()(profile, column.n_rows)
+
+    def test_high_skew_branch(self, rng):
+        column = zipf_column(100_000, z=2.0, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.02)
+        result = HybridSkew().estimate(profile, column.n_rows)
+        assert result.details["branch"] == "Shlosser"
+        assert result.value == Shlosser()(profile, column.n_rows)
+
+    def test_chi2_diagnostics_recorded(self, rng):
+        column = zipf_column(50_000, z=1.0, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.02)
+        result = HybridSkew().estimate(profile, column.n_rows)
+        assert result.details["chi2_statistic"] >= 0
+        assert result.details["chi2_critical"] > 0
+
+    def test_branch_injection(self, rng):
+        """HYBGEE's reuse path: the high-skew branch is injectable."""
+        hybrid = HybridSkew(high_skew_estimator=GEE())
+        column = zipf_column(100_000, z=2.0, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.02)
+        result = hybrid.estimate(profile, column.n_rows)
+        assert result.details["branch"] == "GEE"
+
+
+class TestHybridVariance:
+    def test_threshold_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HybridVariance(cv_zero=5.0, cv_high=1.0)
+        with pytest.raises(InvalidParameterError):
+            HybridVariance(cv_zero=-1.0)
+
+    def test_uniform_branch(self, rng):
+        column = uniform_column(200_000, 500, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.05)
+        result = HybridVariance().estimate(profile, column.n_rows)
+        assert result.details["branch"] == "SJ"
+        assert result.details["cv_squared"] <= HybridVariance().cv_zero
+
+    def test_moderate_branch(self, rng):
+        column = zipf_column(200_000, z=1.0, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.02)
+        result = HybridVariance().estimate(profile, column.n_rows)
+        assert result.details["branch"] in ("DUJ2A", "ModShlosser")
+
+    def test_high_cv_branch(self, rng):
+        column = zipf_column(500_000, z=2.0, duplication=100, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.03)
+        result = HybridVariance().estimate(profile, column.n_rows)
+        assert result.details["branch"] == "ModShlosser"
+        assert result.details["cv_squared"] > HybridVariance().cv_high
+
+    def test_custom_thresholds_steer_branches(self, rng):
+        column = zipf_column(200_000, z=2.0, duplication=100, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.03)
+        always_uniform = HybridVariance(cv_zero=1e9, cv_high=2e9)
+        result = always_uniform.estimate(profile, column.n_rows)
+        assert result.details["branch"] == "SJ"
+
+    def test_branch_injection(self, rng):
+        hybrid = HybridVariance(skewed_estimator=GEE())
+        column = zipf_column(500_000, z=2.0, duplication=100, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.03)
+        result = hybrid.estimate(profile, column.n_rows)
+        assert result.details["branch"] == "GEE"

@@ -1,0 +1,210 @@
+"""Tests for the jackknife-family baselines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ratio_error
+from repro.data import uniform_column, zipf_column
+from repro.errors import InvalidParameterError
+from repro.estimators import (
+    DUJ2A,
+    FirstOrderJackknife,
+    MethodOfMoments,
+    SecondOrderJackknife,
+    SmoothedJackknife,
+    UnsmoothedSecondOrderJackknife,
+    haas_stokes_cv_squared,
+)
+from repro.frequency import FrequencyProfile
+from repro.sampling import UniformWithoutReplacement
+
+profiles = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=25),
+    values=st.integers(min_value=1, max_value=25),
+    min_size=1,
+    max_size=6,
+).map(FrequencyProfile)
+
+
+class TestClassicalJackknives:
+    def test_jk1_formula(self, small_profile):
+        # d + (r-1)/r * f1 with r=9, d=5, f1=3.
+        result = FirstOrderJackknife().estimate(small_profile, 1000)
+        assert result.raw_value == pytest.approx(5 + (8 / 9) * 3)
+
+    def test_jk2_formula(self, small_profile):
+        r, d, f1, f2 = 9, 5, 3, 1
+        expected = d + (2 * r - 3) / r * f1 - (r - 2) ** 2 / (r * (r - 1)) * f2
+        result = SecondOrderJackknife().estimate(small_profile, 1000)
+        assert result.raw_value == pytest.approx(expected)
+
+    def test_jk2_tiny_sample_falls_back(self):
+        profile = FrequencyProfile({1: 1})
+        result = SecondOrderJackknife().estimate(profile, 100)
+        assert result.raw_value == pytest.approx(1.0)
+
+    def test_jk1_ignores_population_size(self, small_profile):
+        a = FirstOrderJackknife().estimate(small_profile, 100).raw_value
+        b = FirstOrderJackknife().estimate(small_profile, 10**6).raw_value
+        assert a == b
+
+
+class TestSmoothedJackknife:
+    def test_closed_form(self, small_profile):
+        n, r, d, f1 = 900, 9, 5, 3
+        q = r / n
+        expected = d / (1 - (1 - q) * f1 / r)
+        result = SmoothedJackknife().estimate(small_profile, n)
+        assert result.raw_value == pytest.approx(expected)
+
+    def test_all_singletons_gives_scale_up(self, singleton_profile):
+        # Denominator bottoms out at q: estimate = d / q = d n / r.
+        n = 5000
+        result = SmoothedJackknife().estimate(singleton_profile, n)
+        assert result.raw_value == pytest.approx(50 / (50 / 5000))
+
+    def test_accurate_on_uniform_data(self, rng):
+        column = uniform_column(1_000_000, 10_000, rng=rng)
+        profile = UniformWithoutReplacement().profile(
+            column.values, rng, fraction=0.002
+        )
+        error = ratio_error(
+            SmoothedJackknife()(profile, column.n_rows), column.distinct_count
+        )
+        assert error < 1.2
+
+    def test_underestimates_high_skew(self, rng):
+        column = zipf_column(1_000_000, z=1.0, rng=rng)
+        profile = UniformWithoutReplacement().profile(
+            column.values, rng, fraction=0.005
+        )
+        estimate = SmoothedJackknife()(profile, column.n_rows)
+        assert estimate < 0.6 * column.distinct_count
+
+
+class TestMethodOfMoments:
+    def test_solves_moment_equation(self, rng):
+        column = uniform_column(200_000, 5000, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.01)
+        n, r, d = column.n_rows, profile.sample_size, profile.distinct
+        estimate = MethodOfMoments().estimate(profile, n).raw_value
+        expected_d = estimate * -math.expm1(n / estimate * math.log1p(-r / n))
+        assert expected_d == pytest.approx(d, rel=1e-6)
+
+    def test_all_distinct_sample_returns_population(self, singleton_profile):
+        assert MethodOfMoments().estimate(singleton_profile, 9999).value == 9999
+
+    def test_accurate_on_uniform(self, rng):
+        column = uniform_column(1_000_000, 10_000, rng=rng)
+        profile = UniformWithoutReplacement().profile(
+            column.values, rng, fraction=0.002
+        )
+        error = ratio_error(
+            MethodOfMoments()(profile, column.n_rows), column.distinct_count
+        )
+        assert error < 1.2
+
+
+class TestCvSquaredFinitePopulation:
+    def test_uniform_near_zero(self, rng):
+        column = uniform_column(200_000, 2000, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.05)
+        assert haas_stokes_cv_squared(profile, column.n_rows) < 0.2
+
+    def test_skewed_large(self, rng):
+        column = zipf_column(200_000, z=2.0, duplication=100, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.05)
+        assert haas_stokes_cv_squared(profile, column.n_rows) > 3.0
+
+    def test_plug_in_override(self, uniform_profile):
+        value = haas_stokes_cv_squared(uniform_profile, 10_000, distinct_estimate=50)
+        assert value >= 0.0
+        with pytest.raises(InvalidParameterError):
+            haas_stokes_cv_squared(uniform_profile, 10_000, distinct_estimate=-5)
+
+    def test_tiny_sample_zero(self):
+        assert haas_stokes_cv_squared(FrequencyProfile({1: 1}), 100) == 0.0
+
+
+class TestUj2:
+    def test_reduces_to_sj_when_cv_zero(self, rng):
+        column = uniform_column(100_000, 500, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.05)
+        gamma = haas_stokes_cv_squared(profile, column.n_rows)
+        uj2 = UnsmoothedSecondOrderJackknife().estimate(profile, column.n_rows)
+        sj = SmoothedJackknife().estimate(profile, column.n_rows)
+        if gamma == 0.0:
+            assert uj2.value == pytest.approx(sj.value)
+
+    def test_skew_correction_raises_estimate(self, rng):
+        column = zipf_column(500_000, z=1.0, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.01)
+        uj2 = UnsmoothedSecondOrderJackknife().estimate(profile, column.n_rows)
+        sj = SmoothedJackknife().estimate(profile, column.n_rows)
+        assert uj2.value >= sj.value
+        assert uj2.details["cv_squared"] > 0
+
+
+class TestDuj2a:
+    def test_cutoff_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DUJ2A(cutoff=0)
+
+    def test_no_truncation_equals_uj2(self, rng):
+        column = uniform_column(100_000, 5000, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.01)
+        if profile.max_frequency <= 50:
+            a = DUJ2A().estimate(profile, column.n_rows)
+            b = UnsmoothedSecondOrderJackknife().estimate(profile, column.n_rows)
+            assert a.value == pytest.approx(b.value, rel=1e-9)
+            assert a.details["removed_distinct"] == 0
+
+    def test_heavy_classes_removed_and_added_back(self, rng):
+        column = zipf_column(500_000, z=2.0, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.02)
+        result = DUJ2A(cutoff=10).estimate(profile, column.n_rows)
+        removed = result.details["removed_distinct"]
+        assert removed == profile.distinct - profile.truncate(10).distinct
+        assert result.value >= removed
+
+    def test_all_heavy_profile(self):
+        profile = FrequencyProfile({100: 5})
+        result = DUJ2A(cutoff=10).estimate(profile, 10_000)
+        assert result.value == 5
+
+    def test_good_across_skews(self, rng):
+        for column in (
+            uniform_column(500_000, 5000, rng=rng),
+            zipf_column(500_000, z=1.0, duplication=100, rng=rng),
+        ):
+            profile = UniformWithoutReplacement().profile(
+                column.values, rng, fraction=0.02
+            )
+            error = ratio_error(
+                DUJ2A()(profile, column.n_rows), column.distinct_count
+            )
+            assert error < 1.6
+
+
+class TestProperties:
+    @settings(deadline=None)
+    @given(profiles, st.integers(min_value=0, max_value=100_000))
+    def test_all_jackknives_respect_sanity_bounds(self, profile, extra):
+        n = profile.sample_size + extra
+        if profile.distinct > n or profile.max_frequency > n:
+            return
+        for estimator in (
+            FirstOrderJackknife(),
+            SecondOrderJackknife(),
+            SmoothedJackknife(),
+            MethodOfMoments(),
+            UnsmoothedSecondOrderJackknife(),
+            DUJ2A(),
+        ):
+            value = estimator.estimate(profile, n).value
+            assert profile.distinct <= value <= n, estimator.name

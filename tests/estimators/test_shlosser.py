@@ -1,0 +1,135 @@
+"""Tests for Shlosser's estimator and the modified variant."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ratio_error
+from repro.data import bounded_scaleup_column, zipf_column
+from repro.errors import InvalidParameterError
+from repro.estimators import ModifiedShlosser, Shlosser, shlosser_ratio
+from repro.frequency import FrequencyProfile
+from repro.sampling import UniformWithoutReplacement
+
+profiles = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=25),
+    values=st.integers(min_value=1, max_value=25),
+    min_size=1,
+    max_size=6,
+).map(FrequencyProfile)
+
+
+class TestShlosserRatio:
+    def test_hand_computed(self):
+        profile = FrequencyProfile({1: 2, 3: 1})
+        q = 0.5
+        numerator = 2 * 0.5 + 0.5**3
+        denominator = 2 * 1 * 0.5 + 3 * 0.5 * 0.25
+        assert shlosser_ratio(profile, q) == pytest.approx(numerator / denominator)
+
+    def test_exhaustive_sampling_zero(self, small_profile):
+        assert shlosser_ratio(small_profile, 1.0) == 0.0
+
+    def test_validation(self, small_profile):
+        with pytest.raises(InvalidParameterError):
+            shlosser_ratio(small_profile, 0.0)
+        with pytest.raises(InvalidParameterError):
+            shlosser_ratio(small_profile, 1.5)
+
+    def test_large_frequencies_do_not_overflow(self):
+        profile = FrequencyProfile({1: 10, 500_000: 1})
+        value = shlosser_ratio(profile, 0.01)
+        assert math.isfinite(value)
+        assert value > 0
+
+
+class TestShlosser:
+    def test_no_singletons_returns_d(self):
+        profile = FrequencyProfile({5: 4})
+        assert Shlosser().estimate(profile, 10_000).value == 4
+
+    def test_reasonable_on_high_skew(self, rng):
+        column = zipf_column(500_000, z=2.0, rng=rng)
+        profile = UniformWithoutReplacement().profile(column.values, rng, fraction=0.05)
+        error = ratio_error(Shlosser()(profile, column.n_rows), column.distinct_count)
+        assert error < 3.0
+
+    def test_poor_on_duplicated_mid_skew(self, rng):
+        """The Figure 7 pathology: Shlosser degrades when duplication
+        rises at a low sampling rate (the paper blames "the (invalid)
+        assumptions made in its derivation")."""
+        low_dup = zipf_column(1_000_000, z=1.0, duplication=1, rng=rng)
+        high_dup = zipf_column(1_000_000, z=1.0, duplication=100, rng=rng)
+        sampler = UniformWithoutReplacement()
+        errors = {}
+        for name, column in (("low", low_dup), ("high", high_dup)):
+            total = 0.0
+            for _ in range(3):
+                profile = sampler.profile(column.values, rng, fraction=0.008)
+                total += ratio_error(
+                    Shlosser()(profile, column.n_rows), column.distinct_count
+                )
+            errors[name] = total / 3
+        assert errors["high"] > errors["low"]
+
+
+class TestModifiedShlosser:
+    def test_mode_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ModifiedShlosser(mode="nope")
+
+    def test_spectral_no_singletons_returns_d(self):
+        profile = FrequencyProfile({5: 4})
+        result = ModifiedShlosser(mode="spectral").estimate(profile, 10_000)
+        assert result.value == 4
+
+    def test_behavioral_all_singletons_is_scale_up(self, singleton_profile):
+        # missed mass = d(1-q): estimate = d / q = d n / r exactly.
+        n = 5000
+        result = ModifiedShlosser().estimate(singleton_profile, n)
+        assert result.raw_value == pytest.approx(50 * n / 50, rel=1e-6)
+
+    def test_duplication_pathology(self, rng):
+        """Figure 9's reported failure: at a fixed absolute sample size,
+        the modified Shlosser's estimate grows with the table size even
+        though D is constant."""
+        sampler = UniformWithoutReplacement()
+        estimates = []
+        for n in (100_000, 1_000_000):
+            column = bounded_scaleup_column(n, rng=rng)
+            profile = sampler.profile(column.values, rng, size=10_000)
+            estimates.append(ModifiedShlosser()(profile, n))
+        assert estimates[1] > 1.5 * estimates[0]
+
+    def test_spectral_immune_to_duplication(self, rng):
+        sampler = UniformWithoutReplacement()
+        estimates = []
+        for n in (100_000, 1_000_000):
+            column = bounded_scaleup_column(n, rng=rng)
+            profile = sampler.profile(column.values, rng, size=10_000)
+            estimates.append(ModifiedShlosser(mode="spectral")(profile, n))
+        assert estimates[1] < 1.5 * estimates[0]
+
+    def test_names_distinguish_modes(self):
+        assert ModifiedShlosser().name == "ModShlosser"
+        assert "spectral" in ModifiedShlosser(mode="spectral").name
+
+
+class TestProperties:
+    @settings(deadline=None)
+    @given(profiles, st.integers(min_value=0, max_value=100_000))
+    def test_sanity_bounds(self, profile, extra):
+        n = profile.sample_size + extra
+        if profile.distinct > n or profile.max_frequency > n:
+            return
+        for estimator in (
+            Shlosser(),
+            ModifiedShlosser(),
+            ModifiedShlosser(mode="spectral"),
+        ):
+            value = estimator.estimate(profile, n).value
+            assert profile.distinct <= value <= n, estimator.name

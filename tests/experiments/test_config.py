@@ -1,0 +1,60 @@
+"""Tests for the experiment configuration knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments import config
+
+
+class TestConstants:
+    def test_paper_protocol(self):
+        assert config.SAMPLING_FRACTIONS == (0.002, 0.004, 0.008, 0.016, 0.032, 0.064)
+        assert config.SKEW_VALUES == (0.0, 1.0, 2.0, 3.0, 4.0)
+        assert config.DUPLICATION_FACTORS == (1, 10, 100, 1000)
+        assert config.PAPER_ROWS == 1_000_000
+
+
+class TestEnvKnobs:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_TRIALS", raising=False)
+        assert config.scale_divisor() == 1
+        assert config.trials() == 10
+
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "4")
+        assert config.scale_divisor() == 4
+
+    def test_trials_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "3")
+        assert config.trials() == 3
+
+    def test_invalid_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "zero")
+        with pytest.raises(InvalidParameterError):
+            config.trials()
+        monkeypatch.setenv("REPRO_TRIALS", "0")
+        with pytest.raises(InvalidParameterError):
+            config.trials()
+
+
+class TestScaledRows:
+    def test_identity_at_scale_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert config.scaled_rows(1_000_000) == 1_000_000
+
+    def test_division(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "10")
+        assert config.scaled_rows(1_000_000) == 100_000
+
+    def test_divisibility_preserved(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "7")
+        rows = config.scaled_rows(1_000_000, keep_divisible_by=1000)
+        assert rows % 1000 == 0
+        assert rows > 0
+
+    def test_never_below_divisor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1000000")
+        assert config.scaled_rows(1_000_000, keep_divisible_by=100) == 100

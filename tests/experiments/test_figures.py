@@ -1,0 +1,142 @@
+"""Tests for the per-exhibit experiment runners (at miniature scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.figures import (
+    error_vs_sampling_rate,
+    gee_interval_table,
+    real_dataset_metric,
+    scaleup_bounded,
+    scaleup_unbounded,
+    theorem1_comparison,
+)
+
+TINY = dict(trials=2, seed=1)
+
+
+class TestRegistry:
+    def test_all_exhibits_registered(self):
+        expected = {f"fig{i}" for i in range(1, 17)} | {
+            "table1",
+            "table2",
+            "theorem1",
+            "stability",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_exhibit(self):
+        with pytest.raises(InvalidParameterError):
+            run_experiment("fig99")
+
+
+class TestSyntheticRunners:
+    def test_error_vs_rate_structure(self):
+        table = error_vs_sampling_rate(
+            z=0.0, duplication=10, n_rows=20_000,
+            fractions=(0.01, 0.05), **TINY,
+        )
+        assert table.x_values == ["1.0%", "5.0%"]
+        assert set(table.series) == {
+            "GEE", "AE", "HYBGEE", "HYBSKEW", "HYBVAR", "DUJ2A"
+        }
+        for values in table.series.values():
+            assert all(v >= 1.0 for v in values)
+
+    def test_stddev_metric(self):
+        table = error_vs_sampling_rate(
+            z=0.0, duplication=10, n_rows=20_000,
+            fractions=(0.05,), metric="stddev", **TINY,
+        )
+        for values in table.series.values():
+            assert all(v >= 0.0 for v in values)
+
+    def test_metric_validation(self):
+        with pytest.raises(InvalidParameterError):
+            error_vs_sampling_rate(
+                z=0.0, duplication=10, n_rows=20_000,
+                fractions=(0.05,), metric="median", **TINY,
+            )
+
+    def test_interval_table_brackets_actual(self):
+        table = gee_interval_table(
+            z=0.0, duplication=10, n_rows=20_000, fractions=(0.01, 0.1), **TINY
+        )
+        for i in range(2):
+            assert table.series["LOWER"][i] <= table.series["ACTUAL"][i]
+            assert table.series["ACTUAL"][i] <= table.series["UPPER"][i]
+
+    def test_estimator_subset(self):
+        table = error_vs_sampling_rate(
+            z=0.0, duplication=10, n_rows=20_000,
+            fractions=(0.05,), estimators=("GEE", "AE"), **TINY,
+        )
+        assert set(table.series) == {"GEE", "AE"}
+
+
+class TestScaleupRunners:
+    def test_bounded(self):
+        table = scaleup_bounded(
+            row_counts=[10_000, 20_000], base_rows=1000,
+            sample_size=2000, **TINY,
+        )
+        assert len(table.x_values) == 2
+
+    def test_unbounded(self):
+        table = scaleup_unbounded(
+            row_counts=[10_000, 20_000], duplication=10, **TINY
+        )
+        assert len(table.x_values) == 2
+
+
+class TestRealDataRunner:
+    def test_census_runner(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "50")
+        table = real_dataset_metric("Census", fractions=(0.05,), **TINY)
+        assert "Census" in table.title
+        assert set(table.series) == {
+            "GEE", "AE", "HYBGEE", "HYBSKEW", "HYBVAR", "DUJ2A"
+        }
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            real_dataset_metric("Nope", fractions=(0.05,), **TINY)
+
+
+class TestTheorem1Runner:
+    def test_floor_and_worst_series(self):
+        table = theorem1_comparison(
+            n_rows=20_000, fraction=0.05, estimators=("GEE", "AE"), **TINY
+        )
+        assert set(table.series) == {
+            "scenario_A", "scenario_B", "worst", "theorem1_floor"
+        }
+        floors = table.series["theorem1_floor"]
+        assert all(f == floors[0] for f in floors)
+        for worst, a, b in zip(
+            table.series["worst"], table.series["scenario_A"], table.series["scenario_B"]
+        ):
+            assert worst == max(a, b)
+
+
+class TestStabilityRunner:
+    def test_structure_and_hybrid_instability(self):
+        from repro.experiments import stability_comparison
+
+        table = stability_comparison(
+            n_rows=50_000, fraction=0.01, replicates=30, trials=2, seed=3
+        )
+        assert set(table.series) == {
+            "bootstrap_cv",
+            "branch_flip_rate",
+            "mean_ratio_error",
+        }
+        cvs = dict(zip(table.x_values, table.series["bootstrap_cv"]))
+        flips = dict(zip(table.x_values, table.series["branch_flip_rate"]))
+        assert all(cv >= 0 for cv in cvs.values())
+        # Single-model estimators have no branch to flip.
+        assert flips["DUJ2A"] == flips["AE"] == flips["GEE"] == 0.0
+        assert all(0.0 <= rate <= 1.0 for rate in flips.values())

@@ -1,0 +1,66 @@
+"""Tests for the trial-evaluation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GEE, make_estimators
+from repro.data import uniform_column
+from repro.errors import InvalidParameterError
+from repro.experiments import evaluate_column
+
+
+class TestEvaluateColumn:
+    def test_summary_fields(self, rng):
+        column = uniform_column(10_000, 100, rng=rng)
+        result = evaluate_column(column, [GEE()], rng, fraction=0.05, trials=4)
+        summary = result["GEE"]
+        assert summary.trials == 4
+        assert summary.true_distinct == 100
+        assert summary.mean_ratio_error >= 1.0
+        assert summary.max_ratio_error >= summary.mean_ratio_error
+        assert summary.std_fraction >= 0.0
+        assert result.sampling_fraction == pytest.approx(0.05)
+
+    def test_interval_averaged_for_gee(self, rng):
+        column = uniform_column(10_000, 100, rng=rng)
+        result = evaluate_column(column, [GEE()], rng, fraction=0.05, trials=3)
+        summary = result["GEE"]
+        assert summary.mean_lower is not None
+        assert summary.mean_lower <= 100 <= summary.mean_upper
+
+    def test_no_interval_for_plain_estimators(self, rng):
+        column = uniform_column(10_000, 100, rng=rng)
+        estimators = make_estimators(["DUJ2A"])
+        result = evaluate_column(column, estimators, rng, fraction=0.05, trials=2)
+        assert result["DUJ2A"].mean_lower is None
+
+    def test_multiple_estimators_share_samples(self, rng):
+        column = uniform_column(10_000, 100, rng=rng)
+        estimators = make_estimators(["GEE", "AE", "SJ"])
+        result = evaluate_column(column, estimators, rng, fraction=0.05, trials=2)
+        assert set(result.summaries) == {"GEE", "AE", "SJ"}
+
+    def test_absolute_size(self, rng):
+        column = uniform_column(10_000, 100, rng=rng)
+        result = evaluate_column(column, [GEE()], rng, size=500, trials=2)
+        assert result.sample_size == 500
+
+    def test_single_trial_zero_variance(self, rng):
+        column = uniform_column(10_000, 100, rng=rng)
+        result = evaluate_column(column, [GEE()], rng, fraction=0.05, trials=1)
+        assert result["GEE"].std_fraction == 0.0
+
+    def test_validation(self, rng):
+        column = uniform_column(1000, 10, rng=rng)
+        with pytest.raises(InvalidParameterError):
+            evaluate_column(column, [GEE()], rng, fraction=0.1, trials=0)
+        with pytest.raises(InvalidParameterError):
+            evaluate_column(column, [], rng, fraction=0.1)
+
+    def test_relative_error_property(self, rng):
+        column = uniform_column(10_000, 100, rng=rng)
+        result = evaluate_column(column, [GEE()], rng, fraction=0.2, trials=2)
+        summary = result["GEE"]
+        expected = (summary.mean_estimate - 100) / 100
+        assert summary.mean_relative_error == pytest.approx(expected)

@@ -1,0 +1,68 @@
+"""Tests for SeriesTable rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments import SeriesTable, format_value
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_small_float(self):
+        assert format_value(1.2345) == "1.234"
+
+    def test_large_numbers_get_thousands_separators(self):
+        assert format_value(1234.5) == "1,234"
+
+    def test_huge_numbers_scientific(self):
+        assert format_value(2.5e8) == "2.500e+08"
+
+    def test_integral_floats(self):
+        assert format_value(3.0) == "3"
+
+
+class TestSeriesTable:
+    def _table(self) -> SeriesTable:
+        table = SeriesTable(title="t", x_name="rate", x_values=["1%", "2%"])
+        table.add_series("GEE", [1.5, 1.2])
+        table.add_series("AE", [1.1, 1.05])
+        return table
+
+    def test_add_series_validates_length(self):
+        table = SeriesTable(title="t", x_name="x", x_values=[1, 2, 3])
+        with pytest.raises(InvalidParameterError):
+            table.add_series("s", [1.0])
+
+    def test_value_lookup(self):
+        table = self._table()
+        assert table.value("GEE", "2%") == 1.2
+        with pytest.raises(InvalidParameterError):
+            table.value("GEE", "9%")
+
+    def test_render_contains_everything(self):
+        text = self._table().render()
+        for token in ("t", "rate", "GEE", "AE", "1.500", "1.050"):
+            assert token in text
+
+    def test_render_notes(self):
+        table = self._table()
+        table.notes = "hello"
+        assert "note: hello" in table.render()
+
+    def test_csv(self):
+        csv = self._table().to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "rate,GEE,AE"
+        assert lines[1].startswith("1%,1.5,")
+        assert len(lines) == 3
+
+    def test_str_is_render(self):
+        table = self._table()
+        assert str(table) == table.render()

@@ -1,0 +1,91 @@
+"""Tests for the diversity/coverage statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidSampleError
+from repro.frequency import FrequencyProfile
+from repro.frequency.diversity import (
+    good_turing_unseen_mass,
+    shannon_entropy,
+    simpson_index,
+)
+
+profiles = st.dictionaries(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=20),
+    min_size=1,
+    max_size=6,
+).map(FrequencyProfile)
+
+
+class TestUnseenMass:
+    def test_all_singletons_is_one(self, singleton_profile):
+        assert good_turing_unseen_mass(singleton_profile) == 1.0
+
+    def test_no_singletons_is_zero(self, uniform_profile):
+        assert good_turing_unseen_mass(uniform_profile) == 0.0
+
+    def test_hand_computed(self, small_profile):
+        assert good_turing_unseen_mass(small_profile) == pytest.approx(3 / 9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidSampleError):
+            good_turing_unseen_mass(FrequencyProfile.empty())
+
+    @given(profiles)
+    def test_complement_of_coverage(self, profile):
+        assert good_turing_unseen_mass(profile) == pytest.approx(
+            1.0 - profile.sample_coverage()
+        )
+
+
+class TestSimpsonIndex:
+    def test_single_class_is_one(self):
+        assert simpson_index(FrequencyProfile({10: 1})) == 1.0
+
+    def test_all_singletons_is_zero(self, singleton_profile):
+        assert simpson_index(singleton_profile) == 0.0
+
+    def test_one_row_sample(self):
+        assert simpson_index(FrequencyProfile({1: 1})) == 0.0
+
+    def test_hand_computed(self, small_profile):
+        # M2 = 14, r = 9: 14 / 72.
+        assert simpson_index(small_profile) == pytest.approx(14 / 72)
+
+    @given(profiles)
+    def test_in_unit_interval(self, profile):
+        assert 0.0 <= simpson_index(profile) <= 1.0
+
+
+class TestShannonEntropy:
+    def test_single_class_zero_entropy(self):
+        assert shannon_entropy(
+            FrequencyProfile({10: 1}), bias_corrected=False
+        ) == pytest.approx(0.0)
+
+    def test_uniform_sample_log_d(self):
+        profile = FrequencyProfile({5: 8})  # 8 classes, 5 each
+        assert shannon_entropy(profile, bias_corrected=False) == pytest.approx(
+            math.log(8)
+        )
+
+    def test_bias_correction_adds_miller_madow(self, small_profile):
+        raw = shannon_entropy(small_profile, bias_corrected=False)
+        corrected = shannon_entropy(small_profile)
+        assert corrected - raw == pytest.approx((5 - 1) / (2 * 9))
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidSampleError):
+            shannon_entropy(FrequencyProfile.empty())
+
+    @given(profiles)
+    def test_bounded_by_log_d(self, profile):
+        entropy = shannon_entropy(profile, bias_corrected=False)
+        assert -1e-9 <= entropy <= math.log(profile.distinct) + 1e-9

@@ -1,0 +1,83 @@
+"""Tests for coverage and coefficient-of-variation estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.frequency import (
+    FrequencyProfile,
+    coverage_estimate_distinct,
+    cv_squared,
+    sample_coverage,
+    true_cv_squared,
+)
+from repro.sampling import UniformWithoutReplacement
+
+
+class TestSampleCoverage:
+    def test_matches_profile_method(self, small_profile):
+        assert sample_coverage(small_profile) == small_profile.sample_coverage()
+
+    def test_all_singletons_zero_coverage(self, singleton_profile):
+        assert sample_coverage(singleton_profile) == 0.0
+
+
+class TestCoverageEstimate:
+    def test_simple_value(self):
+        profile = FrequencyProfile({1: 2, 4: 2})  # r=10, d=4, C=0.8
+        assert coverage_estimate_distinct(profile) == pytest.approx(4 / 0.8)
+
+    def test_zero_coverage_safeguard(self, singleton_profile):
+        estimate = coverage_estimate_distinct(singleton_profile)
+        assert estimate == 50 * 50
+
+
+class TestCvSquared:
+    def test_uniform_data_near_zero(self, rng):
+        # 1000 values each duplicated 20 times; CV of class sizes is 0.
+        column = np.repeat(np.arange(1000), 20)
+        rng.shuffle(column)
+        profile = UniformWithoutReplacement().profile(column, rng, fraction=0.2)
+        assert cv_squared(profile) < 0.2
+
+    def test_skewed_data_large(self, rng):
+        sizes = np.array([10_000] + [10] * 500)
+        column = np.repeat(np.arange(sizes.size), sizes)
+        rng.shuffle(column)
+        profile = UniformWithoutReplacement().profile(column, rng, fraction=0.2)
+        assert cv_squared(profile) > 5.0
+
+    def test_tiny_sample_returns_zero(self):
+        assert cv_squared(FrequencyProfile({1: 1})) == 0.0
+
+    def test_rejects_negative_plugin(self, small_profile):
+        with pytest.raises(InvalidParameterError):
+            cv_squared(small_profile, distinct_estimate=-1.0)
+
+    def test_never_negative(self, uniform_profile):
+        assert cv_squared(uniform_profile) >= 0.0
+
+
+class TestTrueCvSquared:
+    def test_equal_sizes_zero(self):
+        assert true_cv_squared([5, 5, 5, 5]) == 0.0
+
+    def test_hand_computed(self):
+        # sizes 1 and 3: mean 2, variance over D: ((1)^2+(1)^2)/2 = 1, /mean^2=4
+        assert true_cv_squared([1, 3]) == pytest.approx(0.25)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            true_cv_squared([])
+        with pytest.raises(InvalidParameterError):
+            true_cv_squared([2, 0])
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=50)
+    )
+    def test_nonnegative(self, sizes):
+        assert true_cv_squared(sizes) >= 0.0

@@ -1,0 +1,82 @@
+"""Property-based tests shared by every sampling scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import (
+    Bernoulli,
+    Block,
+    Reservoir,
+    UniformWithReplacement,
+    UniformWithoutReplacement,
+)
+
+ALL_SCHEMES = [
+    UniformWithoutReplacement(),
+    UniformWithReplacement(),
+    Bernoulli(),
+    Reservoir(),
+    Block(block_size=7),
+]
+
+columns = st.lists(
+    st.integers(min_value=-100, max_value=100), min_size=1, max_size=400
+).map(lambda values: np.array(values, dtype=np.int64))
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+class TestSchemeInvariants:
+    @settings(deadline=None, max_examples=30)
+    @given(column=columns, fraction=st.floats(min_value=0.01, max_value=1.0), seed=st.integers(0, 2**31))
+    def test_sample_values_come_from_column(self, scheme, column, fraction, seed):
+        rng = np.random.default_rng(seed)
+        sample = scheme.sample(column, rng, fraction=fraction)
+        assert sample.size >= 1
+        universe = set(column.tolist())
+        assert set(sample.tolist()) <= universe
+
+    @settings(deadline=None, max_examples=30)
+    @given(column=columns, seed=st.integers(0, 2**31))
+    def test_full_fraction_covers_all_values(self, scheme, column, seed):
+        rng = np.random.default_rng(seed)
+        sample = scheme.sample(column, rng, fraction=1.0)
+        if scheme.name in ("srswor", "reservoir", "block"):
+            assert sorted(sample.tolist()) == sorted(column.tolist())
+
+    @settings(deadline=None, max_examples=30)
+    @given(column=columns, seed=st.integers(0, 2**31))
+    def test_profile_consistent_with_sample(self, scheme, column, seed):
+        rng = np.random.default_rng(seed)
+        size = max(1, column.size // 2)
+        profile = scheme.profile(column, rng, size=size)
+        assert profile.distinct <= len(set(column.tolist()))
+        if scheme.name != "bernoulli":  # bernoulli's size is random
+            assert profile.sample_size == size
+
+    @settings(deadline=None, max_examples=20)
+    @given(column=columns, seed=st.integers(0, 2**31))
+    def test_deterministic_under_seed(self, scheme, column, seed):
+        a = scheme.sample(column, np.random.default_rng(seed), fraction=0.5)
+        b = scheme.sample(column, np.random.default_rng(seed), fraction=0.5)
+        assert np.array_equal(a, b)
+
+
+class TestWithoutReplacementSpecifics:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        n=st.integers(min_value=2, max_value=500),
+        seed=st.integers(0, 2**31),
+    )
+    def test_distinct_rows_never_repeat(self, n, seed):
+        # On an all-distinct column, srswor and reservoir samples have
+        # no duplicate values for any r <= n.
+        rng = np.random.default_rng(seed)
+        column = np.arange(n)
+        r = max(1, n // 2)
+        for scheme in (UniformWithoutReplacement(), Reservoir()):
+            sample = scheme.sample(column, rng, size=r)
+            assert np.unique(sample).size == r, scheme.name

@@ -1,0 +1,116 @@
+"""Tests for the concrete sampling schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import InvalidParameterError
+from repro.sampling import (
+    Bernoulli,
+    Block,
+    Reservoir,
+    UniformWithReplacement,
+    UniformWithoutReplacement,
+)
+
+
+class TestUniformWithoutReplacement:
+    def test_exact_size(self, rng):
+        sample = UniformWithoutReplacement().sample(np.arange(1000), rng, size=77)
+        assert sample.size == 77
+
+    def test_no_row_sampled_twice(self, rng):
+        # On an all-distinct column, a without-replacement sample has no
+        # duplicate values.
+        sample = UniformWithoutReplacement().sample(np.arange(10_000), rng, size=5000)
+        assert np.unique(sample).size == 5000
+
+    def test_full_fraction_returns_everything(self, rng):
+        sample = UniformWithoutReplacement().sample(np.arange(100), rng, fraction=1.0)
+        assert np.sort(sample).tolist() == list(range(100))
+
+    def test_profile_shortcut(self, rng):
+        profile = UniformWithoutReplacement().profile(
+            np.repeat([1, 2], 50), rng, size=20
+        )
+        assert profile.sample_size == 20
+        assert profile.distinct <= 2
+
+
+class TestUniformWithReplacement:
+    def test_exact_size(self, rng):
+        sample = UniformWithReplacement().sample(np.arange(100), rng, size=500)
+        assert sample.size == 500
+
+    def test_can_repeat_rows(self, rng):
+        # 500 draws from 100 rows must repeat something.
+        sample = UniformWithReplacement().sample(np.arange(100), rng, size=500)
+        assert np.unique(sample).size < 500
+
+
+class TestBernoulli:
+    def test_expected_size(self, rng):
+        sizes = [
+            Bernoulli().sample(np.arange(10_000), rng, size=1000).size
+            for _ in range(20)
+        ]
+        mean = np.mean(sizes)
+        assert 850 < mean < 1150  # ~5 sigma around 1000
+
+    def test_never_empty(self, rng):
+        sample = Bernoulli().sample(np.arange(10_000), rng, size=1)
+        assert sample.size >= 1
+
+
+class TestReservoir:
+    def test_exact_size(self, rng):
+        sample = Reservoir().sample(np.arange(1000), rng, size=64)
+        assert sample.size == 64
+
+    def test_full_size_is_identity(self, rng):
+        sample = Reservoir().sample(np.arange(50), rng, size=50)
+        assert np.sort(sample).tolist() == list(range(50))
+
+    def test_without_replacement(self, rng):
+        sample = Reservoir().sample(np.arange(5000), rng, size=1000)
+        assert np.unique(sample).size == 1000
+
+    def test_approximately_uniform_inclusion(self, rng):
+        """Chi-squared goodness-of-fit on per-row inclusion counts."""
+        n, r, runs = 200, 40, 600
+        counts = np.zeros(n)
+        for _ in range(runs):
+            sample = Reservoir().sample(np.arange(n), rng, size=r)
+            counts[sample] += 1
+        expected = runs * r / n
+        statistic = float(((counts - expected) ** 2 / expected).sum())
+        critical = stats.chi2.ppf(0.999, n - 1)
+        assert statistic < critical
+
+
+class TestBlock:
+    def test_block_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Block(block_size=0)
+
+    def test_exact_size(self, rng):
+        sample = Block(block_size=10).sample(np.arange(1000), rng, size=95)
+        assert sample.size == 95
+
+    def test_samples_whole_blocks(self, rng):
+        # A column whose value identifies its block: every sampled block
+        # should appear block_size times (except a possibly truncated one).
+        column = np.repeat(np.arange(100), 10)  # block i holds value i
+        sample = Block(block_size=10).sample(column, rng, size=100)
+        values, counts = np.unique(sample, return_counts=True)
+        assert (counts == 10).sum() >= len(values) - 1
+
+    def test_clusters_break_uniformity(self, rng):
+        """The ablation's point: block sampling over a clustered layout
+        sees far fewer distinct values than a uniform row sample."""
+        column = np.repeat(np.arange(100), 100)  # perfectly clustered
+        block = Block(block_size=100).sample(column, rng, size=1000)
+        uniform = UniformWithoutReplacement().sample(column, rng, size=1000)
+        assert np.unique(block).size < np.unique(uniform).size

@@ -1,0 +1,60 @@
+"""Tests for the vectorized hashing layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sketches import hash64
+
+
+class TestDeterminism:
+    def test_same_input_same_hash(self):
+        data = np.arange(100)
+        assert np.array_equal(hash64(data), hash64(data))
+
+    def test_seed_changes_hashes(self):
+        data = np.arange(100)
+        assert not np.array_equal(hash64(data, seed=0), hash64(data, seed=1))
+
+    def test_equal_values_equal_hashes(self):
+        data = np.array([7, 7, 7])
+        hashes = hash64(data)
+        assert hashes[0] == hashes[1] == hashes[2]
+
+
+class TestDtypes:
+    def test_integers(self):
+        assert hash64(np.arange(10, dtype=np.int32)).dtype == np.uint64
+
+    def test_floats(self):
+        hashes = hash64(np.linspace(0, 1, 10))
+        assert hashes.dtype == np.uint64
+        assert np.unique(hashes).size == 10
+
+    def test_objects(self):
+        hashes = hash64(np.array(["a", "b", "a"], dtype=object))
+        assert hashes[0] == hashes[2]
+        assert hashes[0] != hashes[1]
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidParameterError):
+            hash64(np.zeros((2, 2)))
+
+
+class TestUniformity:
+    def test_distinct_inputs_rarely_collide(self):
+        hashes = hash64(np.arange(100_000))
+        assert np.unique(hashes).size == 100_000
+
+    def test_bits_roughly_balanced(self):
+        hashes = hash64(np.arange(50_000))
+        # Fraction of set low bits should be ~0.5.
+        low_bits = (hashes & np.uint64(1)).mean()
+        assert 0.47 < low_bits < 0.53
+
+    def test_sequential_inputs_spread_across_range(self):
+        hashes = hash64(np.arange(10_000))
+        top_quarter = (hashes > np.uint64(3 << 62)).mean()
+        assert 0.2 < top_quarter < 0.3

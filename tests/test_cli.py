@@ -1,0 +1,224 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import available_estimators
+
+
+class TestListEstimators:
+    def test_lists_everything(self, capsys):
+        assert main(["list-estimators"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(available_estimators())
+
+
+class TestGenerateAndEstimate:
+    def test_roundtrip_npy(self, tmp_path, capsys):
+        out = tmp_path / "col.npy"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--rows", "10000",
+                    "--z", "1",
+                    "--duplication", "10",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        assert "10,000 rows" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "estimate", str(out),
+                    "--fraction", "0.1",
+                    "--estimator", "GEE", "AE",
+                    "--exact",
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "GEE" in text and "AE" in text and "exact" in text
+
+    def test_text_file_input(self, tmp_path, capsys):
+        path = tmp_path / "col.txt"
+        path.write_text("".join(f"{i % 7}\n" for i in range(1000)))
+        assert main(["estimate", str(path), "--fraction", "0.5"]) == 0
+        assert "sampled r=500" in capsys.readouterr().out
+
+    def test_string_values_supported(self, tmp_path, capsys):
+        path = tmp_path / "col.txt"
+        path.write_text("apple\nbanana\napple\ncherry\n" * 100)
+        assert main(["estimate", str(path), "--fraction", "0.5"]) == 0
+        assert "d=3" in capsys.readouterr().out
+
+    def test_missing_file_is_clean_error(self, capsys):
+        assert main(["estimate", "/no/such/file.npy"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExhibit:
+    def test_prints_table(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "100")
+        monkeypatch.setenv("REPRO_TRIALS", "2")
+        assert main(["exhibit", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "LOWER" in out and "UPPER" in out
+
+    def test_csv_export(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "100")
+        monkeypatch.setenv("REPRO_TRIALS", "2")
+        csv = tmp_path / "fig.csv"
+        assert main(["exhibit", "table1", "--csv", str(csv)]) == 0
+        assert csv.read_text().startswith("rate,")
+
+
+class TestBound:
+    def test_floor(self, capsys):
+        assert (
+            main(["bound", "--rows", "1000000", "--sample-size", "200000"]) == 0
+        )
+        assert "1.177" in capsys.readouterr().out
+
+    def test_inversion(self, capsys):
+        assert (
+            main(["bound", "--rows", "1000000", "--target-error", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "requires examining" in out
+
+    def test_missing_spec_is_error(self, capsys):
+        assert main(["bound", "--rows", "1000"]) == 2
+
+
+class TestModuleEntry:
+    def test_python_dash_m(self, tmp_path):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list-estimators"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "GEE" in result.stdout
+
+
+class TestPlan:
+    def test_brackets_printed(self, capsys):
+        assert (
+            main(["plan", "--rows", "1000000", "--target-error", "5"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "necessary" in out and "sufficient" in out
+
+    def test_full_scan_note(self, capsys):
+        assert (
+            main(["plan", "--rows", "1000", "--target-error", "1.01"]) == 0
+        )
+        assert "full scan" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_writes_csv_txt_and_summary(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "100")
+        monkeypatch.setenv("REPRO_TRIALS", "2")
+        out = tmp_path / "report"
+        assert (
+            main(
+                ["report", "--out", str(out), "--only", "table1", "theorem1"]
+            )
+            == 0
+        )
+        assert (out / "table1.csv").exists()
+        assert (out / "table1.txt").exists()
+        assert (out / "theorem1.csv").exists()
+        assert "table1" in (out / "REPORT.txt").read_text()
+
+
+class TestCsvInput:
+    def test_estimate_from_csv(self, tmp_path, capsys):
+        path = tmp_path / "data.csv"
+        rows = "\n".join(f"{i},{i % 50}" for i in range(2000))
+        path.write_text("id,bucket\n" + rows + "\n")
+        assert (
+            main(
+                [
+                    "estimate", str(path),
+                    "--csv-column", "bucket",
+                    "--fraction", "0.25",
+                ]
+            )
+            == 0
+        )
+        assert "d=50" in capsys.readouterr().out
+
+    def test_csv_without_column_is_error(self, tmp_path, capsys):
+        path = tmp_path / "data.csv"
+        path.write_text("a\n1\n")
+        assert main(["estimate", str(path)]) == 2
+        assert "column=" in capsys.readouterr().err
+
+
+class TestSqlCommand:
+    def _people_csv(self, tmp_path):
+        path = tmp_path / "people.csv"
+        rows = "\n".join(f"{i},{i % 40},{i % 7}" for i in range(4000))
+        path.write_text("id,city,grade\n" + rows + "\n")
+        return path
+
+    def test_exact_distinct(self, tmp_path, capsys):
+        path = self._people_csv(tmp_path)
+        assert (
+            main(
+                [
+                    "sql",
+                    "SELECT COUNT(DISTINCT city) FROM people",
+                    "--load", f"people={path}",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.startswith("40")
+        assert "exact" in out
+
+    def test_sampled_distinct_with_interval(self, tmp_path, capsys):
+        path = self._people_csv(tmp_path)
+        assert (
+            main(
+                [
+                    "sql",
+                    "SELECT COUNT(DISTINCT city) FROM people SAMPLE 25% USING GEE",
+                    "--load", f"people={path}",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "estimated by GEE" in out and "interval" in out
+
+    def test_group_by(self, tmp_path, capsys):
+        path = self._people_csv(tmp_path)
+        assert (
+            main(
+                [
+                    "sql",
+                    "SELECT grade, COUNT(*) FROM people GROUP BY grade",
+                    "--load", f"people={path}",
+                ]
+            )
+            == 0
+        )
+        assert "(7 groups)" in capsys.readouterr().out
+
+    def test_bad_load_spec(self, capsys):
+        assert main(["sql", "SELECT COUNT(DISTINCT c) FROM t", "--load", "oops"]) == 2
+        assert "name=path" in capsys.readouterr().err

@@ -1,0 +1,46 @@
+"""Integration smoke tests: every example script runs end to end.
+
+Each script in ``examples/`` is executed as a subprocess (exactly as a
+user would run it) and must exit 0 and print its headline content.
+These are the slowest tests in the suite (tens of seconds total) but
+they guarantee the documented entry points never rot.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script -> a fragment its stdout must contain.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "Theorem 1",
+    "optimizer_statistics.py": "optimal join order",
+    "confidence_intervals.py": "empirical coverage",
+    "estimator_tour.py": "sorted by worst-case error",
+    "adversarial_lower_bound.py": "minimum sample",
+    "sketch_comparison.py": "full scan",
+    "streaming_analyze.py": "bootstrap variability",
+    "sql_interface.py": "GROUP BY product",
+}
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script] in result.stdout

@@ -1,0 +1,118 @@
+"""Numerical-stability and failure-injection tests.
+
+Estimators built on ``(1-q)^i`` terms, log-gamma coefficients, and
+root finds are exactly the kind of code that silently breaks on extreme
+inputs: petabyte-scale ``n``, frequencies in the millions, tiny
+sampling fractions, adversarially-spiky profiles.  Every registered
+estimator must return a finite, sanity-bounded value on all of them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import available_estimators, make_estimator
+from repro.frequency import FrequencyProfile
+
+#: Adversarial profiles: (description, profile, population size).
+EXTREME_CASES = [
+    (
+        "petabyte-table-tiny-sample",
+        FrequencyProfile({1: 100}),
+        10**15,
+    ),
+    (
+        "huge-frequency-spike",
+        FrequencyProfile({1: 5, 2_000_000: 1}),
+        10**9,
+    ),
+    (
+        "scenario-b-shape",
+        FrequencyProfile({1: 1000, 999_000: 1}),
+        10**8,
+    ),
+    (
+        "dense-spectrum",
+        FrequencyProfile({i: 3 for i in range(1, 300)}),
+        10**7,
+    ),
+    (
+        "single-row-sample",
+        FrequencyProfile({1: 1}),
+        10**12,
+    ),
+    (
+        "exhaustive-sample",
+        FrequencyProfile({2: 500}),
+        1000,
+    ),
+    (
+        "all-doubletons",
+        FrequencyProfile({2: 100_000}),
+        10**9,
+    ),
+    (
+        "near-exhaustive",
+        FrequencyProfile({1: 999}),
+        1000,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "description,profile,n",
+    EXTREME_CASES,
+    ids=[case[0] for case in EXTREME_CASES],
+)
+@pytest.mark.parametrize("name", available_estimators())
+def test_every_estimator_survives_extremes(name, description, profile, n):
+    estimator = make_estimator(name)
+    result = estimator.estimate(profile, n)
+    assert math.isfinite(result.value), (name, description)
+    assert profile.distinct <= result.value <= n, (name, description)
+
+
+@pytest.mark.parametrize("name", available_estimators())
+def test_estimators_are_deterministic(name):
+    profile = FrequencyProfile({1: 7, 2: 3, 9: 2})
+    estimator = make_estimator(name)
+    first = estimator.estimate(profile, 100_000).value
+    second = estimator.estimate(profile, 100_000).value
+    assert first == second
+
+
+class TestScaleInvariance:
+    """GEE's estimate depends on (n, r) only through n/r — verify the
+    implementation honours the algebra at wildly different magnitudes."""
+
+    def test_gee_ratio_only(self):
+        gee = make_estimator("GEE")
+        small = FrequencyProfile({1: 6, 2: 2})  # r = 10
+        large = FrequencyProfile({1: 6000, 2: 2000})  # r = 10,000
+        e_small = gee.estimate(small, 1000).raw_value
+        e_large = gee.estimate(large, 1_000_000).raw_value
+        assert e_large == pytest.approx(1000 * e_small, rel=1e-12)
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.dictionaries(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=1, max_value=10**4),
+        min_size=1,
+        max_size=8,
+    ).map(FrequencyProfile),
+    st.integers(min_value=0, max_value=10**12),
+)
+def test_core_estimators_fuzz(profile, extra):
+    n = profile.sample_size + extra
+    if profile.distinct > n or profile.max_frequency > n:
+        return
+    for name in ("GEE", "AE", "HYBGEE", "HYBSKEW", "HYBVAR", "DUJ2A"):
+        value = make_estimator(name).estimate(profile, n).value
+        assert math.isfinite(value), name
+        assert profile.distinct <= value <= n, name

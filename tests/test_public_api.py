@@ -1,0 +1,40 @@
+"""Integrity of the public API surface.
+
+Every name a module exports via ``__all__`` must actually exist in the
+module, and every subpackage ``__init__`` must re-export a consistent
+``__all__`` — catching the classic broken-export refactor.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _module_names():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if not info.name.endswith("__main__"):
+            yield info.name
+
+
+@pytest.mark.parametrize("module_name", sorted(_module_names()))
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    missing = [name for name in exported if not hasattr(module, name)]
+    assert not missing, f"{module_name}.__all__ lists missing names: {missing}"
+    assert len(set(exported)) == len(exported), f"{module_name}.__all__ has duplicates"
+
+
+def test_top_level_quickstart_names():
+    # The README quickstart must keep working verbatim.
+    from repro import AE, GEE, FrequencyProfile, HybridGEE, zipf_column  # noqa: F401
+    from repro.db import Catalog, Table, analyze  # noqa: F401
+    from repro.sampling import UniformWithoutReplacement  # noqa: F401
