@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the full local gate:
+# reprolint + mypy (skipped with a notice when not installed) + tier-1 tests.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint typecheck test test-all benchmarks
+
+check: lint typecheck test
+
+lint:
+	$(PYTHON) -m repro lint src
+
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy src/repro/core src/repro/frequency; \
+	else \
+		echo "mypy not installed; skipping typecheck (pip install -e .[typecheck])"; \
+	fi
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-all:
+	$(PYTHON) -m pytest -q
+
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -1,0 +1,44 @@
+"""reprolint — project-specific static analysis for the estimator stack.
+
+The paper's contribution is a *guarantee*: GEE's Theorem 2 bound holds on
+every input only when the implementation honors the estimator contract of
+:mod:`repro.core.base` — purity, sanity-bound clamping, no hidden
+randomness.  Silent numerical slips (unguarded ``log``/``sqrt``/division,
+float equality, global RNG state) are exactly what corrupts error
+measurements at scale, so this package machine-checks those invariants on
+every commit instead of trusting review to catch them.
+
+The subsystem is a small AST-based rule framework:
+
+* :mod:`repro.analysis.rules` — the rule base classes, registry, and the
+  project rules (codes ``R101`` … ``R601``);
+* :mod:`repro.analysis.source` — parsed source modules and
+  ``# reprolint: disable=CODE`` suppression handling;
+* :mod:`repro.analysis.runner` — file collection and rule execution;
+* :mod:`repro.analysis.reporters` — text and JSON output;
+* :mod:`repro.analysis.baseline` — explicit baselines for accepted debt.
+
+Run it as ``repro lint [paths]`` (alias: ``python -m repro lint``); the
+exit status is nonzero whenever unsuppressed, unbaselined findings
+remain, so the command gates CI and the tier-1 test suite.
+"""
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import all_rules, get_rule
+from repro.analysis.runner import LintReport, lint_paths
+from repro.analysis.source import SourceModule
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "SourceModule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,80 @@
+"""Baseline files: ratchet pre-existing findings without hiding new ones.
+
+A baseline is a JSON object mapping ``"path::code"`` to the number of
+findings of that code tolerated in that file::
+
+    {
+      "version": 1,
+      "entries": {"src/repro/legacy.py::R101": 2}
+    }
+
+Keys are deliberately line-insensitive — editing an unrelated part of a
+baselined file must not resurrect its debt — but count-sensitive: adding
+a *third* R101 to a file baselined at two fails the run.  Generate one
+with ``repro lint --write-baseline``; shrink it as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.runner import LintReport
+from repro.errors import InvalidParameterError
+
+__all__ = ["load_baseline", "write_baseline", "baseline_from_report"]
+
+_BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> dict[str, int]:
+    """Read a baseline file into a ``{"path::code": count}`` mapping."""
+    if not os.path.isfile(path):
+        raise InvalidParameterError(f"baseline file does not exist: {path!r}")
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(
+                f"baseline file {path!r} is not valid JSON: {exc}"
+            ) from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise InvalidParameterError(
+            f"baseline file {path!r} must be an object with an 'entries' key"
+        )
+    entries = payload["entries"]
+    if not isinstance(entries, dict):
+        raise InvalidParameterError(
+            f"baseline file {path!r}: 'entries' must be an object"
+        )
+    result: dict[str, int] = {}
+    for key, count in entries.items():
+        if not isinstance(key, str) or "::" not in key:
+            raise InvalidParameterError(
+                f"baseline key {key!r} must look like 'path::CODE'"
+            )
+        if not isinstance(count, int) or count < 1:
+            raise InvalidParameterError(
+                f"baseline count for {key!r} must be a positive integer"
+            )
+        result[key] = count
+    return result
+
+
+def baseline_from_report(report: LintReport) -> dict[str, int]:
+    """Collapse a report's findings into baseline entries."""
+    entries: dict[str, int] = {}
+    for finding in report.findings:
+        key = finding.baseline_key
+        entries[key] = entries.get(key, 0) + 1
+    return dict(sorted(entries.items()))
+
+
+def write_baseline(path: str, report: LintReport) -> int:
+    """Write the report's findings as a baseline; return the entry count."""
+    entries = baseline_from_report(report)
+    payload = {"version": _BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)

@@ -1,0 +1,39 @@
+"""The finding record shared by every reprolint rule and reporter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "PARSE_ERROR_CODE"]
+
+#: Pseudo-code attached to files the analyzer could not parse.
+PARSE_ERROR_CODE = "P001"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Findings sort by location so reports are stable across runs, which
+    keeps baselines and test expectations deterministic.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    rule: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        """The canonical one-line textual form of this finding."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    @property
+    def baseline_key(self) -> str:
+        """Line-insensitive identity used by baseline files.
+
+        Line numbers drift with unrelated edits, so baselines key on
+        ``path::code`` and store a count instead of exact positions.
+        """
+        return f"{self.path}::{self.code}"

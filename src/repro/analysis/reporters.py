@@ -1,0 +1,70 @@
+"""Text and JSON renderings of a :class:`~repro.analysis.runner.LintReport`.
+
+The text form mirrors the ``path:line:col: CODE message`` convention of
+every compiler-adjacent tool so editors can jump to findings.  The JSON
+form is a stable, versioned schema for CI tooling::
+
+    {
+      "version": 1,
+      "files_scanned": 42,
+      "suppressed": 3,
+      "baselined": 0,
+      "counts": {"R101": 2},
+      "findings": [
+        {"path": "...", "line": 10, "col": 4,
+         "code": "R101", "rule": "unguarded-division", "message": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.runner import LintReport
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    """Human/editor-oriented rendering, one finding per line."""
+    lines = [finding.render() for finding in report.findings]
+    counts = report.counts_by_code()
+    if counts:
+        summary = ", ".join(f"{code}: {count}" for code, count in counts.items())
+        lines.append("")
+        lines.append(
+            f"{len(report.findings)} finding(s) in "
+            f"{report.files_scanned} file(s) ({summary})"
+        )
+    else:
+        lines.append(
+            f"clean: {report.files_scanned} file(s), "
+            f"{report.suppressed} suppressed, {report.baselined} baselined"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Stable machine-readable rendering (schema version 1)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": report.files_scanned,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "counts": report.counts_by_code(),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "code": finding.code,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in report.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,36 @@
+"""reprolint rule set.
+
+Importing this package registers every built-in rule.  Rule modules are
+grouped by concern: numeric safety (R1xx/R2xx), RNG discipline (R3xx),
+estimator purity (R4xx), registry completeness (R5xx), and public-API
+drift (R6xx).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+    resolve_rules,
+)
+
+# Importing for side effect: each module registers its rules.
+from repro.analysis.rules import exports as _exports
+from repro.analysis.rules import numeric as _numeric
+from repro.analysis.rules import purity as _purity
+from repro.analysis.rules import registry_sync as _registry_sync
+from repro.analysis.rules import rng as _rng
+
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "resolve_rules",
+]
+
+del _exports, _numeric, _purity, _registry_sync, _rng

@@ -1,0 +1,130 @@
+"""Rule base classes and the rule registry.
+
+A rule is a small object with a stable ``code`` (``R101`` …), a
+kebab-case ``name``, and a ``check`` method yielding
+:class:`~repro.analysis.findings.Finding` records.  Most rules examine
+one module at a time (:class:`Rule`); rules whose truth spans files —
+registry completeness, for example — subclass :class:`ProjectRule` and
+receive every scanned module plus the shared
+:class:`~repro.analysis.project.ProjectContext`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectContext
+from repro.analysis.source import SourceModule
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "resolve_rules",
+]
+
+_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+class Rule(ABC):
+    """One lint rule checking a single module at a time."""
+
+    #: Stable finding code, e.g. ``"R101"``.
+    code: str = ""
+
+    #: Kebab-case human name, e.g. ``"unguarded-division"``.
+    name: str = ""
+
+    #: One-line description shown by ``repro lint --list-rules``.
+    description: str = ""
+
+    @abstractmethod
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> Iterator[Finding]:
+        """Yield findings for one module."""
+
+    def finding(
+        self, module: SourceModule, line: int, col: int, message: str
+    ) -> Finding:
+        """Construct a finding attributed to this rule."""
+        return Finding(
+            path=module.path,
+            line=line,
+            col=col,
+            code=self.code,
+            message=message,
+            rule=self.name,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule whose findings depend on the whole scanned tree."""
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> Iterator[Finding]:
+        """Project rules run once via :meth:`check_project`."""
+        return iter(())
+
+    @abstractmethod
+    def check_project(
+        self, modules: list[SourceModule], context: ProjectContext
+    ) -> Iterator[Finding]:
+        """Yield findings after seeing every module."""
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.code or not rule_class.name:
+        raise InvalidParameterError(
+            f"rule {rule_class.__name__} must define both code and name"
+        )
+    existing = _REGISTRY.get(rule_class.code)
+    if existing is not None and existing is not rule_class:
+        raise InvalidParameterError(
+            f"duplicate rule code {rule_class.code!r}: "
+            f"{existing.__name__} vs {rule_class.__name__}"
+        )
+    _REGISTRY[rule_class.code] = rule_class
+    return rule_class
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """Registered rules keyed by code, in code order."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_rule(code: str) -> type[Rule]:
+    """Look up one rule class by its code."""
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise InvalidParameterError(
+            f"unknown rule code {code!r}; known rules: {known}"
+        ) from None
+
+
+def resolve_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """Instantiate the requested rules (all by default, minus ignores)."""
+    codes = list(all_rules())
+    if select is not None:
+        wanted = list(select)
+        for code in wanted:
+            get_rule(code)  # validate early with a helpful error
+        codes = [code for code in codes if code in set(wanted)]
+    if ignore is not None:
+        dropped = set(ignore)
+        for code in dropped:
+            get_rule(code)
+        codes = [code for code in codes if code not in dropped]
+    return [_REGISTRY[code]() for code in codes]

@@ -1,0 +1,177 @@
+"""R601 — public-API drift: ``__all__`` must exist, be sound, and be complete.
+
+The repo ships ``py.typed`` and promises a stable import surface per
+module.  Drift between what a module *defines* and what it *declares*
+shows up as broken ``from repro.x import *`` in notebooks and as
+docs/reference pages that miss new estimators.  Three checks:
+
+* a module defining public functions or classes must declare ``__all__``
+  as a literal list/tuple of strings at top level;
+* every name in ``__all__`` must actually be bound at top level
+  (definition, assignment, or import);
+* every *public* top-level function/class must appear in ``__all__``
+  (constants are advisory and exempt — re-exported values and data
+  tables routinely stay out of ``__all__``);
+* dynamic mutation (``__all__.append`` / ``+=``) is flagged: the whole
+  point of the declaration is that tools can read it statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectContext
+from repro.analysis.rules.base import Rule, register
+from repro.analysis.source import SourceModule
+
+__all__ = ["ExportsDrift"]
+
+
+def _literal_names(value: ast.expr) -> list[str] | None:
+    """String elements of a list/tuple literal, or None if not literal."""
+    if not isinstance(value, (ast.List, ast.Tuple)):
+        return None
+    names: list[str] = []
+    for element in value.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            names.append(element.value)
+        else:
+            return None
+    return names
+
+
+@register
+class ExportsDrift(Rule):
+    """Flag missing, unsound, incomplete, or dynamic ``__all__``."""
+
+    code = "R601"
+    name = "exports-drift"
+    description = (
+        "__all__ missing, lists an unbound name, omits a public def/class, "
+        "or is mutated dynamically"
+    )
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> Iterator[Finding]:
+        tree = module.tree
+        declared: list[str] | None = None
+        declared_line = 0
+        bound: set[str] = set()
+        public_defs: dict[str, ast.stmt] = {}
+
+        for statement in tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(statement.name)
+                if not statement.name.startswith("_"):
+                    public_defs[statement.name] = statement
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+                        if target.id == "__all__":
+                            declared = _literal_names(statement.value)
+                            declared_line = statement.lineno
+                            if declared is None:
+                                yield self.finding(
+                                    module,
+                                    statement.lineno,
+                                    statement.col_offset,
+                                    "__all__ must be a literal list/tuple of "
+                                    "strings so tools can read it statically",
+                                )
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for element in target.elts:
+                            if isinstance(element, ast.Name):
+                                bound.add(element.id)
+            elif isinstance(statement, ast.AnnAssign):
+                if isinstance(statement.target, ast.Name):
+                    bound.add(statement.target.id)
+            elif isinstance(statement, (ast.Import, ast.ImportFrom)):
+                for alias in statement.names:
+                    if alias.name == "*":
+                        continue
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(statement, ast.AugAssign):
+                if (
+                    isinstance(statement.target, ast.Name)
+                    and statement.target.id == "__all__"
+                ):
+                    yield self.finding(
+                        module,
+                        statement.lineno,
+                        statement.col_offset,
+                        "__all__ += ... defeats static readers; fold the "
+                        "names into the literal declaration",
+                    )
+            elif isinstance(statement, (ast.If, ast.Try)):
+                # Conditional imports (typing gates, optional deps) bind
+                # names too; walk one level for Import/ImportFrom/defs.
+                for node in ast.walk(statement):
+                    if isinstance(node, (ast.Import, ast.ImportFrom)):
+                        for alias in node.names:
+                            if alias.name != "*":
+                                bound.add(
+                                    alias.asname or alias.name.split(".")[0]
+                                )
+                    elif isinstance(
+                        node,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                    ):
+                        bound.add(node.name)
+                    elif isinstance(node, ast.Assign):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                bound.add(target.id)
+
+        # Dynamic mutation via method call anywhere at top level.
+        for statement in tree.body:
+            if isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Call
+            ):
+                func = statement.value.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "__all__"
+                ):
+                    yield self.finding(
+                        module,
+                        statement.lineno,
+                        statement.col_offset,
+                        f"__all__.{func.attr}(...) defeats static readers; "
+                        "fold the names into the literal declaration",
+                    )
+
+        if declared is None:
+            if public_defs:
+                first = min(public_defs.values(), key=lambda s: s.lineno)
+                yield self.finding(
+                    module,
+                    first.lineno,
+                    first.col_offset,
+                    f"module defines public names "
+                    f"({', '.join(sorted(public_defs))}) but declares no "
+                    "__all__",
+                )
+            return
+
+        for name in declared:
+            if name not in bound:
+                yield self.finding(
+                    module,
+                    declared_line,
+                    0,
+                    f"__all__ lists {name!r} but the module never binds it",
+                )
+        declared_set = set(declared)
+        for name, statement in sorted(public_defs.items()):
+            if name not in declared_set:
+                yield self.finding(
+                    module,
+                    statement.lineno,
+                    statement.col_offset,
+                    f"public name {name!r} is missing from __all__",
+                )

@@ -1,0 +1,199 @@
+"""Numeric-safety rules: unguarded division, unsafe log/sqrt, float equality.
+
+Why these three, specifically: every estimator in this library is a pure
+function of sample quantities (``r``, ``d``, the ``f_i``) that can all be
+zero on legitimate inputs, and the error *measurements* the paper's
+guarantee is judged by are ratios of such quantities.  A ``ZeroDivision``
+or ``math domain error`` on a rare profile silently truncates an
+experiment sweep; a float ``==`` flips a hybrid's branch on one platform
+and not another.  Empirical studies of these estimators (Deolalikar &
+Laffitte 2016; the q-error literature) attribute exactly this class of
+bug to corrupted error curves.
+
+R101 and R102 are scoped to the estimator stack (``repro/core``,
+``repro/estimators``, ``repro/frequency``, ``repro/sketches``,
+``repro/sampling``) where the contract applies; R201 runs tree-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.guards import (
+    CONTRACT_POSITIVE,
+    ScopeFacts,
+    iter_scopes,
+    module_positive_constants,
+    walk_within_scope,
+)
+from repro.analysis.project import ProjectContext
+from repro.analysis.rules.base import Rule, register
+from repro.analysis.source import SourceModule
+
+__all__ = ["UnguardedDivision", "UnsafeLogSqrt", "FloatEquality"]
+
+#: Packages the estimator contract (and therefore R101/R102) covers.
+ESTIMATOR_STACK = (
+    ("repro", "core"),
+    ("repro", "estimators"),
+    ("repro", "frequency"),
+    ("repro", "sketches"),
+    ("repro", "sampling"),
+)
+
+
+def _in_estimator_stack(module: SourceModule) -> bool:
+    return any(module.in_package(*parts) for parts in ESTIMATOR_STACK)
+
+
+class _ScopedNumericRule(Rule):
+    """Shared scope-walking machinery for R101/R102."""
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> Iterator[Finding]:
+        if not _in_estimator_stack(module):
+            return
+        module_facts = ScopeFacts(module.tree)
+        positive = CONTRACT_POSITIVE | module_positive_constants(module_facts)
+        for scope, _statements in iter_scopes(module.tree):
+            facts = ScopeFacts(scope, contract_positive=positive)
+            for node in self._scope_nodes(scope):
+                yield from self._check_node(module, node, facts)
+
+    @staticmethod
+    def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+        return walk_within_scope(scope)
+
+    def _check_node(
+        self, module: SourceModule, node: ast.AST, facts: ScopeFacts
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@register
+class UnguardedDivision(_ScopedNumericRule):
+    """R101: division by a quantity that may be zero.
+
+    A divisor must be provably positive (literal, contract quantity, or
+    positivity-preserving arithmetic) or *guarded* — mentioned in a
+    comparison or branch test of the same scope, evidence the author
+    considered the zero case.
+    """
+
+    code = "R101"
+    name = "unguarded-division"
+    description = (
+        "division by a possibly-zero sample quantity without a guard "
+        "(estimator stack only)"
+    )
+
+    def _check_node(
+        self, module: SourceModule, node: ast.AST, facts: ScopeFacts
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Div, ast.FloorDiv, ast.Mod)
+        ):
+            divisor = node.right
+            if not facts.is_safe_divisor(divisor):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"divisor {ast.unparse(divisor)!r} may be zero; guard it "
+                    "(compare/early-return) or derive it from contract-"
+                    "positive quantities",
+                )
+
+
+@register
+class UnsafeLogSqrt(_ScopedNumericRule):
+    """R102: ``math.log``/``math.sqrt`` on a possibly-nonpositive argument.
+
+    ``math.log(0)`` and ``math.sqrt(-eps)`` raise ``ValueError`` at the
+    exact profiles (all-singleton samples, empty tails) where estimator
+    behaviour matters most; the argument must be provably positive or
+    guarded in scope.
+    """
+
+    code = "R102"
+    name = "unsafe-log-sqrt"
+    description = (
+        "math.log/math.sqrt argument may be nonpositive (estimator stack only)"
+    )
+
+    _FUNCTIONS = ("log", "log2", "log10", "sqrt")
+
+    def _check_node(
+        self, module: SourceModule, node: ast.AST, facts: ScopeFacts
+    ) -> Iterator[Finding]:
+        if not (isinstance(node, ast.Call) and node.args):
+            return
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._FUNCTIONS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "math"
+        ):
+            return
+        argument = node.args[0]
+        if not facts.is_safe_log_argument(argument, allow_zero=func.attr == "sqrt"):
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                f"math.{func.attr} argument {ast.unparse(argument)!r} may be "
+                "nonpositive; guard it or build it from positive quantities",
+            )
+
+
+@register
+class FloatEquality(Rule):
+    """R201: ``==``/``!=`` against a float literal.
+
+    Exact float comparison encodes an assumption about rounding that the
+    next refactor silently breaks — ``q == 1.0`` misses ``q =
+    0.9999999999999999`` from ``r/n`` and takes the wrong estimator
+    branch.  Compare with an inequality that covers the boundary, or use
+    ``math.isclose`` when equality truly is the intent.
+    """
+
+    code = "R201"
+    name = "float-equality"
+    description = "equality comparison against a float literal"
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operators = node.ops
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(operators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                pair = (operands[index], operands[index + 1])
+                if any(self._is_float_literal(operand) for operand in pair):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"float literal compared with {symbol!r}; use an "
+                        "inequality covering the boundary or math.isclose",
+                    )
+
+    @staticmethod
+    def _is_float_literal(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, float):
+            return True
+        return (
+            isinstance(expr, ast.UnaryOp)
+            and isinstance(expr.op, (ast.USub, ast.UAdd))
+            and isinstance(expr.operand, ast.Constant)
+            and isinstance(expr.operand.value, float)
+        )

@@ -1,0 +1,67 @@
+"""R501 — registry completeness: every concrete estimator is reachable.
+
+The experiment harness, the CLI, and the paper-exhibit scripts all
+enumerate estimators through ``ESTIMATOR_FACTORIES``
+(:mod:`repro.core.registry`).  A concrete ``DistinctValueEstimator``
+subclass that never lands in the registry silently drops out of every
+sweep and every comparison table — the most expensive kind of bug to
+notice, because nothing fails.  This rule cross-references the
+statically-derived class hierarchy against the registry literal and
+reports unregistered concrete estimators at their definition site.
+
+Classes whose name starts with an underscore are treated as private
+implementation details and exempt, as are abstract classes (detected via
+ABC bases or ``abstractmethod`` members).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ESTIMATOR_BASE, ProjectContext
+from repro.analysis.rules.base import ProjectRule, register
+from repro.analysis.source import SourceModule
+
+__all__ = ["RegistryCompleteness"]
+
+
+@register
+class RegistryCompleteness(ProjectRule):
+    """Flag concrete estimator classes missing from ESTIMATOR_FACTORIES."""
+
+    code = "R501"
+    name = "registry-completeness"
+    description = (
+        "concrete DistinctValueEstimator subclass not reachable from "
+        "ESTIMATOR_FACTORIES"
+    )
+
+    def check_project(
+        self, modules: list[SourceModule], context: ProjectContext
+    ) -> Iterator[Finding]:
+        if context.registry_module is None:
+            # No registry in the scanned set (e.g. a fixtures-only run):
+            # completeness is unverifiable, so stay silent rather than
+            # flag every class.
+            return
+        by_path = {module.path: module for module in modules}
+        for name in sorted(context.estimator_classes):
+            facts = context.classes.get(name)
+            if facts is None or name == ESTIMATOR_BASE:
+                continue
+            if facts.is_abstract or name.startswith("_"):
+                continue
+            if name in context.registered_classes:
+                continue
+            module = by_path.get(facts.module_path)
+            if module is None:
+                continue
+            yield self.finding(
+                module,
+                facts.lineno,
+                facts.col,
+                f"estimator class {name} is not registered in "
+                f"{context.registry_module} ESTIMATOR_FACTORIES; it will be "
+                "invisible to the CLI and every experiment sweep",
+            )

@@ -1,0 +1,163 @@
+"""File collection and the lint driver.
+
+:func:`lint_paths` is the one entry point everything else (CLI, tests,
+``make check``) goes through: collect ``.py`` files, parse each once into
+a :class:`~repro.analysis.source.SourceModule`, build the shared
+:class:`~repro.analysis.project.ProjectContext`, run every requested rule,
+then apply suppression pragmas and the optional baseline.  Files that do
+not parse become ``P001`` findings instead of crashing the run — a lint
+tool that dies on the file it should be reporting is useless in CI.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import PARSE_ERROR_CODE, Finding
+from repro.analysis.project import ProjectContext, build_context
+from repro.analysis.rules import ProjectRule, Rule, resolve_rules
+from repro.analysis.source import SourceModule
+from repro.errors import InvalidParameterError
+
+__all__ = ["LintReport", "collect_files", "lint_paths"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".hypothesis",
+        ".mypy_cache",
+        ".pytest_cache",
+        ".ruff_cache",
+        ".venv",
+        "venv",
+        "build",
+        "dist",
+    }
+)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    parse_errors: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any finding survives suppression/baseline."""
+        return 1 if self.findings else 0
+
+    def counts_by_code(self) -> dict[str, int]:
+        """Surviving findings per rule code, in code order."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def collect_files(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    collected: list[str] = []
+    seen: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+                collected.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name
+                    for name in dirnames
+                    if name not in _SKIP_DIRS and not name.endswith(".egg-info")
+                )
+                for filename in sorted(filenames):
+                    if not filename.endswith(".py"):
+                        continue
+                    full = os.path.join(dirpath, filename)
+                    if full not in seen:
+                        seen.add(full)
+                        collected.append(full)
+        else:
+            raise InvalidParameterError(f"lint path does not exist: {path!r}")
+    return sorted(collected)
+
+
+def _parse_modules(
+    files: Iterable[str],
+) -> tuple[list[SourceModule], list[Finding]]:
+    modules: list[SourceModule] = []
+    errors: list[Finding] = []
+    for path in files:
+        try:
+            modules.append(SourceModule.from_file(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            col = getattr(exc, "offset", None) or 1
+            errors.append(
+                Finding(
+                    path=path,
+                    line=int(line),
+                    col=max(int(col) - 1, 0),
+                    code=PARSE_ERROR_CODE,
+                    message=f"could not parse file: {exc}",
+                    rule="parse-error",
+                )
+            )
+    return modules, errors
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    baseline: dict[str, int] | None = None,
+) -> LintReport:
+    """Lint the given files/directories and return a :class:`LintReport`.
+
+    ``baseline`` maps ``"path::code"`` keys to allowed counts (see
+    :mod:`repro.analysis.baseline`); up to that many matching findings
+    are absorbed per key, so pre-existing debt does not fail the run but
+    *new* findings of the same kind still do.
+    """
+    files = collect_files(paths)
+    modules, parse_findings = _parse_modules(files)
+    context: ProjectContext = build_context(modules)
+    rules: list[Rule] = resolve_rules(select, ignore)
+
+    raw: list[Finding] = list(parse_findings)
+    for module in modules:
+        for rule in rules:
+            raw.extend(rule.check(module, context))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(modules, context))
+
+    report = LintReport(files_scanned=len(files))
+    by_path = {module.path: module for module in modules}
+    remaining_baseline = dict(baseline or {})
+    for finding in sorted(raw):
+        module = by_path.get(finding.path)
+        if module is not None and module.suppressions.is_suppressed(
+            finding.line, finding.code
+        ):
+            report.suppressed += 1
+            continue
+        key = finding.baseline_key
+        if remaining_baseline.get(key, 0) > 0:
+            remaining_baseline[key] -= 1
+            report.baselined += 1
+            continue
+        if finding.code == PARSE_ERROR_CODE:
+            report.parse_errors += 1
+        report.findings.append(finding)
+    return report

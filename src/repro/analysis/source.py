@@ -1,0 +1,126 @@
+"""Parsed source modules and ``# reprolint: disable=...`` suppressions.
+
+Suppressions are the *explicit baseline* mechanism the rules rely on:
+every accepted violation must carry a visible marker at the offending
+line (or a file-level marker near the top of the module), so the debt is
+auditable in the diff rather than hidden in analyzer state.
+
+Two forms are recognized::
+
+    risky = a / b  # reprolint: disable=R101
+    # reprolint: disable-file=R601
+
+The line form silences the listed codes on its own line only; the file
+form silences them for the whole module.  ``disable=all`` silences every
+rule (use sparingly — generated files, vendored code).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SourceModule", "SuppressionTable"]
+
+_LINE_PRAGMA = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_PRAGMA = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+#: Sentinel meaning "every code is suppressed".
+_ALL = "all"
+
+
+def _parse_codes(raw: str) -> set[str]:
+    return {code.strip() for code in raw.split(",") if code.strip()}
+
+
+@dataclass
+class SuppressionTable:
+    """Per-line and per-file suppression state for one module."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """True when ``code`` is silenced at ``line``."""
+        if code in self.file_wide or _ALL in self.file_wide:
+            return True
+        codes = self.by_line.get(line)
+        if codes is None:
+            return False
+        return code in codes or _ALL in codes
+
+    @classmethod
+    def from_source(cls, text: str) -> "SuppressionTable":
+        """Extract suppression pragmas from real comments only.
+
+        Tokenizing (rather than regex over raw lines) keeps pragma-like
+        text inside string literals from being treated as a suppression.
+        """
+        table = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                file_match = _FILE_PRAGMA.search(token.string)
+                if file_match:
+                    table.file_wide |= _parse_codes(file_match.group(1))
+                    continue
+                line_match = _LINE_PRAGMA.search(token.string)
+                if line_match:
+                    line = token.start[0]
+                    table.by_line.setdefault(line, set()).update(
+                        _parse_codes(line_match.group(1))
+                    )
+        except tokenize.TokenError:
+            # Unterminated constructs: the AST parse will report the
+            # real syntax error; suppressions just stay empty.
+            pass
+        return table
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python file, ready for rules to visit.
+
+    ``path`` is kept exactly as supplied (relative paths stay relative)
+    so findings render the way the user referenced the tree.
+    """
+
+    path: str
+    text: str
+    tree: ast.Module
+    suppressions: SuppressionTable
+
+    @classmethod
+    def from_source(cls, text: str, path: str = "<memory>") -> "SourceModule":
+        """Build a module from in-memory source (fixture tests use this)."""
+        return cls(
+            path=path,
+            text=text,
+            tree=ast.parse(text, filename=path),
+            suppressions=SuppressionTable.from_source(text),
+        )
+
+    @classmethod
+    def from_file(cls, path: Path | str) -> "SourceModule":
+        """Parse a file from disk; raises ``SyntaxError`` on bad source."""
+        text = Path(path).read_text(encoding="utf-8")
+        return cls.from_source(text, path=str(path))
+
+    def in_package(self, *parts: str) -> bool:
+        """True when this module lives under the given package path.
+
+        ``module.in_package("repro", "data")`` matches any path containing
+        the directory run ``repro/data`` — used by rules whose scope is a
+        subtree (e.g. the RNG exemption for the data generators).
+        """
+        pieces = Path(self.path).parts
+        span = len(parts)
+        return any(
+            pieces[i : i + span] == parts for i in range(len(pieces) - span + 1)
+        )

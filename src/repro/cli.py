@@ -26,6 +26,9 @@ Commands
     Run a micro-SQL statement (``SELECT COUNT(DISTINCT c) FROM t
     [SAMPLE p%] [USING est] [WHERE ...]``) against CSV tables loaded
     with ``--load name=path``.
+``lint``
+    Run reprolint, the project's static analyzer, over source paths
+    (default ``src``); exits nonzero when findings remain.
 
 Examples
 --------
@@ -222,6 +225,35 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        all_rules,
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+    )
+    from repro.analysis.baseline import write_baseline
+
+    if args.list_rules:
+        for code, rule_class in all_rules().items():
+            print(f"{code}  {rule_class.name:24s} {rule_class.description}")
+        return 0
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report = lint_paths(
+        args.paths,
+        select=args.select or None,
+        ignore=args.ignore or None,
+        baseline=baseline,
+    )
+    if args.write_baseline:
+        entries = write_baseline(args.write_baseline, report)
+        print(f"wrote {entries} baseline entr{'y' if entries == 1 else 'ies'} to {args.write_baseline}")
+        return 0
+    print(render_json(report) if args.format == "json" else render_text(report))
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -304,6 +336,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sql.add_argument("--seed", type=int, default=0)
     sql.set_defaults(func=_cmd_sql)
+
+    lint = sub.add_parser(
+        "lint", help="run reprolint, the project static analyzer"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format"
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="run only these rule codes (repeatable)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODE",
+        help="skip these rule codes (repeatable)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE", help="absorb findings listed in this baseline"
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings as a baseline and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list rule codes and exit"
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

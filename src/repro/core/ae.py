@@ -106,9 +106,16 @@ def _fixed_point_residual_approx(
     m: float, f1: int, rare_distinct: int, rare_rows: int, a0: float, b0: float
 ) -> float:
     """Residual of the exponential-approximation fixed-point equation at ``m``."""
+    if m <= 0.0:
+        # Below the domain: move the bracket right.
+        return -math.inf
     rare_tail = math.exp(-rare_rows / m)
     numerator = a0 + m * rare_tail
     denominator = b0 + rare_rows * rare_tail
+    if denominator <= 0.0:
+        # exp underflow with an empty high-frequency tail (b0 == 0): the
+        # fixed-point term blows up, so the residual is -inf.
+        return -math.inf
     return (m - rare_distinct) - f1 * numerator / denominator
 
 
@@ -122,6 +129,8 @@ def _fixed_point_residual_exact(
     r: int,
 ) -> float:
     """Residual of the exact fixed-point equation at ``m`` (requires ``m > g/r``)."""
+    if m <= 0.0 or r < 1:
+        return -math.inf
     base = 1.0 - rare_rows / (r * m)
     if base <= 0.0:
         # Below the algebraic domain; treat as strongly negative so the
@@ -131,6 +140,10 @@ def _fixed_point_residual_exact(
     tail_r1 = base ** (r - 1)
     numerator = a0 + m * tail_r
     denominator = b0 + rare_rows * tail_r1
+    if denominator <= 0.0:
+        # Power underflow with an empty high-frequency tail (b0 == 0):
+        # the fixed-point term blows up, so the residual is -inf.
+        return -math.inf
     return (m - rare_distinct) - f1 * numerator / denominator
 
 
@@ -231,11 +244,10 @@ def _bracket_and_solve(
     exists.
     """
     value_lo = residual(lo)
-    if value_lo == 0.0:
-        return lo
-    if value_lo > 0.0:
-        # Can only happen through floating-point noise at the boundary;
-        # the root is at (or numerically indistinguishable from) lo.
+    if value_lo >= 0.0:
+        # Zero residual means lo already is the root; a positive one can
+        # only happen through floating-point noise at the boundary, where
+        # the root is numerically indistinguishable from lo.
         return lo
     if population_size is not None:
         cap = _BRACKET_CAP_FACTOR * max(float(population_size), lo + 1.0)

@@ -31,6 +31,7 @@ from __future__ import annotations
 import math
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import InvalidParameterError
 
@@ -46,7 +47,9 @@ __all__ = [
 _SCHEMES = ("without", "with")
 
 
-def _validated(class_sizes, sample_size: int, scheme: str):
+def _validated(
+    class_sizes: npt.ArrayLike, sample_size: int, scheme: str
+) -> tuple[npt.NDArray[np.float64], float, int]:
     sizes = np.asarray(class_sizes, dtype=np.float64)
     if sizes.ndim != 1 or sizes.size == 0:
         raise InvalidParameterError("class_sizes must be a non-empty 1-D array")
@@ -67,7 +70,7 @@ def _validated(class_sizes, sample_size: int, scheme: str):
     return sizes, n, r
 
 
-def _log_binomial(a: np.ndarray, b: float) -> np.ndarray:
+def _log_binomial(a: npt.NDArray[np.float64], b: float) -> npt.NDArray[np.float64]:
     """``log C(a, b)`` elementwise, with ``-inf`` where ``b > a``."""
     a = np.asarray(a, dtype=np.float64)
     with np.errstate(invalid="ignore"):
@@ -80,11 +83,11 @@ def _log_binomial(a: np.ndarray, b: float) -> np.ndarray:
 
 
 def _log_prob_count(
-    sizes: np.ndarray, n: float, r: int, i: int, scheme: str
-) -> np.ndarray:
+    sizes: npt.NDArray[np.float64], n: float, r: int, i: int, scheme: str
+) -> npt.NDArray[np.float64]:
     """``log P[count_j = i]`` for every class ``j``."""
     if scheme == "with":
-        p = sizes / n
+        p = sizes / n  # reprolint: disable=R101 - n = sum of validated sizes >= 1
         log_p = np.log(p)
         with np.errstate(divide="ignore"):  # p = 1 -> log(0) = -inf, handled below
             log_q = np.log1p(-p)
@@ -103,7 +106,7 @@ def _log_prob_count(
     )
 
 
-def expected_distinct(class_sizes, sample_size: int, scheme: str = "without") -> float:
+def expected_distinct(class_sizes: npt.ArrayLike, sample_size: int, scheme: str = "without") -> float:
     """``E[d]``: expected number of distinct values in the sample."""
     sizes, n, r = _validated(class_sizes, sample_size, scheme)
     log_unseen = _log_prob_count(sizes, n, r, 0, scheme)
@@ -112,7 +115,7 @@ def expected_distinct(class_sizes, sample_size: int, scheme: str = "without") ->
 
 
 def expected_frequency_count(
-    class_sizes, sample_size: int, frequency: int, scheme: str = "without"
+    class_sizes: npt.ArrayLike, sample_size: int, frequency: int, scheme: str = "without"
 ) -> float:
     """``E[f_i]``: expected number of values sampled exactly ``i`` times."""
     sizes, n, r = _validated(class_sizes, sample_size, scheme)
@@ -123,7 +126,7 @@ def expected_frequency_count(
 
 
 def expected_profile(
-    class_sizes,
+    class_sizes: npt.ArrayLike,
     sample_size: int,
     scheme: str = "without",
     max_frequency: int | None = None,
@@ -143,7 +146,7 @@ def expected_profile(
     return profile
 
 
-def expected_gee(class_sizes, sample_size: int, scheme: str = "with") -> float:
+def expected_gee(class_sizes: npt.ArrayLike, sample_size: int, scheme: str = "with") -> float:
     """``E[GEE] = E[d] + (sqrt(n/r) - 1) E[f_1]`` — Theorem 2's quantity.
 
     Defaults to with-replacement sampling, the model the proof uses.
@@ -151,11 +154,11 @@ def expected_gee(class_sizes, sample_size: int, scheme: str = "with") -> float:
     sizes, n, r = _validated(class_sizes, sample_size, scheme)
     e_d = expected_distinct(sizes, r, scheme)
     e_f1 = expected_frequency_count(sizes, r, 1, scheme)
-    return e_d + (math.sqrt(n / r) - 1.0) * e_f1
+    return e_d + (math.sqrt(n / r) - 1.0) * e_f1  # reprolint: disable=R101,R102 - _validated guarantees n >= 1 and r >= 1
 
 
 def variance_distinct(
-    class_sizes, sample_size: int, scheme: str = "with"
+    class_sizes: npt.ArrayLike, sample_size: int, scheme: str = "with"
 ) -> float:
     """Exact ``Var[d]`` — the "Variance" desideratum of §1.2, computable.
 
@@ -177,7 +180,7 @@ def variance_distinct(
     variance = float(np.sum(unseen * (1.0 - unseen)))
     if d_count > 1:
         if scheme == "with":
-            p = sizes / n
+            p = sizes / n  # reprolint: disable=R101 - n = sum of validated sizes >= 1
             pair_base = 1.0 - (p[:, None] + p[None, :])
             with np.errstate(invalid="ignore", divide="ignore"):
                 both_unseen = np.where(
@@ -197,7 +200,7 @@ def variance_distinct(
 
 
 def unbiased_singleton_coefficient(
-    class_sizes, sample_size: int, scheme: str = "without"
+    class_sizes: npt.ArrayLike, sample_size: int, scheme: str = "without"
 ) -> float:
     """The exactly-unbiased ``K`` of §5.2: ``(D - E[d]) / E[f_1]``.
 

@@ -63,7 +63,7 @@ class GEE(DistinctValueEstimator):
                 f"GEE exponent must lie in [0, 1], got {exponent}"
             )
         self.exponent = float(exponent)
-        if exponent != 0.5:
+        if not math.isclose(exponent, 0.5):
             self.name = f"GEE(a={exponent:g})"
 
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:

@@ -8,6 +8,7 @@ paper's §6 experiments compare — is exposed as :data:`PAPER_ESTIMATORS`.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from typing import Callable
 
 from repro.core.ae import AE
@@ -92,7 +93,7 @@ def make_estimator(name: str) -> DistinctValueEstimator:
     return factory()
 
 
-def make_estimators(names) -> list[DistinctValueEstimator]:
+def make_estimators(names: Iterable[str]) -> list[DistinctValueEstimator]:
     """Instantiate several estimators by name, preserving order."""
     return [make_estimator(name) for name in names]
 

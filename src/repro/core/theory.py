@@ -30,6 +30,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import InvalidParameterError
 
@@ -113,7 +114,7 @@ def minimum_sample_size_for_error(
     if not 0.0 < gamma < 1.0:
         raise InvalidParameterError(f"gamma must be in (0, 1), got {gamma}")
     load = math.log(1.0 / gamma)
-    r = population_size * load / (2.0 * target_error**2 + load)
+    r = population_size * load / (2.0 * target_error**2 + load)  # reprolint: disable=R101 - target_error >= 1 and load = ln(1/gamma) > 0 validated above
     return min(population_size, max(1, math.ceil(r)))
 
 
@@ -121,8 +122,8 @@ def minimum_sample_size_for_error(
 class AdversarialPair:
     """The two Theorem-1 scenarios, materialized as concrete columns."""
 
-    scenario_a: np.ndarray
-    scenario_b: np.ndarray
+    scenario_a: npt.NDArray[np.int64]
+    scenario_b: npt.NDArray[np.int64]
     k: int
 
     @property
@@ -138,7 +139,7 @@ class AdversarialPair:
     @property
     def indistinguishability_floor(self) -> float:
         """``sqrt(k + 1)``: the error some answer must incur on A or B."""
-        return math.sqrt(self.k + 1)
+        return math.sqrt(self.k + 1)  # reprolint: disable=R102 - k >= 0: adversarial_k is nonnegative for r <= n
 
 
 def adversarial_pair(

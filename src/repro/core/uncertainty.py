@@ -37,7 +37,12 @@ from repro.core.base import ConfidenceInterval, DistinctValueEstimator
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
 
-__all__ = ["BootstrapSummary", "bootstrap_profile", "bootstrap_estimate"]
+__all__ = [
+    "BootstrapSummary",
+    "bootstrap_profile",
+    "bootstrap_estimate",
+    "coefficient_of_variation",
+]
 
 
 @dataclass(frozen=True)
@@ -66,7 +71,9 @@ def bootstrap_profile(
     counts = np.repeat(
         [i for i, _ in profile], [c for _, c in profile]
     ).astype(np.float64)
-    draws = rng.multinomial(r, counts / counts.sum())
+    # The per-class counts sum to exactly r (sum_i i * f_i), so divide by
+    # the validated sample size directly.
+    draws = rng.multinomial(r, counts / r)
     return FrequencyProfile.from_multiplicities(
         draws[draws > 0].tolist()
     )
@@ -127,6 +134,3 @@ def coefficient_of_variation(summary: BootstrapSummary) -> float:
     if summary.estimate <= 0:
         raise InvalidParameterError("estimate must be positive")
     return summary.std / summary.estimate
-
-
-__all__.append("coefficient_of_variation")

@@ -34,6 +34,7 @@ __all__ = [
     "composite_values",
     "estimate_composite_distinct",
     "composite_upper_bound",
+    "correlation_ratio",
 ]
 
 
@@ -122,6 +123,3 @@ def correlation_ratio(
     if cap <= 0 or composite_distinct <= 0:
         raise InvalidParameterError("distinct counts must be positive")
     return composite_distinct / cap
-
-
-__all__.append("correlation_ratio")

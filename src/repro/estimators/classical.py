@@ -163,8 +163,11 @@ class HorvitzThompson(DistinctValueEstimator):
         log_one_minus_q = math.log1p(-q)
         total = 0.0
         for i, count in profile.counts.items():
+            # inclusion = 1 - (1-q)^{i/q} lies in (0, 1] for 0 < q < 1;
+            # the branch only guards expm1 rounding to exactly zero.
             inclusion = -math.expm1(i / q * log_one_minus_q)
-            total += count / inclusion
+            if inclusion > 0.0:
+                total += count / inclusion
         return total
 
 

@@ -91,7 +91,7 @@ def good_toulmin_extrapolation(
             f"smoothing_success must be in (0, 1), got {smoothing_success}"
         )
     t = float(extra_fraction)
-    if t == 0.0 or not profile:
+    if t <= 0.0 or not profile:
         return 0.0
     max_i = profile.max_frequency
     total = 0.0
@@ -108,14 +108,13 @@ def good_toulmin_extrapolation(
     # Euler smoothing: truncate at order k and weight term i by
     # P[Binomial(k, theta) >= i], the probability the randomly-stopped
     # series would have reached it (Efron-Thisted).
-    theta = smoothing_success
     k = min(max_i, 20) if order is None else int(order)
     if k < 1:
         raise InvalidParameterError(f"order must be >= 1, got {order}")
     # Survival function of Binomial(k, theta) at i, computed directly
     # (profiles are sparse and k modest in practice).
-    log_theta = math.log(theta)
-    log_one_minus = math.log1p(-theta)
+    log_theta = math.log(smoothing_success)
+    log_one_minus = math.log1p(-smoothing_success)
 
     def binomial_tail(i: int) -> float:
         tail = 0.0

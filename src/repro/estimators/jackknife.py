@@ -113,6 +113,11 @@ class SmoothedJackknife(DistinctValueEstimator):
         r = profile.sample_size
         q = r / population_size
         denominator = 1.0 - (1.0 - q) * profile.f1 / r
+        if denominator <= 0.0:
+            # f1 <= r forces denominator >= q > 0 algebraically; float
+            # rounding can cross zero only at q ~ 0, where no finite
+            # scale-up is defensible — saturate at the population size.
+            return float(population_size)
         return profile.distinct / denominator
 
 
@@ -141,7 +146,7 @@ class MethodOfMoments(DistinctValueEstimator):
         log_one_minus_q = math.log1p(-q) if q < 1.0 else -math.inf
 
         def moment_gap(candidate: float) -> float:
-            expected = candidate * -math.expm1(n / candidate * log_one_minus_q)
+            expected = candidate * -math.expm1(n / candidate * log_one_minus_q)  # reprolint: disable=R101 - bracketing keeps candidate in [d, n], d >= 1
             return expected - d
 
         # E[d](D) is increasing in D; bracket between d (gap <= 0 there)
@@ -216,6 +221,10 @@ class UnsmoothedSecondOrderJackknife(DistinctValueEstimator):
             return float(d), {"cv_squared": gamma_sq}
         skew_correction = f1 * (1.0 - q) * math.log1p(-q) * gamma_sq / q
         denominator = 1.0 - (1.0 - q) * f1 / r
+        if denominator <= 0.0:
+            # Same algebraic floor as SmoothedJackknife: denominator >= q,
+            # so this is reachable only through rounding — saturate at n.
+            return float(n), {"cv_squared": gamma_sq}
         return (d - skew_correction) / denominator, {"cv_squared": gamma_sq}
 
 

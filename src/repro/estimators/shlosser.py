@@ -73,7 +73,7 @@ def shlosser_ratio(profile: FrequencyProfile, q: float) -> float:
     """
     if not 0.0 < q <= 1.0:
         raise InvalidParameterError(f"sampling fraction must be in (0, 1], got {q}")
-    if q == 1.0:
+    if q >= 1.0:
         return 0.0
     log_one_minus_q = math.log1p(-q)
     numerator = 0.0
@@ -81,7 +81,7 @@ def shlosser_ratio(profile: FrequencyProfile, q: float) -> float:
     for i, count in profile.counts.items():
         numerator += math.exp(i * log_one_minus_q) * count
         denominator += i * q * math.exp((i - 1) * log_one_minus_q) * count
-    if denominator == 0.0:
+    if denominator <= 0.0:
         return 0.0
     return numerator / denominator
 
@@ -159,7 +159,7 @@ class ModifiedShlosser(DistinctValueEstimator):
             denominator += (
                 math.exp(i * log_decay) * math.expm1(i * log_growth) * count
             )
-        if denominator == 0.0:
+        if denominator <= 0.0:
             return float(profile.distinct), {"correction": 0.0}
         correction = numerator / denominator
         return profile.distinct + profile.f1 * correction, {"correction": correction}

@@ -61,7 +61,7 @@ def shannon_entropy(profile: FrequencyProfile, bias_corrected: bool = True) -> f
     entropy = 0.0
     for i, count in profile.counts.items():
         p = i / r
-        entropy -= count * p * math.log(p)
+        entropy -= count * p * math.log(p)  # reprolint: disable=R102 - p = i/r with multiplicity i >= 1
     if bias_corrected:
         entropy += (profile.distinct - 1) / (2.0 * r)
     return entropy

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import InvalidSampleError
 
@@ -97,7 +98,7 @@ class FrequencyProfile:
         one value occurring 3 times and two singletons, i.e.
         ``f_1 = 2, f_3 = 1``.
         """
-        counter = Counter()
+        counter: Counter[int] = Counter()
         for multiplicity in multiplicities:
             mult = int(multiplicity)
             if mult <= 0:
@@ -218,13 +219,13 @@ class FrequencyProfile:
         merged.update(other.counts)
         return FrequencyProfile(merged)
 
-    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+    def to_arrays(self) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
         """Return ``(frequencies, counts)`` as aligned int64 arrays, sorted."""
         freqs = np.array(self._sorted_freqs, dtype=np.int64)
         counts = np.array([self.counts[i] for i in self._sorted_freqs], dtype=np.int64)
         return freqs, counts
 
-    def to_dense(self, length: int | None = None) -> np.ndarray:
+    def to_dense(self, length: int | None = None) -> npt.NDArray[np.int64]:
         """Dense ``f`` vector where ``vector[i-1] = f_i``.
 
         ``length`` defaults to :attr:`max_frequency`; it must be at least

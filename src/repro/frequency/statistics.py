@@ -15,6 +15,8 @@ estimators on thresholds of this quantity.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
+from typing import SupportsInt
 
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
@@ -84,7 +86,7 @@ def cv_squared(
     return max(0.0, gamma_sq)
 
 
-def true_cv_squared(class_sizes) -> float:
+def true_cv_squared(class_sizes: Iterable[SupportsInt]) -> float:
     """Exact squared CV of a population's class sizes (ground truth).
 
     ``class_sizes`` is an iterable of per-value multiplicities ``n_j``.
@@ -94,10 +96,10 @@ def true_cv_squared(class_sizes) -> float:
     ``gamma^2 = (1/D) sum_j (n_j - mean)^2 / mean^2``.
     """
     sizes = [int(s) for s in class_sizes]
-    if not sizes:
+    d = len(sizes)
+    if d == 0:
         raise InvalidParameterError("class_sizes must be non-empty")
     if any(s <= 0 for s in sizes):
         raise InvalidParameterError("class sizes must be positive")
-    d = len(sizes)
     mean = sum(sizes) / d
-    return math.fsum((s - mean) ** 2 for s in sizes) / (d * mean * mean)
+    return math.fsum((s - mean) ** 2 for s in sizes) / (d * mean * mean)  # reprolint: disable=R101 - mean >= 1: sizes validated positive above

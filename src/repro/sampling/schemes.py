@@ -67,7 +67,7 @@ class Bernoulli(RowSampler):
     without_replacement = True
 
     def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
-        rate = r / column.size
+        rate = r / column.size  # reprolint: disable=R101 - RowSampler.sample rejects empty columns before _draw
         mask = rng.random(column.size) < rate
         if not mask.any():
             mask[rng.integers(0, column.size)] = True
@@ -124,7 +124,7 @@ class Block(RowSampler):
 
     def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
         n = column.size
-        n_blocks = -(-n // self.block_size)  # ceil division
+        n_blocks = -(-n // self.block_size)  # ceil division  # reprolint: disable=R101 - block_size >= 1 validated in __init__
         # Accumulate random blocks until the target is covered; the last
         # block of the table may be partial, so a fixed block count could
         # undershoot.

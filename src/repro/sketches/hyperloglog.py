@@ -73,11 +73,11 @@ class HyperLogLog(DistinctSketch):
     def estimate(self) -> float:
         m = self.registers_count
         registers = self._registers.astype(np.float64)
-        raw = _alpha(m) * m * m / np.sum(np.exp2(-registers))
+        raw = _alpha(m) * m * m / np.sum(np.exp2(-registers))  # reprolint: disable=R101 - sum of 2^-register over m >= 16 registers is positive
         if raw <= 2.5 * m:
             zeros = int(np.count_nonzero(self._registers == 0))
             if zeros:
-                return m * math.log(m / zeros)
+                return m * math.log(m / zeros)  # reprolint: disable=R102 - m = 2^precision >= 16 and 1 <= zeros <= m
         return float(raw)
 
     def merge(self, other: DistinctSketch) -> None:

@@ -53,7 +53,7 @@ class KMinimumValues(DistinctSketch):
         if seen < self.k:
             return float(seen)
         kth = float(self._minima[-1]) + 1.0  # avoid zero for tiny hashes
-        return (self.k - 1) / (kth / _HASH_SPACE)
+        return (self.k - 1) / (kth / _HASH_SPACE)  # reprolint: disable=R101 - kth >= 1: a uint64 hash plus one
 
     def merge(self, other: DistinctSketch) -> None:
         self._require_compatible(other, k=self.k, seed=self.seed)

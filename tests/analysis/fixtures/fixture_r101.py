@@ -1,0 +1,28 @@
+"""R101 fixture: two unguarded divisions, four safe ones."""
+
+
+def bad_plain(f2):
+    return 1.0 / f2
+
+
+def bad_compound(r, f1):
+    return f1 / (r * (r - 1))
+
+
+def good_guarded(f2):
+    if f2 == 0:
+        return 0.0
+    return 1.0 / f2
+
+
+def good_contract(profile, population_size):
+    return population_size / profile.sample_size
+
+
+def good_assignment(profile):
+    r = profile.sample_size
+    return 1.0 / r
+
+
+def good_literal(x):
+    return x / 2.0

@@ -1,0 +1,25 @@
+"""R102 fixture: two unsafe log/sqrt calls, three safe ones."""
+
+import math
+
+
+def bad_log(x):
+    return math.log(x)
+
+
+def bad_sqrt(x):
+    return math.sqrt(x - 1.0)
+
+
+def good_guarded(x):
+    if x <= 0:
+        raise ValueError("x must be positive")
+    return math.log(x)
+
+
+def good_sqrt_nonnegative(x):
+    return math.sqrt(max(x, 0.0))
+
+
+def good_positive_literal():
+    return math.log(2.0)

@@ -1,0 +1,23 @@
+"""R201 fixture: two float-literal equality comparisons, three safe forms."""
+
+import math
+
+
+def bad_eq(q):
+    return q == 1.0
+
+
+def bad_ne(t):
+    return t != 0.0
+
+
+def good_isclose(q):
+    return math.isclose(q, 1.0)
+
+
+def good_inequality(q):
+    return q >= 1.0
+
+
+def good_integer_equality(n):
+    return n == 1

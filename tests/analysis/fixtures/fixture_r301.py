@@ -1,0 +1,27 @@
+"""R301 fixture: four global-state RNG uses, two explicit-generator uses."""
+
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def bad_stdlib_call():
+    return random.random()
+
+
+def bad_numpy_global(count):
+    return np.random.rand(count)
+
+
+def bad_imported_name(items):
+    shuffle(items)
+    return items
+
+
+def good_explicit_generator(rng):
+    return rng.integers(0, 10)
+
+
+def good_constructor(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,59 @@
+"""R401 fixture: five impure estimators (six findings) and two pure ones."""
+
+
+class DistinctValueEstimator:
+    """Stand-in for the real base class (matched by name)."""
+
+    def estimate(self, profile, population_size):
+        raise NotImplementedError
+
+
+def clamp_estimate(raw, sample_distinct, population_size):
+    return raw
+
+
+class MutatesProfile(DistinctValueEstimator):
+    def _estimate_raw(self, profile, population_size):
+        profile.counts[1] = 0
+        return 1.0
+
+
+class MutatesSelf(DistinctValueEstimator):
+    def _estimate_raw(self, profile, population_size):
+        self._cache = profile.distinct
+        return 1.0
+
+
+class CallsMutator(DistinctValueEstimator):
+    def _estimate_raw(self, profile, population_size):
+        profile.counts.update({1: 2})
+        return 1.0
+
+
+class UsesGlobal(DistinctValueEstimator):
+    def _estimate_raw(self, profile, population_size):
+        global _STATE
+        _STATE = 1
+        return 1.0
+
+
+class FrozenBypass(DistinctValueEstimator):
+    def estimate(self, profile, population_size):
+        object.__setattr__(profile, "distinct", 0)
+        return 0.0
+
+
+class PureEstimator(DistinctValueEstimator):
+    def __init__(self):
+        self._name = "pure"
+
+    def _estimate_raw(self, profile, population_size):
+        local = dict(profile.counts)
+        local[1] = 0
+        return float(len(local))
+
+
+class PureOverride(DistinctValueEstimator):
+    def estimate(self, profile, population_size):
+        raw = float(population_size)
+        return clamp_estimate(raw, 1, population_size)

@@ -1,0 +1,117 @@
+"""Baseline round-trips: absorb known debt, still fail on new findings."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    baseline_from_report,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.runner import lint_paths
+from repro.errors import InvalidParameterError
+
+_VIOLATION = "def f(x):\n    return 1.0 / x\n"
+
+
+def _stack_file(tmp_path, text=_VIOLATION):
+    package = tmp_path / "repro" / "estimators"
+    package.mkdir(parents=True)
+    target = package / "mod.py"
+    target.write_text(text)
+    return target
+
+
+class TestRoundTrip:
+    def test_write_then_load_absorbs_the_findings(self, tmp_path):
+        target = _stack_file(tmp_path)
+        report = lint_paths([str(target)], select=["R101"])
+        assert report.exit_code == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        assert write_baseline(str(baseline_path), report) == 1
+
+        absorbed = lint_paths(
+            [str(target)],
+            select=["R101"],
+            baseline=load_baseline(str(baseline_path)),
+        )
+        assert absorbed.exit_code == 0
+        assert absorbed.baselined == 1
+        assert absorbed.findings == []
+
+    def test_new_findings_exceed_the_baseline(self, tmp_path):
+        target = _stack_file(tmp_path)
+        report = lint_paths([str(target)], select=["R101"])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), report)
+
+        # A second unguarded division in the same file is *new* debt.
+        target.write_text(
+            "def f(x):\n    return 1.0 / x\n\n\ndef g(y):\n    return 2.0 / y\n"
+        )
+        grown = lint_paths(
+            [str(target)],
+            select=["R101"],
+            baseline=load_baseline(str(baseline_path)),
+        )
+        assert grown.exit_code == 1
+        assert grown.baselined == 1
+        assert len(grown.findings) == 1
+
+    def test_baseline_keys_are_line_insensitive(self, tmp_path):
+        target = _stack_file(tmp_path)
+        report = lint_paths([str(target)], select=["R101"])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), report)
+
+        # Move the violation to a different line: still absorbed.
+        target.write_text("# a comment\n\n" + _VIOLATION)
+        moved = lint_paths(
+            [str(target)],
+            select=["R101"],
+            baseline=load_baseline(str(baseline_path)),
+        )
+        assert moved.exit_code == 0
+
+    def test_baseline_from_report_counts_per_key(self, tmp_path):
+        target = _stack_file(
+            tmp_path,
+            "def f(x):\n    return 1.0 / x\n\n\ndef g(y):\n    return 2.0 / y\n",
+        )
+        report = lint_paths([str(target)], select=["R101"])
+        entries = baseline_from_report(report)
+        assert entries == {f"{target}::R101": 2}
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="does not exist"):
+            load_baseline(str(tmp_path / "absent.json"))
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(InvalidParameterError, match="not valid JSON"):
+            load_baseline(str(path))
+
+    def test_missing_entries_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1}))
+        with pytest.raises(InvalidParameterError, match="'entries'"):
+            load_baseline(str(path))
+
+    def test_malformed_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1, "entries": {"no-separator": 1}}))
+        with pytest.raises(InvalidParameterError, match="path::CODE"):
+            load_baseline(str(path))
+
+    def test_nonpositive_count(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 1, "entries": {"a.py::R101": 0}}))
+        with pytest.raises(InvalidParameterError, match="positive integer"):
+            load_baseline(str(path))

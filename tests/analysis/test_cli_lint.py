@@ -1,0 +1,63 @@
+"""End-to-end tests for ``repro lint``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+_VIOLATION = '__all__ = ["f"]\n\n\ndef f(x):\n    return 1.0 / x\n'
+
+
+def _stack_file(tmp_path, text=_VIOLATION):
+    package = tmp_path / "repro" / "estimators"
+    package.mkdir(parents=True)
+    target = package / "mod.py"
+    target.write_text(text)
+    return target
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = _stack_file(tmp_path, "def _f(x):\n    return x + 1\n")
+        assert main(["lint", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("clean: 1 file(s)")
+
+    def test_seeded_violation_exits_nonzero(self, tmp_path, capsys):
+        target = _stack_file(tmp_path)
+        assert main(["lint", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert f"{target}:5:" in out
+        assert "R101" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = _stack_file(tmp_path)
+        assert main(["lint", str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["counts"].get("R101", 0) >= 1
+        assert any(f["code"] == "R101" for f in payload["findings"])
+
+    def test_select_and_ignore(self, tmp_path, capsys):
+        target = _stack_file(tmp_path)
+        assert main(["lint", str(target), "--select", "R201"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(target), "--ignore", "R101"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R101", "R102", "R201", "R301", "R401", "R501", "R601"):
+            assert code in out
+
+    def test_write_then_use_baseline(self, tmp_path, capsys):
+        target = _stack_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+
+        assert main(["lint", str(target), "--write-baseline", str(baseline)]) == 0
+        assert "wrote 1 baseline entry" in capsys.readouterr().out
+        assert baseline.is_file()
+
+        assert main(["lint", str(target), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out

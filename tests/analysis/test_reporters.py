@@ -1,0 +1,66 @@
+"""Text and JSON reporter output, including the versioned JSON schema."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import JSON_SCHEMA_VERSION, render_json, render_text
+from repro.analysis.runner import LintReport
+
+
+def _report():
+    findings = [
+        Finding(
+            path="src/repro/x.py",
+            line=10,
+            col=4,
+            code="R101",
+            message="divisor 'f2' may be zero",
+            rule="unguarded-division",
+        ),
+        Finding(
+            path="src/repro/y.py",
+            line=3,
+            col=0,
+            code="R201",
+            message="float literal compared with '=='",
+            rule="float-equality",
+        ),
+    ]
+    return LintReport(findings=findings, files_scanned=5, suppressed=2, baselined=1)
+
+
+class TestTextReporter:
+    def test_findings_render_as_path_line_col_code(self):
+        text = render_text(_report())
+        assert "src/repro/x.py:10:4: R101 divisor 'f2' may be zero" in text
+        assert text.splitlines()[-1] == "2 finding(s) in 5 file(s) (R101: 1, R201: 1)"
+
+    def test_clean_summary_mentions_suppression_counts(self):
+        text = render_text(LintReport(files_scanned=7, suppressed=3, baselined=2))
+        assert text == "clean: 7 file(s), 3 suppressed, 2 baselined"
+
+
+class TestJsonReporter:
+    def test_schema_fields(self):
+        payload = json.loads(render_json(_report()))
+        assert payload["version"] == JSON_SCHEMA_VERSION == 1
+        assert payload["files_scanned"] == 5
+        assert payload["suppressed"] == 2
+        assert payload["baselined"] == 1
+        assert payload["counts"] == {"R101": 1, "R201": 1}
+        assert len(payload["findings"]) == 2
+        assert payload["findings"][0] == {
+            "path": "src/repro/x.py",
+            "line": 10,
+            "col": 4,
+            "code": "R101",
+            "rule": "unguarded-division",
+            "message": "divisor 'f2' may be zero",
+        }
+
+    def test_clean_report_serializes(self):
+        payload = json.loads(render_json(LintReport(files_scanned=1)))
+        assert payload["findings"] == []
+        assert payload["counts"] == {}

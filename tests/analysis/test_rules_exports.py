@@ -1,0 +1,77 @@
+"""Per-rule tests for R601 (exports-drift)."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_text
+
+
+def _lint(text):
+    return lint_text(text, ["R601"], virtual_path="repro/db/fixture.py")
+
+
+class TestExportsDrift:
+    def test_missing_dunder_all_with_public_defs(self):
+        findings = _lint("def shipped():\n    return 1\n")
+        assert len(findings) == 1
+        assert "declares no __all__" in findings[0].message
+
+    def test_private_only_module_needs_no_dunder_all(self):
+        assert _lint("def _helper():\n    return 1\n") == []
+
+    def test_unbound_name_in_dunder_all(self):
+        findings = _lint('__all__ = ["ghost"]\n')
+        assert len(findings) == 1
+        assert "'ghost'" in findings[0].message
+        assert "never binds" in findings[0].message
+
+    def test_public_def_missing_from_dunder_all(self):
+        text = (
+            '__all__ = ["a"]\n'
+            "\n\ndef a():\n    return 1\n"
+            "\n\ndef b():\n    return 2\n"
+        )
+        findings = _lint(text)
+        assert len(findings) == 1
+        assert "'b'" in findings[0].message
+
+    def test_constants_are_exempt_from_completeness(self):
+        text = (
+            '__all__ = ["f"]\n'
+            "\nTABLE_SIZE = 1024\n"
+            "\n\ndef f():\n    return TABLE_SIZE\n"
+        )
+        assert _lint(text) == []
+
+    def test_dynamic_append_is_flagged(self):
+        text = (
+            '__all__ = ["a"]\n'
+            "\n\ndef a():\n    return 1\n"
+            '\n\n__all__.append("extra")\n'
+        )
+        findings = _lint(text)
+        assert len(findings) == 1
+        assert "__all__.append" in findings[0].message
+
+    def test_augmented_assignment_is_flagged(self):
+        text = (
+            '__all__ = ["a"]\n'
+            "\n\ndef a():\n    return 1\n"
+            '\n\n__all__ += ["a"]\n'
+        )
+        findings = _lint(text)
+        assert len(findings) == 1
+        assert "__all__ +=" in findings[0].message
+
+    def test_non_literal_dunder_all_is_flagged(self):
+        findings = _lint('__all__ = list(("a",))\n')
+        assert len(findings) == 1
+        assert "literal list/tuple" in findings[0].message
+
+    def test_conditional_imports_count_as_bound(self):
+        text = (
+            "from typing import TYPE_CHECKING\n"
+            "\nif TYPE_CHECKING:\n"
+            "    from collections import OrderedDict\n"
+            '\n__all__ = ["OrderedDict"]\n'
+        )
+        assert _lint(text) == []

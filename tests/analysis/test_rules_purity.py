@@ -1,0 +1,55 @@
+"""Per-rule tests for R401 (estimator-purity)."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import fixture_text, lint_fixture, lint_text
+
+
+class TestEstimatorPurity:
+    def test_fixture_findings(self):
+        findings = lint_fixture("fixture_r401.py", ["R401"])
+        messages = [f.message for f in findings]
+        assert len(findings) == 6
+        assert any("profile.counts[1]" in m for m in messages)
+        assert any("self._cache" in m for m in messages)
+        assert any("'update' mutates" in m for m in messages)
+        assert any("global _STATE" in m for m in messages)
+        assert any("object.__setattr__" in m for m in messages)
+        assert any("never calls clamp_estimate" in m for m in messages)
+
+    def test_pure_classes_stay_clean(self):
+        findings = lint_fixture("fixture_r401.py", ["R401"])
+        for finding in findings:
+            assert "Pure" not in finding.message
+
+    def test_non_estimator_classes_ignored(self):
+        text = (
+            "class Helper:\n"
+            "    def estimate(self, profile, n):\n"
+            "        profile.counts[1] = 0\n"
+            "        return 1.0\n"
+        )
+        assert lint_text(text, ["R401"]) == []
+
+    def test_super_estimate_satisfies_clamp(self):
+        text = (
+            "class DistinctValueEstimator:\n"
+            "    def estimate(self, profile, n):\n"
+            "        raise NotImplementedError\n"
+            "\n"
+            "class Deferring(DistinctValueEstimator):\n"
+            "    def estimate(self, profile, n):\n"
+            "        return super().estimate(profile, n)\n"
+        )
+        assert lint_text(text, ["R401"]) == []
+
+    def test_transitive_subclasses_are_covered(self):
+        # A grandchild of the base class is still an estimator.
+        text = fixture_text("fixture_r401.py") + (
+            "\n\nclass GrandChild(PureOverride):\n"
+            "    def _estimate_raw(self, profile, population_size):\n"
+            "        profile.tail = ()\n"
+            "        return 1.0\n"
+        )
+        findings = lint_text(text, ["R401"])
+        assert any("GrandChild" in f.message for f in findings)

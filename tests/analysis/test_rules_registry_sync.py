@@ -1,0 +1,85 @@
+"""Per-rule tests for R501 (registry-completeness), on a faked two-module world."""
+
+from __future__ import annotations
+
+from repro.analysis.source import SourceModule
+
+from tests.analysis.conftest import lint_modules
+
+_CLASSES = """\
+from abc import ABC, abstractmethod
+
+
+class DistinctValueEstimator:
+    pass
+
+
+class Registered(DistinctValueEstimator):
+    pass
+
+
+class Forgotten(DistinctValueEstimator):
+    pass
+
+
+class _Private(DistinctValueEstimator):
+    pass
+
+
+class AbstractMid(DistinctValueEstimator, ABC):
+    @abstractmethod
+    def _estimate_raw(self, profile, population_size):
+        raise NotImplementedError
+
+
+class ViaLambda(DistinctValueEstimator):
+    pass
+
+
+class ViaPartial(DistinctValueEstimator):
+    pass
+"""
+
+_REGISTRY = """\
+from functools import partial
+
+ESTIMATOR_FACTORIES = {
+    "REG": Registered,
+    "LAM": lambda: ViaLambda(),
+    "PART": partial(ViaPartial),
+}
+"""
+
+
+def _world():
+    classes = SourceModule.from_source(
+        _CLASSES, path="repro/core/fixture_classes.py"
+    )
+    registry = SourceModule.from_source(
+        _REGISTRY, path="repro/core/fixture_registry.py"
+    )
+    return classes, registry
+
+
+class TestRegistryCompleteness:
+    def test_only_the_forgotten_concrete_class_is_flagged(self):
+        findings = lint_modules(list(_world()), ["R501"])
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.code == "R501"
+        assert "Forgotten" in finding.message
+        assert finding.path == "repro/core/fixture_classes.py"
+
+    def test_factory_forms_all_count_as_registered(self):
+        findings = lint_modules(list(_world()), ["R501"])
+        for name in ("Registered", "ViaLambda", "ViaPartial"):
+            assert all(name not in f.message for f in findings)
+
+    def test_private_and_abstract_classes_exempt(self):
+        findings = lint_modules(list(_world()), ["R501"])
+        for name in ("_Private", "AbstractMid"):
+            assert all(name not in f.message for f in findings)
+
+    def test_silent_without_a_registry_module(self):
+        classes, _ = _world()
+        assert lint_modules([classes], ["R501"]) == []

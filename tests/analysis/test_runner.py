@@ -1,0 +1,73 @@
+"""File collection, parse-error handling, and rule selection in the driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.findings import PARSE_ERROR_CODE
+from repro.analysis.runner import collect_files, lint_paths
+from repro.errors import InvalidParameterError
+
+
+class TestCollectFiles:
+    def test_skips_caches_and_non_python(self, tmp_path):
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "stale.py").write_text("x = 1\n")
+        egg = tmp_path / "repro.egg-info"
+        egg.mkdir()
+        (egg / "vendored.py").write_text("x = 1\n")
+
+        collected = collect_files([str(tmp_path)])
+        assert collected == [str(tmp_path / "keep.py")]
+
+    def test_deduplicates_file_and_parent_dir(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        collected = collect_files([str(target), str(tmp_path)])
+        assert collected == [str(target)]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="does not exist"):
+            collect_files([str(tmp_path / "nowhere")])
+
+
+class TestLintPaths:
+    def test_syntax_error_becomes_p001_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = lint_paths([str(bad)])
+        assert report.exit_code == 1
+        assert report.parse_errors == 1
+        assert [f.code for f in report.findings] == [PARSE_ERROR_CODE]
+
+    def test_select_restricts_and_ignore_drops(self, tmp_path):
+        package = tmp_path / "repro" / "estimators"
+        package.mkdir(parents=True)
+        (package / "mod.py").write_text(
+            "def f(x):\n    return (1.0 / x) == 2.0\n"
+        )
+        both = lint_paths([str(package)])
+        assert set(both.counts_by_code()) >= {"R101", "R201"}
+
+        only_division = lint_paths([str(package)], select=["R101"])
+        assert set(only_division.counts_by_code()) == {"R101"}
+
+        no_division = lint_paths([str(package)], ignore=["R101", "R601"])
+        assert "R101" not in no_division.counts_by_code()
+
+    def test_unknown_code_raises(self, tmp_path):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        with pytest.raises(InvalidParameterError, match="unknown rule code"):
+            lint_paths([str(tmp_path)], select=["R999"])
+
+    def test_findings_are_sorted(self, tmp_path):
+        package = tmp_path / "repro" / "estimators"
+        package.mkdir(parents=True)
+        (package / "b.py").write_text("def f(x):\n    return 1.0 / x\n")
+        (package / "a.py").write_text("def f(x):\n    return 1.0 / x\n")
+        report = lint_paths([str(package)], select=["R101"])
+        paths = [f.path for f in report.findings]
+        assert paths == sorted(paths)

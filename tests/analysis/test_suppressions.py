@@ -1,0 +1,88 @@
+"""Suppression pragma handling: line form, file form, 'all', strings."""
+
+from __future__ import annotations
+
+from repro.analysis.source import SourceModule, SuppressionTable
+
+from tests.analysis.conftest import lint_text
+
+_DIVIDE = "def f(x):\n    return 1.0 / x{pragma}\n"
+
+
+class TestLinePragma:
+    def test_matching_code_suppresses(self):
+        text = _DIVIDE.format(pragma="  # reprolint: disable=R101")
+        assert lint_text(text, ["R101"]) == []
+
+    def test_rationale_after_a_dash_is_accepted(self):
+        text = _DIVIDE.format(
+            pragma="  # reprolint: disable=R101 - x is validated upstream"
+        )
+        assert lint_text(text, ["R101"]) == []
+
+    def test_other_code_does_not_suppress(self):
+        text = _DIVIDE.format(pragma="  # reprolint: disable=R102")
+        assert len(lint_text(text, ["R101"])) == 1
+
+    def test_multiple_codes_on_one_line(self):
+        text = (
+            "import math\n"
+            "\ndef f(x):\n"
+            "    return math.log(x) / x  # reprolint: disable=R101,R102\n"
+        )
+        assert lint_text(text, ["R101", "R102"]) == []
+
+    def test_disable_all(self):
+        text = _DIVIDE.format(pragma="  # reprolint: disable=all")
+        assert lint_text(text, ["R101"]) == []
+
+    def test_pragma_only_covers_its_own_line(self):
+        text = (
+            "def f(x, y):\n"
+            "    a = 1.0 / x  # reprolint: disable=R101\n"
+            "    return a / y\n"
+        )
+        findings = lint_text(text, ["R101"])
+        assert [f.line for f in findings] == [3]
+
+
+class TestFilePragma:
+    def test_disable_file_covers_the_module(self):
+        text = (
+            "# reprolint: disable-file=R101\n"
+            "def f(x, y):\n"
+            "    return 1.0 / x + 1.0 / y\n"
+        )
+        assert lint_text(text, ["R101"]) == []
+
+    def test_disable_file_is_code_specific(self):
+        text = (
+            "# reprolint: disable-file=R201\n"
+            "def f(x):\n"
+            "    return 1.0 / x\n"
+        )
+        assert len(lint_text(text, ["R101"])) == 1
+
+
+class TestPragmaParsing:
+    def test_pragma_inside_a_string_is_not_a_suppression(self):
+        text = (
+            'DOC = "use  # reprolint: disable=R101 on the offending line"\n'
+            "\ndef f(x):\n"
+            "    return 1.0 / x\n"
+        )
+        module = SourceModule.from_source(text, path="repro/core/fixture.py")
+        assert module.suppressions.by_line == {}
+        assert len(lint_text(text, ["R101"])) == 1
+
+    def test_pragma_needs_its_own_comment_marker(self):
+        # Prose between '#' and 'reprolint:' must be separated by a second
+        # '#' or the pragma is not recognized.
+        table = SuppressionTable.from_source(
+            "x = 1  # ceil division  # reprolint: disable=R101\n"
+        )
+        assert table.is_suppressed(1, "R101")
+
+    def test_tokenize_error_yields_empty_table(self):
+        table = SuppressionTable.from_source("x = (1,\n")
+        assert table.by_line == {} and table.file_wide == set()

@@ -39,6 +39,41 @@ def test_factories_produce_fresh_instances():
     assert make_estimator("GEE") is not make_estimator("GEE")
 
 
+def test_registry_is_complete():
+    """Every concrete estimator class is reachable from the registry.
+
+    Runtime counterpart of the reprolint R501 rule: import every module
+    in the estimator stack, walk the ``DistinctValueEstimator`` subclass
+    closure, and require each concrete public class to be produced by
+    some registered factory.
+    """
+    import importlib
+    import inspect
+    import pkgutil
+
+    import repro.core
+    import repro.estimators
+
+    for package in (repro.core, repro.estimators):
+        for info in pkgutil.iter_modules(package.__path__):
+            importlib.import_module(f"{package.__name__}.{info.name}")
+
+    concrete: set[type] = set()
+    frontier = [DistinctValueEstimator]
+    while frontier:
+        cls = frontier.pop()
+        for subclass in cls.__subclasses__():
+            frontier.append(subclass)
+            if not inspect.isabstract(subclass) and not subclass.__name__.startswith(
+                "_"
+            ):
+                concrete.add(subclass)
+
+    registered = {type(make_estimator(name)) for name in available_estimators()}
+    missing = sorted(cls.__name__ for cls in concrete - registered)
+    assert not missing, f"estimator classes missing from the registry: {missing}"
+
+
 def test_every_registered_estimator_estimates(small_profile):
     """Every estimator in the registry handles a tiny profile sanely."""
     n = 1000

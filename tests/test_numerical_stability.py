@@ -15,7 +15,25 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import numpy as np
+
 from repro.core import available_estimators, make_estimator
+from repro.core.ae import (
+    AE,
+    _fixed_point_residual_approx,
+    _fixed_point_residual_exact,
+)
+from repro.core.gee import GEE
+from repro.core.uncertainty import bootstrap_profile
+from repro.errors import InvalidParameterError
+from repro.estimators import (
+    HorvitzThompson,
+    ModifiedShlosser,
+    SmoothedJackknife,
+    UnsmoothedSecondOrderJackknife,
+    good_toulmin_extrapolation,
+    shlosser_ratio,
+)
 from repro.frequency import FrequencyProfile
 
 #: Adversarial profiles: (description, profile, population size).
@@ -96,6 +114,93 @@ class TestScaleInvariance:
         e_small = gee.estimate(small, 1000).raw_value
         e_large = gee.estimate(large, 1_000_000).raw_value
         assert e_large == pytest.approx(1000 * e_small, rel=1e-12)
+
+
+class TestLintDrivenRegressions:
+    """Regressions for the latent numeric bugs reprolint surfaced.
+
+    Each test pins one concrete fix: float-equality boundaries (R201),
+    unguarded divisions (R101), and the ``__all__`` drift repairs (R601).
+    """
+
+    def test_shlosser_ratio_exhaustive_boundary(self):
+        profile = FrequencyProfile({1: 4, 2: 3})
+        assert shlosser_ratio(profile, 1.0) == 0.0
+        # One ulp below 1.0 — the float-noise neighbourhood the old
+        # ``q == 1.0`` comparison fell through.
+        value = shlosser_ratio(profile, math.nextafter(1.0, 0.0))
+        assert math.isfinite(value)
+        assert value >= 0.0
+
+    def test_modified_shlosser_exhaustive_sample(self):
+        profile = FrequencyProfile({2: 500})  # r = 1000 = n
+        for mode in ("behavioral", "spectral"):
+            result = ModifiedShlosser(mode).estimate(profile, 1000)
+            assert result.value == profile.distinct
+
+    def test_gee_name_tolerates_float_noise_in_exponent(self):
+        assert GEE(0.5 + 1e-12).name == "GEE"
+        assert GEE(0.4).name == "GEE(a=0.4)"
+
+    def test_ae_residuals_survive_underflow(self):
+        # Empty high-frequency tail (a0 = b0 = 0) plus exp/power
+        # underflow used to raise ZeroDivisionError mid-bracketing.
+        assert _fixed_point_residual_approx(1.0, 5, 5, 1000, 0.0, 0.0) == -math.inf
+        assert _fixed_point_residual_approx(0.0, 5, 5, 5, 1.0, 1.0) == -math.inf
+        assert (
+            _fixed_point_residual_exact(1.0, 1, 5, 500_000, 0.0, 0.0, 10**6)
+            == -math.inf
+        )
+        assert _fixed_point_residual_exact(-1.0, 1, 5, 5, 1.0, 1.0, 10) == -math.inf
+
+    def test_ae_exact_method_on_all_singletons(self):
+        estimator = AE(method="exact")
+        profile = FrequencyProfile({1: 100})
+        value = estimator.estimate(profile, 10**6).value
+        assert math.isfinite(value)
+        assert profile.distinct <= value <= 10**6
+
+    def test_good_toulmin_zero_extrapolation(self):
+        profile = FrequencyProfile({1: 5, 2: 2})
+        assert good_toulmin_extrapolation(profile, 0.0) == 0.0
+        with pytest.raises(InvalidParameterError):
+            good_toulmin_extrapolation(profile, -0.5)
+
+    def test_jackknife_estimates_stay_bounded_on_singleton_heavy_samples(self):
+        profile = FrequencyProfile({1: 999})
+        for n in (1000, 10**6, 10**9):
+            for factory in (SmoothedJackknife, UnsmoothedSecondOrderJackknife):
+                value = factory().estimate(profile, n).value
+                assert math.isfinite(value), (factory.__name__, n)
+                assert profile.distinct <= value <= n, (factory.__name__, n)
+
+    def test_horvitz_thompson_finite_on_extreme_inclusion_probabilities(self):
+        estimator = HorvitzThompson()
+        for profile, n in (
+            (FrequencyProfile({1: 1}), 10**12),
+            (FrequencyProfile({5_000_000: 1}), 10**13),
+            (FrequencyProfile({1: 999}), 1000),
+        ):
+            value = estimator.estimate(profile, n).value
+            assert math.isfinite(value)
+            assert profile.distinct <= value <= n
+
+    def test_bootstrap_profile_redistributes_the_sample(self):
+        rng = np.random.default_rng(7)
+        profile = FrequencyProfile({1: 10, 3: 4})
+        replicate = bootstrap_profile(profile, rng)
+        assert replicate.sample_size == profile.sample_size
+        assert 1 <= replicate.distinct <= profile.distinct
+
+    def test_uncertainty_star_export(self):
+        namespace: dict = {}
+        exec("from repro.core.uncertainty import *", namespace)
+        assert "coefficient_of_variation" in namespace
+
+    def test_composite_star_export(self):
+        namespace: dict = {}
+        exec("from repro.db.composite import *", namespace)
+        assert "correlation_ratio" in namespace
 
 
 @settings(deadline=None, max_examples=60)
