@@ -4,16 +4,20 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint typecheck test test-all benchmarks
+.PHONY: check lint prove typecheck test test-all benchmarks
 
-check: lint typecheck test
+check: lint prove typecheck test
 
 lint:
 	$(PYTHON) -m repro lint src
 
+# Interval prover: contract verdicts + stale-pragma audit.
+prove:
+	$(PYTHON) -m repro lint src --prove --stale-pragmas
+
 typecheck:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		$(PYTHON) -m mypy src/repro/core src/repro/frequency; \
+		$(PYTHON) -m mypy src/repro/core src/repro/frequency src/repro/estimators src/repro/sampling; \
 	else \
 		echo "mypy not installed; skipping typecheck (pip install -e .[typecheck])"; \
 	fi

@@ -8,14 +8,23 @@ float equality, global RNG state) are exactly what corrupts error
 measurements at scale, so this package machine-checks those invariants on
 every commit instead of trusting review to catch them.
 
-The subsystem is a small AST-based rule framework:
+The subsystem is a small AST-based rule framework with an
+intraprocedural dataflow engine behind the numeric rules:
 
 * :mod:`repro.analysis.rules` — the rule base classes, registry, and the
-  project rules (codes ``R101`` … ``R601``);
+  project rules (codes ``R101`` … ``R702``);
+* :mod:`repro.analysis.dataflow` — CFG construction and sign/interval
+  abstract interpretation; lets ``R101``/``R102`` *prove* denominators
+  nonzero and ``log``/``sqrt`` arguments in-domain instead of relying on
+  suppression pragmas, and discharges ``repro.contracts`` clauses;
+* :mod:`repro.analysis.effects` / :mod:`repro.analysis.callgraph` — RNG
+  and purity effect summaries plus a project-wide call graph, powering
+  the transitive rules ``R302``/``R402``;
 * :mod:`repro.analysis.source` — parsed source modules and
   ``# reprolint: disable=CODE`` suppression handling;
 * :mod:`repro.analysis.runner` — file collection and rule execution;
-* :mod:`repro.analysis.reporters` — text and JSON output;
+* :mod:`repro.analysis.reporters` — text, JSON, and SARIF output plus
+  the ``--prove`` contract-verdict table;
 * :mod:`repro.analysis.baseline` — explicit baselines for accepted debt.
 
 Run it as ``repro lint [paths]`` (alias: ``python -m repro lint``); the
@@ -25,7 +34,12 @@ remain, so the command gates CI and the tier-1 test suite.
 
 from repro.analysis.baseline import load_baseline, write_baseline
 from repro.analysis.findings import Finding
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import (
+    render_json,
+    render_prove,
+    render_sarif,
+    render_text,
+)
 from repro.analysis.rules import all_rules, get_rule
 from repro.analysis.runner import LintReport, lint_paths
 from repro.analysis.source import SourceModule
@@ -40,5 +54,7 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "render_json",
+    "render_prove",
+    "render_sarif",
     "render_text",
 ]

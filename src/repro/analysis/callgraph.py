@@ -1,0 +1,258 @@
+"""Lightweight cross-module call graph for the flow rules.
+
+R301/R401 are local: they look at one function's body.  But state is
+transitive — ``repro.experiments.harness`` calling a ``repro.data``
+helper that touches the global RNG inherits the non-reproducibility even
+though neither module shows a violation locally.  This module builds a
+deliberately modest call graph over the scanned tree so the flow rules
+(:mod:`repro.analysis.rules.flow`) can follow such chains.
+
+Resolution is *syntactic and conservative in the miss direction*: edges
+are added only for call forms we can resolve with confidence —
+
+* bare names defined in the same module or imported via
+  ``from repro.x import f``;
+* ``alias.f`` / ``alias.sub.f`` where ``alias`` is an imported project
+  module (``import repro.x as alias``, ``from repro import x``);
+* ``self.f()`` / ``cls.f()`` to a method of the enclosing class or an
+  in-module base class.
+
+Unresolvable calls simply add no edge, so the flow rules under-report
+rather than hallucinate paths.  That is the right trade for a lint
+gate: every reported chain is real and readable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.effects import FunctionEffects, module_effects
+from repro.analysis.source import SourceModule
+
+__all__ = ["CallGraphNode", "ProjectCallGraph", "build_callgraph", "module_name"]
+
+#: Top-level package the graph resolves into; calls outside it are ignored.
+_ROOT_PACKAGE = "repro"
+
+
+def module_name(path: str) -> str:
+    """Dotted module name for a source path.
+
+    ``src/repro/sampling/schemes.py`` → ``repro.sampling.schemes``;
+    package ``__init__.py`` files name the package itself.  Paths without
+    a ``repro`` component (test fixtures) fall back to the file stem.
+    """
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    try:
+        root = parts.index(_ROOT_PACKAGE)
+    except ValueError:
+        return parts[-1] if parts else path
+    return ".".join(parts[root:])
+
+
+@dataclass
+class CallGraphNode:
+    """One function in the project graph."""
+
+    #: Fully qualified key, ``repro.sampling.schemes.Bernoulli._draw``.
+    key: str
+    module: SourceModule
+    effects: FunctionEffects
+
+
+@dataclass
+class ProjectCallGraph:
+    """Resolved call edges over every scanned module."""
+
+    nodes: dict[str, CallGraphNode] = field(default_factory=dict)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+
+    def find_path(
+        self, start: str, targets: Iterable[str]
+    ) -> list[str] | None:
+        """Shortest call chain from ``start`` into ``targets`` (exclusive).
+
+        Returns ``[start, ..., target]`` or ``None``.  ``start`` itself is
+        never accepted as a target — local effects are the local rules'
+        business; the flow rules only care about *reaching* one.
+        """
+        wanted = set(targets) - {start}
+        if not wanted:
+            return None
+        parents: dict[str, str] = {}
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            next_frontier: list[str] = []
+            for key in frontier:
+                for callee in sorted(self.edges.get(key, ())):
+                    if callee in seen:
+                        continue
+                    seen.add(callee)
+                    parents[callee] = key
+                    if callee in wanted:
+                        chain = [callee]
+                        while chain[-1] != start:
+                            chain.append(parents[chain[-1]])
+                        return list(reversed(chain))
+                    next_frontier.append(callee)
+            frontier = next_frontier
+        return None
+
+
+def _import_map(tree: ast.Module, package: str) -> dict[str, str]:
+    """Local name → dotted project target for a module's imports."""
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == _ROOT_PACKAGE or alias.name.startswith(
+                    _ROOT_PACKAGE + "."
+                ):
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package.split(".")
+                if node.level > len(base_parts):
+                    continue
+                base = ".".join(base_parts[: len(base_parts) - node.level + 1])
+                source = f"{base}.{node.module}" if node.module else base
+            else:
+                source = node.module or ""
+            if not (
+                source == _ROOT_PACKAGE or source.startswith(_ROOT_PACKAGE + ".")
+            ):
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = f"{source}.{alias.name}"
+    return imports
+
+
+def _class_of(qualname: str) -> str | None:
+    """Enclosing class prefix of a method qualname, if it looks like one."""
+    if "." not in qualname or "<locals>" in qualname:
+        return None
+    return qualname.rsplit(".", 1)[0]
+
+
+def _in_module_bases(tree: ast.Module) -> dict[str, tuple[str, ...]]:
+    """Class name → in-module base-class names (single level)."""
+    bases: dict[str, tuple[str, ...]] = {}
+    class_names = {
+        node.name for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = tuple(
+                base.id
+                for base in node.bases
+                if isinstance(base, ast.Name) and base.id in class_names
+            )
+    return bases
+
+
+def _resolve_method(
+    modname: str,
+    class_name: str,
+    attr: str,
+    bases: dict[str, tuple[str, ...]],
+    nodes: dict[str, CallGraphNode],
+) -> str | None:
+    """Find ``Class.attr`` in the class or its in-module ancestors."""
+    seen: set[str] = set()
+    stack = [class_name]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        candidate = f"{modname}.{current}.{attr}"
+        if candidate in nodes:
+            return candidate
+        stack.extend(bases.get(current, ()))
+    return None
+
+
+def build_callgraph(modules: Sequence[SourceModule]) -> ProjectCallGraph:
+    """Build the resolved call graph over the scanned modules."""
+    graph = ProjectCallGraph()
+    per_module: list[tuple[SourceModule, str, dict[str, FunctionEffects]]] = []
+    for module in modules:
+        modname = module_name(module.path)
+        effects = module_effects(module)
+        per_module.append((module, modname, effects))
+        for qualname, summary in effects.items():
+            key = f"{modname}.{qualname}"
+            graph.nodes[key] = CallGraphNode(key, module, summary)
+
+    for module, modname, effects in per_module:
+        imports = _import_map(module.tree, _package_of(modname, module))
+        bases = _in_module_bases(module.tree)
+        for qualname, summary in effects.items():
+            key = f"{modname}.{qualname}"
+            resolved = graph.edges.setdefault(key, set())
+            for call in summary.calls:
+                target = _resolve_call(
+                    call, modname, qualname, imports, bases, graph.nodes
+                )
+                if target is not None:
+                    resolved.add(target)
+    return graph
+
+
+def _package_of(modname: str, module: SourceModule) -> str:
+    """The package a module's relative imports resolve against."""
+    if Path(module.path).name == "__init__.py":
+        return modname
+    return modname.rsplit(".", 1)[0] if "." in modname else modname
+
+
+def _resolve_call(
+    call: str,
+    modname: str,
+    caller_qualname: str,
+    imports: dict[str, str],
+    bases: dict[str, tuple[str, ...]],
+    nodes: dict[str, CallGraphNode],
+) -> str | None:
+    parts = call.split(".")
+    head, rest = parts[0], parts[1:]
+
+    # self.f() / cls.f(): a method of the enclosing (or base) class.
+    if head in ("self", "cls") and len(rest) == 1:
+        class_name = _class_of(caller_qualname)
+        if class_name is not None:
+            return _resolve_method(modname, class_name, rest[0], bases, nodes)
+        return None
+
+    # Bare name: same-module function or class, else a from-import.
+    if not rest:
+        local = f"{modname}.{head}"
+        if local in nodes:
+            return local
+        target = imports.get(head)
+        if target is not None and target in nodes:
+            return target
+        return None
+
+    # alias.f / alias.sub.f where the alias is an imported project module.
+    target = imports.get(head)
+    if target is None:
+        # Same-module class attribute: ClassName.method().
+        candidate = f"{modname}.{call}"
+        return candidate if candidate in nodes else None
+    candidate = f"{target}." + ".".join(rest)
+    if candidate in nodes:
+        return candidate
+    return None

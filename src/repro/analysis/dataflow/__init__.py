@@ -1,0 +1,51 @@
+"""Intraprocedural dataflow: CFG + sign/interval abstract interpretation.
+
+PR 1's guardedness heuristics (:mod:`repro.analysis.guards`) answer
+"did the author *consider* the zero case" — a textual question.  This
+package answers the stronger question the numeric rules actually care
+about: *can this expression be zero or negative at this program point*.
+It builds a control-flow graph per function, runs a standard interval
+abstract interpretation over locals, parameters, and ``self.<attr>``
+pseudo-variables (with widening at loop heads), and refines intervals
+along branch edges from validation guards like ``if n < 1: raise`` or
+``assert 0.0 < gamma < 1.0``.
+
+The three layers:
+
+* :mod:`repro.analysis.dataflow.intervals` — the lattice: closed
+  intervals over the extended reals plus a ``nonzero`` bit, with the
+  arithmetic/builtin transfer functions;
+* :mod:`repro.analysis.dataflow.cfg` — per-function control-flow graphs
+  whose edges carry the branch condition they assume;
+* :mod:`repro.analysis.dataflow.engine` — the worklist fixpoint, guard
+  refinement, class-attribute facts, contract-clause seeding, and the
+  :class:`~repro.analysis.dataflow.engine.ModuleIntervals` facade the
+  rules query.
+
+Soundness caveats (documented, deliberate): arithmetic is interpreted
+over the reals (float underflow/overflow to zero or inf is ignored, as
+the PR 1 heuristics already did); attribute facts trust encapsulation
+(no external writes to ``obj.attr``); ``@ensures`` clauses of called
+functions are assumed at call sites — each is verified at its own
+definition, statically where provable and at runtime under
+``REPRO_CONTRACTS=1`` otherwise.
+"""
+
+from repro.analysis.dataflow.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.dataflow.engine import (
+    ClauseVerdict,
+    FunctionAnalysis,
+    ModuleIntervals,
+    module_intervals,
+)
+from repro.analysis.dataflow.intervals import Interval
+
+__all__ = [
+    "ClauseVerdict",
+    "ControlFlowGraph",
+    "FunctionAnalysis",
+    "Interval",
+    "ModuleIntervals",
+    "build_cfg",
+    "module_intervals",
+]

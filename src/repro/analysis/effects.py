@@ -1,0 +1,241 @@
+"""Per-function effect summaries: global-RNG use, global writes, call sites.
+
+R301 detects *direct* global-RNG use from one module's AST.  The
+cross-module flow rules (R302/R402 in :mod:`repro.analysis.rules.flow`)
+need the same detection as a reusable summary — "which functions of this
+module touch hidden global state, and whom do they call" — so the
+collector lives here and both consumers share it.  The detection logic
+and message strings are exactly R301's; the rule now delegates to
+:func:`collect_rng_uses`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.guards import walk_within_scope
+from repro.analysis.source import SourceModule
+
+__all__ = [
+    "FunctionEffects",
+    "RngUse",
+    "collect_rng_uses",
+    "iter_defined_functions",
+    "module_effects",
+]
+
+#: ``np.random.<name>`` attributes that do *not* touch global state:
+#: constructors for explicit generators and bit generators.
+_NUMPY_ALLOWED = frozenset(
+    {
+        "Generator",
+        "default_rng",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+        "RandomState",  # constructing a *local* legacy state is explicit
+    }
+)
+
+
+@dataclass(frozen=True)
+class RngUse:
+    """One global-RNG use site (import or call) with its R301 message."""
+
+    line: int
+    col: int
+    message: str
+
+
+@dataclass
+class _RngAliases:
+    """Module-level names bound to the stdlib/numpy random machinery."""
+
+    random_aliases: set[str] = field(default_factory=set)
+    from_random_names: set[str] = field(default_factory=set)
+    numpy_aliases: set[str] = field(default_factory=set)
+
+
+def _is_numpy_random(value: ast.expr, numpy_aliases: set[str]) -> bool:
+    """True for ``np.random`` / ``numpy.random`` attribute roots."""
+    return (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in numpy_aliases
+    )
+
+
+def _collect_aliases(tree: ast.AST) -> tuple[_RngAliases, list[RngUse]]:
+    """Gather RNG-related import aliases plus findings for bad imports."""
+    aliases = _RngAliases()
+    uses: list[RngUse] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.random_aliases.add(alias.asname or "random")
+                if alias.name == "numpy":
+                    aliases.numpy_aliases.add(alias.asname or "numpy")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                for alias in node.names:
+                    aliases.from_random_names.add(alias.asname or alias.name)
+                    uses.append(
+                        RngUse(
+                            node.lineno,
+                            node.col_offset,
+                            f"'from random import {alias.name}' pulls in the "
+                            "process-global RNG; use an explicit "
+                            "numpy.random.Generator",
+                        )
+                    )
+            elif node.module in ("numpy.random", "numpy"):
+                for alias in node.names:
+                    if node.module == "numpy" and alias.name == "random":
+                        aliases.numpy_aliases.add("")  # attribute form
+                    elif (
+                        node.module == "numpy.random"
+                        and alias.name not in _NUMPY_ALLOWED
+                    ):
+                        uses.append(
+                            RngUse(
+                                node.lineno,
+                                node.col_offset,
+                                f"'from numpy.random import {alias.name}' is a "
+                                "global-state function; construct a Generator "
+                                "with default_rng and pass it down",
+                            )
+                        )
+    return aliases, uses
+
+
+def _call_use(node: ast.AST, aliases: _RngAliases) -> RngUse | None:
+    """The global-RNG use a call expresses, if any."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        root = func.value
+        if isinstance(root, ast.Name) and root.id in aliases.random_aliases:
+            return RngUse(
+                node.lineno,
+                node.col_offset,
+                f"random.{func.attr}() uses the process-global RNG; "
+                "plumb an explicit numpy.random.Generator",
+            )
+        if _is_numpy_random(root, aliases.numpy_aliases) and (
+            func.attr not in _NUMPY_ALLOWED
+        ):
+            return RngUse(
+                node.lineno,
+                node.col_offset,
+                f"np.random.{func.attr}() mutates numpy's global RNG "
+                "state; use a seeded Generator from default_rng",
+            )
+    elif isinstance(func, ast.Name) and func.id in aliases.from_random_names:
+        return RngUse(
+            node.lineno,
+            node.col_offset,
+            f"{func.id}() comes from the stdlib random module (global "
+            "state); use an explicit numpy.random.Generator",
+        )
+    return None
+
+
+def collect_rng_uses(tree: ast.AST) -> list[RngUse]:
+    """Every global-RNG use in one module, import sites first.
+
+    This is R301's full detection pass; the rule turns each
+    :class:`RngUse` into a finding verbatim.
+    """
+    aliases, uses = _collect_aliases(tree)
+    for node in ast.walk(tree):
+        use = _call_use(node, aliases)
+        if use is not None:
+            uses.append(use)
+    return uses
+
+
+def iter_defined_functions(
+    tree: ast.AST,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """``(qualname, node)`` for every function/method defined in a module."""
+
+    def walk(
+        node: ast.AST, prefix: str
+    ) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child
+                yield from walk(child, f"{qualname}.<locals>.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+            else:
+                yield from walk(child, prefix)
+
+    yield from walk(tree, "")
+
+
+def _callee_key(func: ast.expr) -> str | None:
+    """Dotted textual form of a call target (``f``, ``self.f``, ``m.sub.f``)."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FunctionEffects:
+    """What one function touches directly, plus whom it calls."""
+
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: First direct global-RNG use inside the body, if any.
+    rng_use: RngUse | None = None
+    #: The body contains a ``global``/``nonlocal`` declaration.
+    declares_global: bool = False
+    #: Call targets as written in source (``f``, ``self.f``, ``mod.f``).
+    calls: set[str] = field(default_factory=set)
+
+    @property
+    def impure(self) -> bool:
+        """Directly touches state the estimator contract forbids."""
+        return self.rng_use is not None or self.declares_global
+
+
+def module_effects(module: SourceModule) -> dict[str, FunctionEffects]:
+    """Effect summary for every function defined in ``module``.
+
+    Nested defs get their own entries (``outer.<locals>.inner``); each
+    summary covers only its own scope, so effects of an inner function
+    are not attributed to the outer one — the call edge carries them.
+    """
+    aliases, _import_uses = _collect_aliases(module.tree)
+    effects: dict[str, FunctionEffects] = {}
+    for qualname, func in iter_defined_functions(module.tree):
+        summary = FunctionEffects(qualname=qualname, node=func)
+        for node in walk_within_scope(func):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                summary.declares_global = True
+            use = _call_use(node, aliases)
+            if use is not None and summary.rng_use is None:
+                summary.rng_use = use
+            if isinstance(node, ast.Call):
+                key = _callee_key(node.func)
+                if key is not None:
+                    summary.calls.add(key)
+        effects[qualname] = summary
+    return effects

@@ -2,8 +2,9 @@
 
 Importing this package registers every built-in rule.  Rule modules are
 grouped by concern: numeric safety (R1xx/R2xx), RNG discipline (R3xx),
-estimator purity (R4xx), registry completeness (R5xx), and public-API
-drift (R6xx).
+estimator purity (R4xx), registry completeness (R5xx), public-API
+drift (R6xx), and analyzer hygiene (R7xx: stale suppressions,
+provably-violated contracts).
 """
 
 from __future__ import annotations
@@ -18,11 +19,14 @@ from repro.analysis.rules.base import (
 )
 
 # Importing for side effect: each module registers its rules.
+from repro.analysis.rules import contracts as _contracts
 from repro.analysis.rules import exports as _exports
+from repro.analysis.rules import flow as _flow
 from repro.analysis.rules import numeric as _numeric
 from repro.analysis.rules import purity as _purity
 from repro.analysis.rules import registry_sync as _registry_sync
 from repro.analysis.rules import rng as _rng
+from repro.analysis.rules import suppressions as _suppressions
 
 __all__ = [
     "Rule",
@@ -33,4 +37,13 @@ __all__ = [
     "resolve_rules",
 ]
 
-del _exports, _numeric, _purity, _registry_sync, _rng
+del (
+    _contracts,
+    _exports,
+    _flow,
+    _numeric,
+    _purity,
+    _registry_sync,
+    _rng,
+    _suppressions,
+)

@@ -1,0 +1,65 @@
+"""Contract checking (R702): ``@requires``/``@ensures`` vs. the prover.
+
+The estimator entry points declare the paper's preconditions as
+machine-readable clauses (:mod:`repro.contracts`).  The dataflow engine
+parses every clause into its interval domain and classifies it:
+
+``proved``
+    every return path satisfies the clause — nothing to do at runtime;
+``runtime``
+    the lattice cannot decide; the optional runtime assert
+    (``REPRO_CONTRACTS=1``) is the safety net;
+``violated``
+    some return expression provably lies *outside* the clause — the
+    contract and the code disagree, and one of them is wrong.
+
+Only ``violated`` is a finding (R702): it is the one verdict that cannot
+be fixed by running more tests, because the disagreement holds on every
+execution the abstract semantics covers.  The full verdict table — the
+``proved`` wins included — is what ``repro lint --prove`` prints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.dataflow import module_intervals
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectContext
+from repro.analysis.rules.base import Rule, register
+from repro.analysis.source import SourceModule
+
+__all__ = ["ContractViolation", "module_has_contracts"]
+
+
+def module_has_contracts(module: SourceModule) -> bool:
+    """Cheap textual pre-filter before running the dataflow engine."""
+    return "requires(" in module.text or "ensures(" in module.text
+
+
+@register
+class ContractViolation(Rule):
+    """R702: a contract clause the interval prover shows to be false."""
+
+    code = "R702"
+    name = "contract-violation"
+    description = (
+        "@requires/@ensures clause provably violated by the function body"
+    )
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> Iterator[Finding]:
+        if not module_has_contracts(module):
+            return
+        for verdict in module_intervals(module).contract_verdicts():
+            if verdict.verdict != "violated":
+                continue
+            yield self.finding(
+                module,
+                verdict.lineno,
+                0,
+                f"@{verdict.kind}({verdict.clause!r}) on "
+                f"{verdict.qualname} is provably violated: a return path "
+                "lies outside the clause on every execution",
+            )

@@ -13,6 +13,15 @@ bug to corrupted error curves.
 R101 and R102 are scoped to the estimator stack (``repro/core``,
 ``repro/estimators``, ``repro/frequency``, ``repro/sketches``,
 ``repro/sampling``) where the contract applies; R201 runs tree-wide.
+
+Since the dataflow engine landed, both rules first ask the interval
+prover (:mod:`repro.analysis.dataflow`) whether the expression is safe at
+its program point — ``proves_nonzero`` for divisors, ``proves_positive``
+(``proves_nonnegative`` for ``sqrt``) for log arguments.  A proof
+discharges the finding outright, so validation guards like ``if n < 1:
+raise`` make the pragma at the use site unnecessary (R701 then flags the
+leftover pragma as stale).  The PR 1 textual heuristics remain as the
+fallback layer for expressions the lattice cannot bound.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.analysis.dataflow import ModuleIntervals, module_intervals
 from repro.analysis.findings import Finding
 from repro.analysis.guards import (
     CONTRACT_POSITIVE,
@@ -56,19 +66,24 @@ class _ScopedNumericRule(Rule):
     ) -> Iterator[Finding]:
         if not _in_estimator_stack(module):
             return
+        intervals = module_intervals(module)
         module_facts = ScopeFacts(module.tree)
         positive = CONTRACT_POSITIVE | module_positive_constants(module_facts)
         for scope, _statements in iter_scopes(module.tree):
             facts = ScopeFacts(scope, contract_positive=positive)
             for node in self._scope_nodes(scope):
-                yield from self._check_node(module, node, facts)
+                yield from self._check_node(module, node, facts, intervals)
 
     @staticmethod
     def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
         return walk_within_scope(scope)
 
     def _check_node(
-        self, module: SourceModule, node: ast.AST, facts: ScopeFacts
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        facts: ScopeFacts,
+        intervals: ModuleIntervals,
     ) -> Iterator[Finding]:
         raise NotImplementedError
 
@@ -91,12 +106,18 @@ class UnguardedDivision(_ScopedNumericRule):
     )
 
     def _check_node(
-        self, module: SourceModule, node: ast.AST, facts: ScopeFacts
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        facts: ScopeFacts,
+        intervals: ModuleIntervals,
     ) -> Iterator[Finding]:
         if isinstance(node, ast.BinOp) and isinstance(
             node.op, (ast.Div, ast.FloorDiv, ast.Mod)
         ):
             divisor = node.right
+            if intervals.proves_nonzero(divisor):
+                return
             if not facts.is_safe_divisor(divisor):
                 yield self.finding(
                     module,
@@ -127,7 +148,11 @@ class UnsafeLogSqrt(_ScopedNumericRule):
     _FUNCTIONS = ("log", "log2", "log10", "sqrt")
 
     def _check_node(
-        self, module: SourceModule, node: ast.AST, facts: ScopeFacts
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        facts: ScopeFacts,
+        intervals: ModuleIntervals,
     ) -> Iterator[Finding]:
         if not (isinstance(node, ast.Call) and node.args):
             return
@@ -140,6 +165,13 @@ class UnsafeLogSqrt(_ScopedNumericRule):
         ):
             return
         argument = node.args[0]
+        proved = (
+            intervals.proves_nonnegative(argument)
+            if func.attr == "sqrt"
+            else intervals.proves_positive(argument)
+        )
+        if proved:
+            return
         if not facts.is_safe_log_argument(argument, allow_zero=func.attr == "sqrt"):
             yield self.finding(
                 module,

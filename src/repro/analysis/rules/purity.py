@@ -33,12 +33,14 @@ from repro.analysis.project import ProjectContext
 from repro.analysis.rules.base import Rule, register
 from repro.analysis.source import SourceModule
 
-__all__ = ["EstimatorPurity"]
+__all__ = ["ESTIMATION_METHODS", "EstimatorPurity"]
 
 #: Methods that constitute the estimation path (read-only by contract).
-_ESTIMATION_METHODS = frozenset(
+#: Shared with the transitive-purity rule (R402 in ``rules.flow``).
+ESTIMATION_METHODS = frozenset(
     {"estimate", "_estimate_raw", "_interval", "__call__"}
 )
+_ESTIMATION_METHODS = ESTIMATION_METHODS
 
 #: Mutating container/dataclass methods we recognise by name.
 _MUTATING_METHODS = frozenset(

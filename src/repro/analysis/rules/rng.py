@@ -12,47 +12,25 @@ measurements.
 Only the data-generation package (``repro/data``) is exempt — and even
 there the shipped code plumbs explicit generators; the exemption simply
 scopes the *rule* to where the contract's reproducibility argument
-applies.
+applies.  (R302 in :mod:`repro.analysis.rules.flow` closes the gap the
+exemption opens: non-exempt code *calling into* an exempt RNG user.)
+
+The detection itself lives in :mod:`repro.analysis.effects` so the
+cross-module flow rules can reuse it; this rule renders each collected
+use site as a finding.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Iterator
 
+from repro.analysis.effects import collect_rng_uses
 from repro.analysis.findings import Finding
 from repro.analysis.project import ProjectContext
 from repro.analysis.rules.base import Rule, register
 from repro.analysis.source import SourceModule
 
 __all__ = ["GlobalRandomState"]
-
-#: ``np.random.<name>`` attributes that do *not* touch global state:
-#: constructors for explicit generators and bit generators.
-_NUMPY_ALLOWED = frozenset(
-    {
-        "Generator",
-        "default_rng",
-        "SeedSequence",
-        "BitGenerator",
-        "PCG64",
-        "PCG64DXSM",
-        "Philox",
-        "SFC64",
-        "MT19937",
-        "RandomState",  # constructing a *local* legacy state is explicit
-    }
-)
-
-
-def _is_numpy_random(value: ast.expr, numpy_aliases: set[str]) -> bool:
-    """True for ``np.random`` / ``numpy.random`` attribute roots."""
-    return (
-        isinstance(value, ast.Attribute)
-        and value.attr == "random"
-        and isinstance(value.value, ast.Name)
-        and value.value.id in numpy_aliases
-    )
 
 
 @register
@@ -71,74 +49,5 @@ class GlobalRandomState(Rule):
     ) -> Iterator[Finding]:
         if module.in_package("repro", "data"):
             return
-        random_aliases: set[str] = set()
-        from_random_names: set[str] = set()
-        numpy_aliases: set[str] = set()
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    if alias.name == "random":
-                        random_aliases.add(alias.asname or "random")
-                    if alias.name == "numpy":
-                        numpy_aliases.add(alias.asname or "numpy")
-            elif isinstance(node, ast.ImportFrom):
-                if node.module == "random":
-                    for alias in node.names:
-                        from_random_names.add(alias.asname or alias.name)
-                        yield self.finding(
-                            module,
-                            node.lineno,
-                            node.col_offset,
-                            f"'from random import {alias.name}' pulls in the "
-                            "process-global RNG; use an explicit "
-                            "numpy.random.Generator",
-                        )
-                elif node.module in ("numpy.random", "numpy"):
-                    for alias in node.names:
-                        if node.module == "numpy" and alias.name == "random":
-                            numpy_aliases.add("")  # handled via attribute form
-                        elif (
-                            node.module == "numpy.random"
-                            and alias.name not in _NUMPY_ALLOWED
-                        ):
-                            yield self.finding(
-                                module,
-                                node.lineno,
-                                node.col_offset,
-                                f"'from numpy.random import {alias.name}' is a "
-                                "global-state function; construct a Generator "
-                                "with default_rng and pass it down",
-                            )
-
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            func = node.func
-            if isinstance(func, ast.Attribute):
-                root = func.value
-                if isinstance(root, ast.Name) and root.id in random_aliases:
-                    yield self.finding(
-                        module,
-                        node.lineno,
-                        node.col_offset,
-                        f"random.{func.attr}() uses the process-global RNG; "
-                        "plumb an explicit numpy.random.Generator",
-                    )
-                elif _is_numpy_random(root, numpy_aliases) and (
-                    func.attr not in _NUMPY_ALLOWED
-                ):
-                    yield self.finding(
-                        module,
-                        node.lineno,
-                        node.col_offset,
-                        f"np.random.{func.attr}() mutates numpy's global RNG "
-                        "state; use a seeded Generator from default_rng",
-                    )
-            elif isinstance(func, ast.Name) and func.id in from_random_names:
-                yield self.finding(
-                    module,
-                    node.lineno,
-                    node.col_offset,
-                    f"{func.id}() comes from the stdlib random module (global "
-                    "state); use an explicit numpy.random.Generator",
-                )
+        for use in collect_rng_uses(module.tree):
+            yield self.finding(module, use.line, use.col, use.message)

@@ -1,0 +1,67 @@
+"""Stale-suppression detection (R701).
+
+Suppression pragmas are the *explicit baseline*: each one marks a finding
+the team decided to live with.  When the finding goes away — the code was
+fixed, or the dataflow prover now discharges it — the pragma outlives its
+reason and starts hiding *future* regressions at that line.  R701 reports
+every pragma entry that suppressed nothing during the run.
+
+The rule cannot work from one module's AST alone: whether a pragma is
+used depends on which findings every *other* rule produced.  The runner
+therefore drives it — :func:`~repro.analysis.runner.lint_paths` records
+which pragma entries absorbed a finding and, when R701 is active, emits a
+finding for each leftover entry.  :meth:`StaleSuppression.check` is a
+deliberate no-op.
+
+Scoping, to avoid false alarms on partial runs:
+
+* an entry for code ``C`` is only reported when the rule for ``C``
+  actually ran (``repro lint --select R201`` must not call an R101
+  pragma stale);
+* a ``disable=all`` entry is only reported when *every* registered rule
+  ran.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectContext
+from repro.analysis.rules.base import Rule, register
+from repro.analysis.source import SourceModule
+
+__all__ = ["STALE_SUPPRESSION_CODE", "StaleSuppression"]
+
+STALE_SUPPRESSION_CODE = "R701"
+
+
+@register
+class StaleSuppression(Rule):
+    """R701: a ``# reprolint: disable`` pragma that suppresses nothing."""
+
+    code = STALE_SUPPRESSION_CODE
+    name = "stale-suppression"
+    description = (
+        "suppression pragma that no longer suppresses any finding "
+        "(delete it; the prover or a fix made it redundant)"
+    )
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> Iterator[Finding]:
+        # Driven by the runner, which knows which pragmas were used.
+        return iter(())
+
+    def stale_finding(
+        self, module: SourceModule, line: int, code: str, file_wide: bool
+    ) -> Finding:
+        """The finding for one unused pragma entry."""
+        scope = "file-wide pragma" if file_wide else "pragma"
+        return self.finding(
+            module,
+            line,
+            0,
+            f"stale suppression: {scope} for {code!r} no longer "
+            "suppresses any finding; remove it",
+        )

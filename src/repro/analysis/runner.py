@@ -17,8 +17,13 @@ from typing import Iterable, Sequence
 
 from repro.analysis.findings import PARSE_ERROR_CODE, Finding
 from repro.analysis.project import ProjectContext, build_context
-from repro.analysis.rules import ProjectRule, Rule, resolve_rules
-from repro.analysis.source import SourceModule
+from repro.analysis.rules import ProjectRule, Rule, all_rules, resolve_rules
+from repro.analysis.rules.contracts import module_has_contracts
+from repro.analysis.rules.suppressions import (
+    STALE_SUPPRESSION_CODE,
+    StaleSuppression,
+)
+from repro.analysis.source import SUPPRESS_ALL, SourceModule
 from repro.errors import InvalidParameterError
 
 __all__ = ["LintReport", "collect_files", "lint_paths"]
@@ -49,6 +54,8 @@ class LintReport:
     suppressed: int = 0
     baselined: int = 0
     parse_errors: int = 0
+    #: ``(path, ClauseVerdict)`` pairs, populated when ``prove=True``.
+    contract_verdicts: list = field(default_factory=list)
 
     @property
     def exit_code(self) -> int:
@@ -121,6 +128,7 @@ def lint_paths(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
     baseline: dict[str, int] | None = None,
+    prove: bool = False,
 ) -> LintReport:
     """Lint the given files/directories and return a :class:`LintReport`.
 
@@ -128,6 +136,18 @@ def lint_paths(
     :mod:`repro.analysis.baseline`); up to that many matching findings
     are absorbed per key, so pre-existing debt does not fail the run but
     *new* findings of the same kind still do.
+
+    ``prove=True`` additionally collects the static verdict of every
+    contract clause (:meth:`ModuleIntervals.contract_verdicts`) into
+    ``report.contract_verdicts`` — the table ``repro lint --prove``
+    prints.  The interval analyses are cached per module, so this reuses
+    the work R101/R102/R702 already did.
+
+    Suppression pragmas that silence nothing are themselves findings
+    (R701) when that rule is active: the runner records which pragma
+    entries absorbed a finding and reports the leftovers, scoped to the
+    codes of rules that actually ran (``disable=all`` entries are judged
+    only on a full-rule run).
     """
     files = collect_files(paths)
     modules, parse_findings = _parse_modules(files)
@@ -145,19 +165,94 @@ def lint_paths(
     report = LintReport(files_scanned=len(files))
     by_path = {module.path: module for module in modules}
     remaining_baseline = dict(baseline or {})
-    for finding in sorted(raw):
+    used_entries: dict[str, set[tuple[int, str, bool]]] = {}
+
+    def admit(
+        finding: Finding,
+        judged_entry: tuple[int, str, bool] | None = None,
+    ) -> None:
         module = by_path.get(finding.path)
-        if module is not None and module.suppressions.is_suppressed(
-            finding.line, finding.code
-        ):
-            report.suppressed += 1
-            continue
+        if module is not None:
+            matches = module.suppressions.matching_entries(
+                finding.line, finding.code
+            )
+            if judged_entry is not None:
+                # A stale report must not be silenced by the very entry
+                # it reports — otherwise a stale ``disable=all`` hides
+                # itself forever.  A *different* entry (an explicit
+                # ``disable=R701``) still counts.
+                matches = [entry for entry in matches if entry != judged_entry]
+            if matches:
+                used_entries.setdefault(finding.path, set()).update(matches)
+                report.suppressed += 1
+                return
         key = finding.baseline_key
         if remaining_baseline.get(key, 0) > 0:
             remaining_baseline[key] -= 1
             report.baselined += 1
-            continue
+            return
         if finding.code == PARSE_ERROR_CODE:
             report.parse_errors += 1
         report.findings.append(finding)
+
+    for finding in sorted(raw):
+        admit(finding)
+
+    stale_rule = next(
+        (rule for rule in rules if rule.code == STALE_SUPPRESSION_CODE), None
+    )
+    if isinstance(stale_rule, StaleSuppression):
+        for entry, finding in sorted(
+            _stale_findings(modules, rules, stale_rule, used_entries),
+            key=lambda pair: pair[1],
+        ):
+            # An entry that just absorbed an earlier stale report (e.g.
+            # ``disable=R701``) did real work after all — recheck.
+            if entry in used_entries.get(finding.path, set()):
+                continue
+            admit(finding, judged_entry=entry)
+        report.findings.sort()
+
+    if prove:
+        from repro.analysis.dataflow import module_intervals
+
+        for module in modules:
+            if not module_has_contracts(module):
+                continue
+            for verdict in module_intervals(module).contract_verdicts():
+                report.contract_verdicts.append((module.path, verdict))
     return report
+
+
+def _stale_findings(
+    modules: list[SourceModule],
+    rules: list[Rule],
+    stale_rule: StaleSuppression,
+    used_entries: dict[str, set[tuple[int, str, bool]]],
+) -> list[tuple[tuple[int, str, bool], Finding]]:
+    """``(entry, finding)`` pairs for pragma entries that suppressed nothing.
+
+    An entry for code ``C`` is only judged when the rule for ``C`` ran;
+    ``disable=all`` entries only when every registered rule ran — a
+    partial ``--select`` run must not declare other rules' pragmas stale.
+    The judged entry rides along so the admitter can refuse to let it
+    suppress its own stale report.
+    """
+    active = {rule.code for rule in rules}
+    covers_all = set(all_rules()) <= active
+    findings: list[tuple[tuple[int, str, bool], Finding]] = []
+    for module in modules:
+        used = used_entries.get(module.path, set())
+        for entry in module.suppressions.pragma_entries():
+            line, code, file_wide = entry
+            if entry in used:
+                continue
+            if code == SUPPRESS_ALL:
+                if not covers_all:
+                    continue
+            elif code not in active:
+                continue
+            findings.append(
+                (entry, stale_rule.stale_finding(module, line, code, file_wide))
+            )
+    return findings

@@ -24,13 +24,14 @@ import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["SourceModule", "SuppressionTable"]
+__all__ = ["SUPPRESS_ALL", "SourceModule", "SuppressionTable"]
 
 _LINE_PRAGMA = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
 _FILE_PRAGMA = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\s]+)")
 
 #: Sentinel meaning "every code is suppressed".
-_ALL = "all"
+SUPPRESS_ALL = "all"
+_ALL = SUPPRESS_ALL
 
 
 def _parse_codes(raw: str) -> set[str]:
@@ -43,6 +44,8 @@ class SuppressionTable:
 
     by_line: dict[int, set[str]] = field(default_factory=dict)
     file_wide: set[str] = field(default_factory=set)
+    #: Line each file-wide code was first declared on (for stale reports).
+    file_wide_lines: dict[str, int] = field(default_factory=dict)
 
     def is_suppressed(self, line: int, code: str) -> bool:
         """True when ``code`` is silenced at ``line``."""
@@ -52,6 +55,39 @@ class SuppressionTable:
         if codes is None:
             return False
         return code in codes or _ALL in codes
+
+    def matching_entries(self, line: int, code: str) -> list[tuple[int, str, bool]]:
+        """Every pragma entry that silences ``code`` at ``line``.
+
+        Entries are ``(pragma_line, pragma_code, file_wide)`` triples in
+        the same shape :meth:`pragma_entries` yields, so the runner can
+        mark exactly which declared pragmas did real work — the residue
+        is what the stale-suppression rule (R701) reports.  An empty list
+        means the finding is *not* suppressed.
+        """
+        matches: list[tuple[int, str, bool]] = []
+        at_line = self.by_line.get(line, set())
+        for pragma_code in (code, _ALL):
+            if pragma_code in self.file_wide:
+                matches.append(
+                    (self.file_wide_lines.get(pragma_code, 1), pragma_code, True)
+                )
+            if pragma_code in at_line:
+                matches.append((line, pragma_code, False))
+        return matches
+
+    def pragma_entries(self) -> list[tuple[int, str, bool]]:
+        """Every declared pragma entry as ``(line, code, file_wide)``."""
+        entries = [
+            (line, code, False)
+            for line, codes in sorted(self.by_line.items())
+            for code in sorted(codes)
+        ]
+        entries.extend(
+            (self.file_wide_lines.get(code, 1), code, True)
+            for code in sorted(self.file_wide)
+        )
+        return entries
 
     @classmethod
     def from_source(cls, text: str) -> "SuppressionTable":
@@ -68,7 +104,9 @@ class SuppressionTable:
                     continue
                 file_match = _FILE_PRAGMA.search(token.string)
                 if file_match:
-                    table.file_wide |= _parse_codes(file_match.group(1))
+                    for code in _parse_codes(file_match.group(1)):
+                        table.file_wide.add(code)
+                        table.file_wide_lines.setdefault(code, token.start[0])
                     continue
                 line_match = _LINE_PRAGMA.search(token.string)
                 if line_match:

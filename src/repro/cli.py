@@ -231,26 +231,41 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         lint_paths,
         load_baseline,
         render_json,
+        render_prove,
+        render_sarif,
         render_text,
     )
     from repro.analysis.baseline import write_baseline
+    from repro.analysis.rules.suppressions import STALE_SUPPRESSION_CODE
 
     if args.list_rules:
         for code, rule_class in all_rules().items():
             print(f"{code}  {rule_class.name:24s} {rule_class.description}")
         return 0
+    select = list(args.select) if args.select else None
+    if args.stale_pragmas and select and STALE_SUPPRESSION_CODE not in select:
+        # --select narrows the run; --stale-pragmas opts R701 back in.
+        select.append(STALE_SUPPRESSION_CODE)
+    ignore = list(args.ignore) if args.ignore else None
+    if args.stale_pragmas and ignore and STALE_SUPPRESSION_CODE in ignore:
+        ignore.remove(STALE_SUPPRESSION_CODE)
     baseline = load_baseline(args.baseline) if args.baseline else None
     report = lint_paths(
         args.paths,
-        select=args.select or None,
-        ignore=args.ignore or None,
+        select=select,
+        ignore=ignore,
         baseline=baseline,
+        prove=args.prove,
     )
     if args.write_baseline:
         entries = write_baseline(args.write_baseline, report)
         print(f"wrote {entries} baseline entr{'y' if entries == 1 else 'ies'} to {args.write_baseline}")
         return 0
-    print(render_json(report) if args.format == "json" else render_text(report))
+    renderers = {"json": render_json, "sarif": render_sarif, "text": render_text}
+    print(renderers[args.format](report))
+    if args.prove and args.format == "text":
+        print()
+        print(render_prove(report))
     return report.exit_code
 
 
@@ -347,7 +362,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="format"
+        "--format", choices=("text", "json", "sarif"), default="text", dest="format"
+    )
+    lint.add_argument(
+        "--prove",
+        action="store_true",
+        help="run the interval prover over @requires/@ensures contracts "
+        "and print a clause-by-clause verdict table",
+    )
+    lint.add_argument(
+        "--stale-pragmas",
+        action="store_true",
+        dest="stale_pragmas",
+        help="force the stale-suppression rule (R701) on, even under "
+        "--select/--ignore",
     )
     lint.add_argument(
         "--select",

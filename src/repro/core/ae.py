@@ -59,6 +59,7 @@ from typing import Callable, Mapping
 
 from scipy import optimize
 
+from repro.contracts import requires
 from repro.core.base import ConfidenceInterval, DistinctValueEstimator
 from repro.core.bounds import gee_interval
 from repro.errors import InvalidParameterError, SolverError
@@ -294,6 +295,7 @@ class AE(DistinctValueEstimator):
         if method != "approx" or rare_cutoff != 2:
             self.name = f"AE({method},c={rare_cutoff})"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(
         self, profile: FrequencyProfile, population_size: int
     ) -> tuple[float, Mapping[str, object]]:

@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.contracts import ensures
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
 
@@ -155,6 +156,13 @@ class DistinctValueEstimator(ABC):
     #: experiment reports, and figures.
     name: str = "base"
 
+    # The paper's sanity bounds, §2: d <= D_hat <= n.  (Preconditions are
+    # enforced by the explicit validation below — it must keep raising
+    # InvalidParameterError, so they are not @requires clauses.)
+    @ensures(
+        "result.value >= profile.distinct",
+        "result.value <= population_size",
+    )
     def estimate(self, profile: FrequencyProfile, population_size: int) -> Estimate:
         """Estimate the number of distinct values in a column of ``population_size`` rows."""
         n = int(population_size)

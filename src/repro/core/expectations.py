@@ -33,6 +33,7 @@ import math
 import numpy as np
 import numpy.typing as npt
 
+from repro.contracts import ensures, requires
 from repro.errors import InvalidParameterError
 
 __all__ = [
@@ -47,6 +48,10 @@ __all__ = [
 _SCHEMES = ("without", "with")
 
 
+# n = sum of >= 1 class sizes over a non-empty array, r is validated;
+# callers unpack ``sizes, n, r`` and the prover carries these facts to
+# every ``/ n`` and ``sqrt(n / r)`` downstream.
+@ensures("result[1] >= 1.0", "result[2] >= 1")
 def _validated(
     class_sizes: npt.ArrayLike, sample_size: int, scheme: str
 ) -> tuple[npt.NDArray[np.float64], float, int]:
@@ -82,12 +87,13 @@ def _log_binomial(a: npt.NDArray[np.float64], b: float) -> npt.NDArray[np.float6
     return np.where(a >= b, result, -np.inf)
 
 
+@requires("n >= 1", "r >= 1")
 def _log_prob_count(
     sizes: npt.NDArray[np.float64], n: float, r: int, i: int, scheme: str
 ) -> npt.NDArray[np.float64]:
     """``log P[count_j = i]`` for every class ``j``."""
     if scheme == "with":
-        p = sizes / n  # reprolint: disable=R101 - n = sum of validated sizes >= 1
+        p = sizes / n
         log_p = np.log(p)
         with np.errstate(divide="ignore"):  # p = 1 -> log(0) = -inf, handled below
             log_q = np.log1p(-p)
@@ -154,7 +160,7 @@ def expected_gee(class_sizes: npt.ArrayLike, sample_size: int, scheme: str = "wi
     sizes, n, r = _validated(class_sizes, sample_size, scheme)
     e_d = expected_distinct(sizes, r, scheme)
     e_f1 = expected_frequency_count(sizes, r, 1, scheme)
-    return e_d + (math.sqrt(n / r) - 1.0) * e_f1  # reprolint: disable=R101,R102 - _validated guarantees n >= 1 and r >= 1
+    return e_d + (math.sqrt(n / r) - 1.0) * e_f1
 
 
 def variance_distinct(
@@ -180,7 +186,7 @@ def variance_distinct(
     variance = float(np.sum(unseen * (1.0 - unseen)))
     if d_count > 1:
         if scheme == "with":
-            p = sizes / n  # reprolint: disable=R101 - n = sum of validated sizes >= 1
+            p = sizes / n
             pair_base = 1.0 - (p[:, None] + p[None, :])
             with np.errstate(invalid="ignore", divide="ignore"):
                 both_unseen = np.where(

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 
+from repro.contracts import ensures, requires
 from repro.core.base import ConfidenceInterval, DistinctValueEstimator
 from repro.core.bounds import gee_interval
 from repro.errors import InvalidParameterError
@@ -31,6 +32,7 @@ from repro.frequency.profile import FrequencyProfile
 __all__ = ["GEE", "gee_estimate", "gee_coefficient"]
 
 
+@ensures("result > 0.0")
 def gee_coefficient(population_size: int, sample_size: int) -> float:
     """The GEE scale-up coefficient for singletons, ``sqrt(n / r)``."""
     if sample_size <= 0:
@@ -66,6 +68,7 @@ class GEE(DistinctValueEstimator):
         if not math.isclose(exponent, 0.5):
             self.name = f"GEE(a={exponent:g})"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         r = profile.sample_size
         coefficient = (population_size / r) ** self.exponent

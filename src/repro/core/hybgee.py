@@ -12,6 +12,7 @@ low skew and significantly beating it on high skew.
 
 from __future__ import annotations
 
+from repro.contracts import requires
 from repro.core.base import ConfidenceInterval, DistinctValueEstimator
 from repro.core.bounds import gee_interval
 from repro.core.gee import GEE
@@ -47,6 +48,7 @@ class HybridGEE(HybridSkew):
             high_skew_estimator=GEE(),
         )
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _interval(
         self, profile: FrequencyProfile, population_size: int
     ) -> ConfidenceInterval:

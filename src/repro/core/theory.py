@@ -114,7 +114,7 @@ def minimum_sample_size_for_error(
     if not 0.0 < gamma < 1.0:
         raise InvalidParameterError(f"gamma must be in (0, 1), got {gamma}")
     load = math.log(1.0 / gamma)
-    r = population_size * load / (2.0 * target_error**2 + load)  # reprolint: disable=R101 - target_error >= 1 and load = ln(1/gamma) > 0 validated above
+    r = population_size * load / (2.0 * target_error**2 + load)
     return min(population_size, max(1, math.ceil(r)))
 
 

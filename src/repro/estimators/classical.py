@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import Mapping
 
+from repro.contracts import requires
 from repro.core.base import DistinctValueEstimator
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
@@ -42,6 +43,7 @@ class Chao(DistinctValueEstimator):
 
     name = "Chao84"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         d = profile.distinct
         f1 = profile.f1
@@ -63,6 +65,7 @@ class ChaoLee(DistinctValueEstimator):
 
     name = "ChaoLee"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(
         self, profile: FrequencyProfile, population_size: int
     ) -> tuple[float, Mapping[str, object]]:
@@ -98,6 +101,7 @@ class Goodman(DistinctValueEstimator):
 
     _LOG_TERM_LIMIT = 280.0 * math.log(10.0)
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         n = population_size
         r = profile.sample_size
@@ -129,6 +133,7 @@ class Bootstrap(DistinctValueEstimator):
 
     name = "Bootstrap"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         r = profile.sample_size
         total = float(profile.distinct)
@@ -155,6 +160,7 @@ class HorvitzThompson(DistinctValueEstimator):
 
     name = "HT"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         r = profile.sample_size
         q = min(r / population_size, 1.0)
@@ -180,6 +186,7 @@ class NaiveScaleUp(DistinctValueEstimator):
 
     name = "Scale"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         return profile.distinct * population_size / profile.sample_size
 
@@ -189,5 +196,6 @@ class SampleDistinct(DistinctValueEstimator):
 
     name = "d"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         return float(profile.distinct)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 
+from repro.contracts import requires
 from repro.core.base import DistinctValueEstimator
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
@@ -43,6 +44,7 @@ class GoodTuring(DistinctValueEstimator):
 
     name = "GT"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         return coverage_estimate_distinct(profile)
 

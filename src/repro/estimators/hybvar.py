@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro.contracts import requires
 from repro.core.base import DistinctValueEstimator
 from repro.errors import InvalidParameterError
 from repro.estimators.jackknife import (
@@ -75,6 +76,7 @@ class HybridVariance(DistinctValueEstimator):
         self.moderate_estimator = moderate_estimator or DUJ2A()
         self.skewed_estimator = skewed_estimator or ModifiedShlosser()
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(
         self, profile: FrequencyProfile, population_size: int
     ) -> tuple[float, Mapping[str, object]]:

@@ -26,6 +26,7 @@ from typing import Mapping
 
 from scipy import optimize
 
+from repro.contracts import requires
 from repro.core.base import DistinctValueEstimator
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
@@ -54,6 +55,7 @@ class FirstOrderJackknife(DistinctValueEstimator):
 
     name = "JK1"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         r = profile.sample_size
         return profile.distinct + (r - 1) / r * profile.f1
@@ -68,6 +70,7 @@ class SecondOrderJackknife(DistinctValueEstimator):
 
     name = "JK2"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         r = profile.sample_size
         d = profile.distinct
@@ -109,6 +112,7 @@ class SmoothedJackknife(DistinctValueEstimator):
 
     name = "SJ"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         r = profile.sample_size
         q = r / population_size
@@ -136,6 +140,7 @@ class MethodOfMoments(DistinctValueEstimator):
 
     name = "MM"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         d = profile.distinct
         r = profile.sample_size
@@ -208,6 +213,7 @@ class UnsmoothedSecondOrderJackknife(DistinctValueEstimator):
 
     name = "UJ2"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(
         self, profile: FrequencyProfile, population_size: int
     ) -> tuple[float, Mapping[str, object]]:
@@ -259,6 +265,7 @@ class DUJ2A(DistinctValueEstimator):
             raise InvalidParameterError(f"cutoff must be >= 1, got {cutoff}")
         self.cutoff = int(cutoff)
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(
         self, profile: FrequencyProfile, population_size: int
     ) -> tuple[float, Mapping[str, object]]:

@@ -57,6 +57,7 @@ from __future__ import annotations
 import math
 from typing import Mapping
 
+from repro.contracts import ensures, requires
 from repro.core.base import DistinctValueEstimator
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
@@ -64,6 +65,7 @@ from repro.frequency.profile import FrequencyProfile
 __all__ = ["Shlosser", "ModifiedShlosser", "shlosser_ratio"]
 
 
+@ensures("result >= 0.0")
 def shlosser_ratio(profile: FrequencyProfile, q: float) -> float:
     """Shlosser's correction ``sum (1-q)^i f_i / sum i q (1-q)^{i-1} f_i``.
 
@@ -91,6 +93,7 @@ class Shlosser(DistinctValueEstimator):
 
     name = "Shlosser"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         q = min(profile.sample_size / population_size, 1.0)
         return profile.distinct + profile.f1 * shlosser_ratio(profile, q)
@@ -115,6 +118,7 @@ class ModifiedShlosser(DistinctValueEstimator):
         if mode != "behavioral":
             self.name = f"ModShlosser({mode})"
 
+    @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(
         self, profile: FrequencyProfile, population_size: int
     ) -> tuple[float, Mapping[str, object]]:

@@ -14,8 +14,10 @@ experiments are reproducible bit-for-bit.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
@@ -23,7 +25,7 @@ from repro.frequency.profile import FrequencyProfile
 __all__ = ["RowSampler", "resolve_sample_size", "as_column"]
 
 
-def as_column(values) -> np.ndarray:
+def as_column(values: npt.ArrayLike) -> npt.NDArray[Any]:
     """Coerce ``values`` to a 1-D numpy array, validating the shape."""
     column = np.asarray(values)
     if column.ndim != 1:
@@ -57,6 +59,7 @@ def resolve_sample_size(
                 f"sample size must be in [1, {upper}], got {size}"
             )
         return r
+    assert fraction is not None  # the exactly-one check above guarantees it
     if not 0.0 < fraction <= 1.0:
         raise InvalidParameterError(f"fraction must be in (0, 1], got {fraction}")
     return min(population_size, max(1, round(fraction * population_size)))
@@ -79,11 +82,11 @@ class RowSampler(ABC):
 
     def sample(
         self,
-        column,
+        column: npt.ArrayLike,
         rng: np.random.Generator,
         size: int | None = None,
         fraction: float | None = None,
-    ) -> np.ndarray:
+    ) -> npt.NDArray[Any]:
         """Draw a sample of rows from ``column``."""
         data = as_column(column)
         r = resolve_sample_size(
@@ -96,7 +99,7 @@ class RowSampler(ABC):
 
     def profile(
         self,
-        column,
+        column: npt.ArrayLike,
         rng: np.random.Generator,
         size: int | None = None,
         fraction: float | None = None,
@@ -107,7 +110,9 @@ class RowSampler(ABC):
         )
 
     @abstractmethod
-    def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
+    def _draw(
+        self, column: npt.NDArray[Any], r: int, rng: np.random.Generator
+    ) -> npt.NDArray[Any]:
         """Draw exactly ``r`` rows (or approximately, for Bernoulli) from ``column``."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -7,7 +7,10 @@ are a uniform without-replacement sample of everything seen so far.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
@@ -31,7 +34,7 @@ class ChunkedReservoir:
             raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self._rng = rng
-        self._values: np.ndarray | None = None
+        self._values: npt.NDArray[Any] | None = None
         self._rows_seen = 0
 
     @property
@@ -44,7 +47,7 @@ class ChunkedReservoir:
         """Rows currently held (== capacity once the stream exceeds it)."""
         return 0 if self._values is None else int(self._values.size)
 
-    def consume(self, chunk) -> None:
+    def consume(self, chunk: npt.ArrayLike) -> None:
         """Absorb the next chunk of the stream (in arrival order)."""
         data = np.asarray(chunk)
         if data.ndim != 1:
@@ -76,7 +79,7 @@ class ChunkedReservoir:
             self._values[slot] = data[offset]
         self._rows_seen += data.size
 
-    def values(self) -> np.ndarray:
+    def values(self) -> npt.NDArray[Any]:
         """The current sample (raises before any row has been consumed)."""
         if self._values is None:
             raise InvalidParameterError("no rows consumed yet")

@@ -18,8 +18,12 @@
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Any
 
+import numpy as np
+import numpy.typing as npt
+
+from repro.contracts import requires
 from repro.errors import InvalidParameterError
 from repro.sampling.base import RowSampler
 
@@ -39,7 +43,9 @@ class UniformWithoutReplacement(RowSampler):
     name = "srswor"
     without_replacement = True
 
-    def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
+    def _draw(
+        self, column: npt.NDArray[Any], r: int, rng: np.random.Generator
+    ) -> npt.NDArray[Any]:
         indices = rng.choice(column.size, size=r, replace=False)
         return column[indices]
 
@@ -50,7 +56,9 @@ class UniformWithReplacement(RowSampler):
     name = "srswr"
     without_replacement = False
 
-    def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
+    def _draw(
+        self, column: npt.NDArray[Any], r: int, rng: np.random.Generator
+    ) -> npt.NDArray[Any]:
         indices = rng.integers(0, column.size, size=r)
         return column[indices]
 
@@ -66,8 +74,12 @@ class Bernoulli(RowSampler):
     name = "bernoulli"
     without_replacement = True
 
-    def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
-        rate = r / column.size  # reprolint: disable=R101 - RowSampler.sample rejects empty columns before _draw
+    # RowSampler.sample validates both before dispatching to _draw.
+    @requires("r >= 1", "column.size >= 1")
+    def _draw(
+        self, column: npt.NDArray[Any], r: int, rng: np.random.Generator
+    ) -> npt.NDArray[Any]:
+        rate = r / column.size
         mask = rng.random(column.size) < rate
         if not mask.any():
             mask[rng.integers(0, column.size)] = True
@@ -86,7 +98,9 @@ class Reservoir(RowSampler):
     name = "reservoir"
     without_replacement = True
 
-    def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
+    def _draw(
+        self, column: npt.NDArray[Any], r: int, rng: np.random.Generator
+    ) -> npt.NDArray[Any]:
         n = column.size
         reservoir = column[:r].copy()
         if n == r:
@@ -122,9 +136,11 @@ class Block(RowSampler):
             raise InvalidParameterError(f"block_size must be >= 1, got {block_size}")
         self.block_size = int(block_size)
 
-    def _draw(self, column: np.ndarray, r: int, rng: np.random.Generator) -> np.ndarray:
+    def _draw(
+        self, column: npt.NDArray[Any], r: int, rng: np.random.Generator
+    ) -> npt.NDArray[Any]:
         n = column.size
-        n_blocks = -(-n // self.block_size)  # ceil division  # reprolint: disable=R101 - block_size >= 1 validated in __init__
+        n_blocks = -(-n // self.block_size)  # ceil division
         # Accumulate random blocks until the target is covered; the last
         # block of the table may be partial, so a fixed block count could
         # undershoot.

@@ -77,7 +77,7 @@ class HyperLogLog(DistinctSketch):
         if raw <= 2.5 * m:
             zeros = int(np.count_nonzero(self._registers == 0))
             if zeros:
-                return m * math.log(m / zeros)  # reprolint: disable=R102 - m = 2^precision >= 16 and 1 <= zeros <= m
+                return m * math.log(m / zeros)
         return float(raw)
 
     def merge(self, other: DistinctSketch) -> None:

@@ -48,20 +48,20 @@ class LinearCounting(DistinctSketch):
 
     def add(self, values) -> None:
         hashes = hash64(values, seed=self.seed)
-        positions = (hashes % np.uint64(self.bits)).astype(np.int64)  # reprolint: disable=R101 - bits >= 8 validated in __init__
+        positions = (hashes % np.uint64(self.bits)).astype(np.int64)
         self._bitmap[positions] = True
 
     @property
     def zero_fraction(self) -> float:
         """Fraction of bitmap bits still unset."""
-        return 1.0 - self._bitmap.sum() / self.bits  # reprolint: disable=R101 - bits >= 8 validated in __init__
+        return 1.0 - self._bitmap.sum() / self.bits
 
     def estimate(self) -> float:
         v = self.zero_fraction
         if v <= 0.0:
             # Saturated bitmap: all we know is D >> m; report the
             # coupon-collector-style capacity bound.
-            return float(self.bits) * math.log(self.bits)  # reprolint: disable=R102 - bits >= 8 validated in __init__
+            return float(self.bits) * math.log(self.bits)
         return -self.bits * math.log(v)
 
     def merge(self, other: DistinctSketch) -> None:

@@ -61,3 +61,44 @@ class TestLintCommand:
 
         assert main(["lint", str(target), "--baseline", str(baseline)]) == 0
         assert "1 baselined" in capsys.readouterr().out
+
+    def test_sarif_format(self, tmp_path, capsys):
+        target = _stack_file(tmp_path)
+        assert main(["lint", str(target), "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        results = payload["runs"][0]["results"]
+        assert any(result["ruleId"] == "R101" for result in results)
+
+    def test_prove_prints_verdict_table(self, tmp_path, capsys):
+        target = _stack_file(
+            tmp_path,
+            "from repro.contracts import requires\n"
+            '__all__ = ["f"]\n'
+            "@requires('n >= 1')\n"
+            "def f(n):\n"
+            "    return 1.0 / n\n",
+        )
+        assert main(["lint", str(target), "--prove"]) == 0
+        out = capsys.readouterr().out
+        assert "requires" in out
+        assert "assumed" in out
+        assert "n >= 1" in out
+        assert "1 clause(s)" in out
+
+    def test_stale_pragmas_reinstate_r701_under_select(self, tmp_path, capsys):
+        # The pragma is discharged by the guard; a plain --select R101
+        # run must stay silent about it, --stale-pragmas flags it.
+        target = _stack_file(
+            tmp_path,
+            '__all__ = ["f"]\n'
+            "def f(n):\n"
+            "    if n == 0:\n"
+            "        return 0.0\n"
+            "    return 1.0 / n  # reprolint: disable=R101\n",
+        )
+        assert main(["lint", str(target), "--select", "R101"]) == 0
+        capsys.readouterr()
+        code = main(["lint", str(target), "--select", "R101", "--stale-pragmas"])
+        assert code == 1
+        assert "stale suppression" in capsys.readouterr().out

@@ -1,0 +1,257 @@
+"""End-to-end tests for the dataflow engine (`repro.analysis.dataflow`).
+
+Each test lints or analyses a small inline module and checks what the
+engine can (and deliberately cannot) prove: guard propagation, builtin
+transfer functions, ``__init__`` attribute facts, loop widening, and
+contract clause verdicts.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.dataflow import build_cfg, module_intervals
+from repro.analysis.source import SourceModule
+
+from tests.analysis.conftest import lint_text
+
+_PATH = "repro/estimators/fixture_dataflow.py"
+
+
+def _analysis(text: str):
+    return module_intervals(SourceModule.from_source(text, path=_PATH))
+
+
+class TestGuardPropagation:
+    def test_raise_guard_proves_fallthrough(self):
+        text = (
+            "def f(n):\n"
+            "    if n < 1:\n"
+            "        raise ValueError(n)\n"
+            "    return 1.0 / n\n"
+        )
+        analysis = _analysis(text)
+        # The source text is identical, so re-parse and map by position.
+        assert analysis.proves_nonzero(_find_divisor(analysis))
+
+    def test_early_return_guard(self):
+        text = (
+            "def f(r):\n"
+            "    if r == 0:\n"
+            "        return 0.0\n"
+            "    return 1.0 / r\n"
+        )
+        analysis = _analysis(text)
+        assert analysis.proves_nonzero(_find_divisor(analysis))
+
+    def test_unguarded_stays_unproved(self):
+        text = "def f(n):\n    return 1.0 / n\n"
+        analysis = _analysis(text)
+        assert not analysis.proves_nonzero(_find_divisor(analysis))
+
+    def test_guard_on_wrong_variable_does_not_leak(self):
+        text = (
+            "def f(n, m):\n"
+            "    if n < 1:\n"
+            "        raise ValueError(n)\n"
+            "    return 1.0 / m\n"
+        )
+        analysis = _analysis(text)
+        assert not analysis.proves_nonzero(_find_divisor(analysis))
+
+
+class TestBuiltins:
+    def test_max_with_positive_floor(self):
+        findings = lint_text(
+            "def f(x):\n"
+            "    d = max(x, 1)\n"
+            "    return 1.0 / d\n",
+            ["R101"],
+        )
+        assert findings == []
+
+    def test_len_is_nonnegative_not_nonzero(self):
+        findings = lint_text(
+            "def f(values):\n"
+            "    return 1.0 / len(values)\n",
+            ["R101"],
+        )
+        assert [finding.code for finding in findings] == ["R101"]
+
+    def test_len_guarded(self):
+        findings = lint_text(
+            "def f(values):\n"
+            "    count = len(values)\n"
+            "    if count == 0:\n"
+            "        return 0.0\n"
+            "    return 1.0 / count\n",
+            ["R101"],
+        )
+        assert findings == []
+
+    def test_abs_needs_nonzero_operand(self):
+        clean = lint_text(
+            "import math\n"
+            "def f(x):\n"
+            "    if x == 0:\n"
+            "        return 0.0\n"
+            "    return math.log(abs(x))\n",
+            ["R102"],
+        )
+        assert clean == []
+        dirty = lint_text(
+            "import math\n"
+            "def f(x):\n"
+            "    return math.log(abs(x))\n",
+            ["R102"],
+        )
+        assert [finding.code for finding in dirty] == ["R102"]
+
+
+class TestAttributeFacts:
+    def test_init_validation_flows_into_methods(self):
+        findings = lint_text(
+            "class Sketch:\n"
+            "    def __init__(self, bits):\n"
+            "        if bits < 8:\n"
+            "            raise ValueError(bits)\n"
+            "        self.bits = int(bits)\n"
+            "    def rate(self, used):\n"
+            "        return used / self.bits\n",
+            ["R101"],
+        )
+        assert findings == []
+
+    def test_mutated_attribute_is_not_trusted(self):
+        findings = lint_text(
+            "class Sketch:\n"
+            "    def __init__(self, bits):\n"
+            "        if bits < 8:\n"
+            "            raise ValueError(bits)\n"
+            "        self.bits = int(bits)\n"
+            "    def shrink(self):\n"
+            "        self.bits = 0\n"
+            "    def rate(self, used):\n"
+            "        return used / self.bits\n",
+            ["R101"],
+        )
+        assert [finding.code for finding in findings] == ["R101"]
+
+
+class TestLoops:
+    def test_widening_terminates_and_keeps_sign(self):
+        # The counting loop grows i without bound; widening must
+        # terminate the fixpoint and keep i >= 1 for the division.
+        findings = lint_text(
+            "def f(stop):\n"
+            "    i = 1\n"
+            "    total = 0.0\n"
+            "    while i < stop:\n"
+            "        total += 1.0 / i\n"
+            "        i += 1\n"
+            "    return total\n",
+            ["R101"],
+        )
+        assert findings == []
+
+    def test_loop_variable_that_may_hit_zero_is_not_proved(self):
+        # i descends from 5 through 0: the prover must NOT claim i != 0.
+        # (The R101 finding itself is absorbed by the legacy guardedness
+        # heuristic — `i` appears in the while-test — so query the
+        # prover directly.)
+        analysis = _analysis(
+            "def f(stop):\n"
+            "    i = 5\n"
+            "    total = 0.0\n"
+            "    while i > -5:\n"
+            "        total += 1.0 / i\n"
+            "        i -= 1\n"
+            "    return total\n"
+        )
+        divisor = _find_divisor(analysis)
+        assert not analysis.proves_nonzero(divisor)
+
+
+class TestContracts:
+    def test_requires_seeds_parameters(self):
+        findings = lint_text(
+            "from repro.contracts import requires\n"
+            "@requires('n >= 1')\n"
+            "def f(n):\n"
+            "    return 1.0 / n\n",
+            ["R101"],
+        )
+        assert findings == []
+
+    def test_ensures_proved(self):
+        analysis = _analysis(
+            "from repro.contracts import ensures\n"
+            "@ensures('result >= 1.0')\n"
+            "def f(x):\n"
+            "    return max(x, 1.0)\n"
+        )
+        verdicts = analysis.contract_verdicts()
+        assert [v.verdict for v in verdicts if v.kind == "ensures"] == ["proved"]
+
+    def test_ensures_runtime_when_unprovable(self):
+        analysis = _analysis(
+            "from repro.contracts import ensures\n"
+            "@ensures('result >= 1.0')\n"
+            "def f(x):\n"
+            "    return x\n"
+        )
+        verdicts = analysis.contract_verdicts()
+        assert [v.verdict for v in verdicts if v.kind == "ensures"] == ["runtime"]
+
+    def test_ensures_violated(self):
+        analysis = _analysis(
+            "from repro.contracts import ensures\n"
+            "@ensures('result >= 1.0')\n"
+            "def f():\n"
+            "    return 0.0\n"
+        )
+        verdicts = analysis.contract_verdicts()
+        assert [v.verdict for v in verdicts if v.kind == "ensures"] == ["violated"]
+
+    def test_requires_reported_assumed(self):
+        analysis = _analysis(
+            "from repro.contracts import requires\n"
+            "@requires('r >= 1')\n"
+            "def f(r):\n"
+            "    return r\n"
+        )
+        verdicts = analysis.contract_verdicts()
+        assert [(v.kind, v.verdict) for v in verdicts] == [("requires", "assumed")]
+
+
+class TestCfg:
+    def test_straight_line_single_block(self):
+        func = ast.parse("def f(x):\n    y = x + 1\n    return y\n").body[0]
+        cfg = build_cfg(func)
+        reachable = [block for block in cfg.blocks if block.statements]
+        assert len(reachable) >= 1
+
+    def test_if_produces_branches(self):
+        func = ast.parse(
+            "def f(x):\n"
+            "    if x > 0:\n"
+            "        y = 1\n"
+            "    else:\n"
+            "        y = 2\n"
+            "    return y\n"
+        ).body[0]
+        cfg = build_cfg(func)
+        # The entry block must fan out into two guarded edges.
+        branching = [
+            block for block in cfg.blocks if len(block.edges) == 2
+        ]
+        assert branching, "expected a two-way branch block"
+
+
+def _find_divisor(analysis) -> ast.expr:
+    """The divisor expression of the first division in *analysis*'s tree."""
+    tree = analysis.module.tree
+    for node in ast.walk(tree):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return node.right
+    raise AssertionError("no division in fixture")
