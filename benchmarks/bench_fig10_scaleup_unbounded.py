@@ -9,10 +9,18 @@ threshold switches within the same sweep, see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+from conftest import paper_scale
+
 
 def test_fig10_scaleup_unbounded(exhibit):
     table = exhibit("fig10")
     flat = ("GEE", "AE", "HYBGEE", "HYBSKEW", "DUJ2A")
+    for name in ("HYBVAR", *flat):
+        assert all(v >= 1.0 for v in table.series[name]), name
+    if not paper_scale():
+        # HYBVAR's CV threshold crossing happens near n ~ 400K; a
+        # scaled-down sweep never reaches it, so the step disappears.
+        return
     for name in flat:
         values = table.series[name]
         assert max(values) < 3.5, name

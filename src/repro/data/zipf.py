@@ -20,6 +20,8 @@ positive and the total exact.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.data.column import Column
@@ -47,6 +49,12 @@ def _sizes_for_scale(scale: float, z: float, max_classes: int) -> np.ndarray:
 def zipf_class_sizes(total_rows: int, z: float) -> np.ndarray:
     """Class sizes (descending) of a generalized Zipfian column.
 
+    The scale solve (a 64-iteration binary search over O(D)-sized
+    arrays) is deterministic, so repeated ``(total_rows, z)`` requests —
+    a sweep regenerating the same column spec per grid point, or the
+    error and variance exhibits of one workload — hit an in-process
+    memo; callers always receive a fresh, writable copy.
+
     Parameters
     ----------
     total_rows:
@@ -61,8 +69,15 @@ def zipf_class_sizes(total_rows: int, z: float) -> np.ndarray:
     if z < 0:
         raise DataGenerationError(f"z must be >= 0, got {z}")
     if z == 0:
+        # One row per class: trivial to build and, at z=0, as large as
+        # the column itself — not worth holding in the memo.
         return np.ones(total_rows, dtype=np.int64)
+    return _solved_class_sizes(int(total_rows), float(z)).copy()
 
+
+@lru_cache(maxsize=16)
+def _solved_class_sizes(total_rows: int, z: float) -> np.ndarray:
+    """The (cached, read-only) scale solve behind :func:`zipf_class_sizes`."""
     # Binary-search the scale C so that sum_i round(C / i^z) ~ total_rows.
     lo, hi = 0.0, float(total_rows)
     while _sizes_for_scale(hi, z, total_rows).sum() < total_rows:
@@ -86,7 +101,8 @@ def zipf_class_sizes(total_rows: int, z: float) -> np.ndarray:
         sizes = sizes.copy()
         sizes[0] += residual
     # Keep the (descending) invariant even after head adjustment.
-    sizes = np.sort(sizes)[::-1]
+    sizes = np.ascontiguousarray(np.sort(sizes)[::-1])
+    sizes.flags.writeable = False
     return sizes
 
 

@@ -1,0 +1,156 @@
+"""Parallel sweep execution with deterministic seed spawning.
+
+A *sweep* maps a task function over grid points (sampling rates, skews,
+row counts, ...).  The serial figure runners thread one shared generator
+through every point, which makes the points order-dependent and
+unparallelizable.  This module provides the alternative protocol:
+
+* every grid point ``i`` of a sweep rooted at ``seed`` receives its own
+  :class:`numpy.random.SeedSequence` built as
+  ``SeedSequence(entropy=seed, spawn_key=(TASK_DOMAIN, i))`` — the
+  spawn-key mechanism guarantees the child streams are independent and
+  depend only on ``(seed, i)``, never on worker count, scheduling, or
+  completion order;
+* shared inputs (a column reused by every rate point, a surrogate
+  dataset) derive their seeds from their *specification* under
+  :data:`DATA_DOMAIN` via :func:`derived_rng`, so any worker that needs
+  the same input regenerates the same bytes, and a per-process memo
+  (:func:`memoized`) builds it at most once per worker;
+* results are collected in submission order, so
+  ``run_sweep(fn, points, seed=s, workers=w)`` returns byte-identical
+  results for every ``w >= 1`` — one worker runs inline with no pool.
+
+Task functions and grid points must be picklable (module-level functions
+and plain data) when ``workers > 1``; the worker rebuilds each point's
+generator from ``(seed, index)``, so nothing random crosses process
+boundaries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, TypeVar
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.experiments import config
+
+__all__ = [
+    "TASK_DOMAIN",
+    "DATA_DOMAIN",
+    "derived_rng",
+    "task_seed",
+    "run_sweep",
+    "memoized",
+    "clear_memo",
+    "memo_size",
+]
+
+_PointT = TypeVar("_PointT")
+_ResultT = TypeVar("_ResultT")
+
+#: Spawn-key namespace for per-grid-point trial streams.
+TASK_DOMAIN = 0x7A5C
+#: Spawn-key namespace for shared inputs (columns, datasets).
+DATA_DOMAIN = 0xDA7A
+
+
+def task_seed(seed: int, index: int, domain: int = TASK_DOMAIN) -> np.random.SeedSequence:
+    """The :class:`~numpy.random.SeedSequence` of sweep point ``index``."""
+    if seed < 0:
+        raise InvalidParameterError(f"seed must be >= 0, got {seed}")
+    if index < 0:
+        raise InvalidParameterError(f"index must be >= 0, got {index}")
+    return np.random.SeedSequence(entropy=seed, spawn_key=(domain, index))
+
+
+def derived_rng(
+    seed: int, *key: int, domain: int = DATA_DOMAIN
+) -> np.random.Generator:
+    """A generator on a stream derived from ``(seed, key)``.
+
+    The stream depends only on the root seed and the integer key (all
+    components must be non-negative), so two workers deriving a
+    generator for the same specification consume identical bytes.
+    """
+    if seed < 0:
+        raise InvalidParameterError(f"seed must be >= 0, got {seed}")
+    if any(part < 0 for part in key):
+        raise InvalidParameterError(f"key components must be >= 0, got {key!r}")
+    sequence = np.random.SeedSequence(entropy=seed, spawn_key=(domain, *key))
+    return np.random.default_rng(sequence)
+
+
+def _run_point(
+    fn: Callable[[_PointT, np.random.Generator], _ResultT],
+    point: _PointT,
+    seed: int,
+    index: int,
+) -> _ResultT:
+    """Execute one grid point on its spawned stream (runs in-worker)."""
+    return fn(point, np.random.default_rng(task_seed(seed, index)))
+
+
+def run_sweep(
+    fn: Callable[[_PointT, np.random.Generator], _ResultT],
+    points: Iterable[_PointT],
+    *,
+    seed: int,
+    workers: int | None = None,
+) -> list[_ResultT]:
+    """Map ``fn`` over grid points with deterministic spawned seeds.
+
+    ``fn(point, rng)`` is called once per point with a generator seeded
+    from ``(seed, point index)``; results come back in point order.  The
+    output is byte-identical for every ``workers`` value: parallelism
+    changes scheduling, never streams.  ``workers`` defaults to
+    ``REPRO_WORKERS``; with one worker (or one point) the sweep runs
+    inline in this process.
+    """
+    todo: list[_PointT] = list(points)
+    count = workers if workers is not None else config.workers()
+    if count < 1:
+        raise InvalidParameterError(f"workers must be >= 1, got {count}")
+    if count == 1 or len(todo) <= 1:
+        return [_run_point(fn, point, seed, i) for i, point in enumerate(todo)]
+    with ProcessPoolExecutor(max_workers=min(count, len(todo))) as pool:
+        futures = [
+            pool.submit(_run_point, fn, point, seed, i)
+            for i, point in enumerate(todo)
+        ]
+        return [future.result() for future in futures]
+
+
+# ----------------------------------------------------------------------
+# Per-process memo for shared sweep inputs
+# ----------------------------------------------------------------------
+_MEMO: dict[Hashable, Any] = {}
+
+
+def memoized(key: Hashable, build: Callable[[], _ResultT]) -> _ResultT:
+    """Build-at-most-once cache, scoped to the current process.
+
+    Sweep tasks use this so a worker that evaluates several grid points
+    over the same column (or dataset) materializes it once.  Correctness
+    never depends on hits: ``build`` must be deterministic for its key,
+    which holds when its randomness comes from :func:`derived_rng` keyed
+    by the same specification.
+    """
+    try:
+        return _MEMO[key]  # type: ignore[return-value]
+    except KeyError:
+        value = build()
+        _MEMO[key] = value
+        return value
+
+
+def clear_memo() -> None:
+    """Drop every per-process memo entry (tests and long-lived servers)."""
+    _MEMO.clear()
+
+
+def memo_size() -> int:
+    """Number of live per-process memo entries."""
+    return len(_MEMO)

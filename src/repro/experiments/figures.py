@@ -10,11 +10,25 @@ benchmark suite executes the registry one exhibit per file.
 All runners honour ``REPRO_SCALE`` / ``REPRO_TRIALS`` (see
 :mod:`repro.experiments.config`) and take a ``seed`` so runs are
 reproducible.
+
+Grid sweeps run under either of two seeding protocols (selected by
+``REPRO_WORKERS`` / ``REPRO_SEED_MODE``, see
+:mod:`repro.experiments.executor` and ``docs/performance.md``):
+
+* **legacy** (the default on a single worker): one generator threads
+  sequentially through column generation and every grid point, exactly
+  reproducing the numbers of earlier releases;
+* **spawn**: every grid point draws from an independent child stream
+  derived from the root seed and its grid index, and shared inputs
+  (columns, datasets) derive theirs from their specification — results
+  are then byte-identical for *any* worker count, and points can be
+  executed in parallel processes.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -22,12 +36,13 @@ from repro.core.base import ratio_error
 from repro.core.gee import GEE
 from repro.core.registry import PAPER_ESTIMATORS, make_estimators
 from repro.core.theory import adversarial_pair, lower_bound_error
+from repro.data.column import Column
 from repro.data.surrogates import DATASETS, Dataset
 from repro.data.synthetic import bounded_scaleup_column, unbounded_scaleup_column
 from repro.data.zipf import zipf_column
 from repro.errors import InvalidParameterError
-from repro.experiments import config
-from repro.experiments.harness import evaluate_column
+from repro.experiments import config, executor
+from repro.experiments.harness import EvaluationResult, evaluate_column
 from repro.experiments.report import SeriesTable
 from repro.sampling.schemes import UniformWithoutReplacement
 
@@ -61,6 +76,139 @@ def _trials(trials: int | None) -> int:
     return trials if trials is not None else config.trials()
 
 
+def _series_names(
+    results: Sequence[EvaluationResult], estimators: Sequence[str]
+) -> list[str]:
+    """Canonical estimator series names for a sweep's result list."""
+    if results:
+        return list(results[0].summaries)
+    return [e.name for e in make_estimators(estimators)]
+
+
+# ----------------------------------------------------------------------
+# Sweep task machinery (the spawn-seeded, process-parallel protocol)
+# ----------------------------------------------------------------------
+_KIND_ZIPF, _KIND_BOUNDED, _KIND_UNBOUNDED = 1, 2, 3
+
+
+@dataclass(frozen=True)
+class _ColumnSpec:
+    """Deterministic description of a synthetic column.
+
+    ``factor`` is the duplication factor for zipf/unbounded columns and
+    ``base_rows`` for the bounded-scaleup workload.  The spec — not a
+    generator state — keys the column's random stream, so every worker
+    that needs the column regenerates identical bytes.
+    """
+
+    kind: int
+    n_rows: int
+    z: float
+    factor: int
+
+    @property
+    def key(self) -> tuple[int, int, int, int]:
+        return (self.kind, self.n_rows, int(round(self.z * 1000)), self.factor)
+
+    def build(self, rng: np.random.Generator) -> Column:
+        if self.kind == _KIND_ZIPF:
+            return zipf_column(self.n_rows, self.z, duplication=self.factor, rng=rng)
+        if self.kind == _KIND_BOUNDED:
+            return bounded_scaleup_column(
+                self.n_rows, base_rows=self.factor, z=self.z, rng=rng
+            )
+        return unbounded_scaleup_column(
+            self.n_rows, duplication=self.factor, z=self.z, rng=rng
+        )
+
+
+def _shared_column(spec: _ColumnSpec, seed: int) -> Column:
+    """Materialize ``spec`` once per process, on its spec-derived stream."""
+    return executor.memoized(
+        ("column", seed, spec),
+        lambda: spec.build(executor.derived_rng(seed, *spec.key)),
+    )
+
+
+@dataclass(frozen=True)
+class _EvalTask:
+    """One grid point: evaluate a column at one sampling configuration."""
+
+    spec: _ColumnSpec
+    estimators: tuple[str, ...]
+    trials: int
+    seed: int
+    fraction: float | None = None
+    size: int | None = None
+
+
+def _evaluate_point(task: _EvalTask, rng: np.random.Generator) -> EvaluationResult:
+    """Sweep task function (module-level so worker processes can load it)."""
+    column = _shared_column(task.spec, task.seed)
+    suite = make_estimators(task.estimators)
+    return evaluate_column(
+        column, suite, rng,
+        fraction=task.fraction, size=task.size, trials=task.trials,
+    )
+
+
+@dataclass(frozen=True)
+class _DatasetTask:
+    """One grid point of a real-dataset exhibit: one sampling fraction."""
+
+    dataset_name: str
+    scale_ppm: int  # dataset scale in parts-per-million (picklable int key)
+    estimators: tuple[str, ...]
+    trials: int
+    seed: int
+    fraction: float
+    metric: str
+
+
+def _shared_dataset(name: str, scale_ppm: int, seed: int) -> Dataset:
+    index = sorted(DATASETS).index(name)
+    return executor.memoized(
+        ("dataset", seed, name, scale_ppm),
+        lambda: DATASETS[name](
+            executor.derived_rng(seed, 4, index, scale_ppm),
+            scale=scale_ppm / 1_000_000,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class _DatasetOutcome:
+    """Per-fraction result of a dataset sweep, plus title metadata."""
+
+    means: dict[str, float]
+    n_columns: int
+    n_rows: int
+    dataset_label: str
+
+
+def _evaluate_dataset_point(
+    task: _DatasetTask, rng: np.random.Generator
+) -> _DatasetOutcome:
+    """Mean metric over all dataset columns at one sampling fraction."""
+    dataset = _shared_dataset(task.dataset_name, task.scale_ppm, task.seed)
+    suite = make_estimators(task.estimators)
+    totals = {e.name: 0.0 for e in suite}
+    for column in dataset:
+        result = evaluate_column(
+            column, suite, rng, fraction=task.fraction, trials=task.trials
+        )
+        for estimator in suite:
+            totals[estimator.name] += _metric_value(
+                result[estimator.name], task.metric
+            )
+    return _DatasetOutcome(
+        means={name: total / len(dataset) for name, total in totals.items()},
+        n_columns=len(dataset),
+        n_rows=dataset.n_rows,
+        dataset_label=dataset.name,
+    )
+
+
 # ----------------------------------------------------------------------
 # Synthetic sweeps (Figures 1-8, Tables 1-2)
 # ----------------------------------------------------------------------
@@ -75,32 +223,45 @@ def error_vs_sampling_rate(
     metric: str = "error",
 ) -> SeriesTable:
     """Figures 1/2 (metric='error') and 3/4 (metric='stddev')."""
-    rng = np.random.default_rng(seed)
+    if metric not in _METRICS:
+        raise InvalidParameterError(f"metric must be one of {_METRICS}, got {metric!r}")
     n = n_rows if n_rows is not None else config.scaled_rows(
         config.PAPER_ROWS, keep_divisible_by=duplication
     )
-    column = zipf_column(n, z, duplication=duplication, rng=rng)
-    suite = make_estimators(estimators)
+    runs = _trials(trials)
+    if config.spawn_seeding():
+        spec = _ColumnSpec(_KIND_ZIPF, n, z, duplication)
+        results = executor.run_sweep(
+            _evaluate_point,
+            [
+                _EvalTask(spec, tuple(estimators), runs, seed, fraction=f)
+                for f in fractions
+            ],
+            seed=seed,
+        )
+        distinct = results[0].true_distinct if results else 0
+    else:
+        rng = np.random.default_rng(seed)
+        column = zipf_column(n, z, duplication=duplication, rng=rng)
+        suite = make_estimators(estimators)
+        results = [
+            evaluate_column(column, suite, rng, fraction=f, trials=runs)
+            for f in fractions
+        ]
+        distinct = column.distinct_count
     label = "mean ratio error" if metric == "error" else "stddev / D"
     table = SeriesTable(
         title=(
             f"{label} vs sampling rate "
-            f"(Z={z:g}, dup={duplication}, n={n:,}, D={column.distinct_count:,})"
+            f"(Z={z:g}, dup={duplication}, n={n:,}, D={distinct:,})"
         ),
         x_name="rate",
         x_values=[f"{f:.1%}" for f in fractions],
     )
-    rows: dict[str, list[float]] = {e.name: [] for e in suite}
-    for fraction in fractions:
-        result = evaluate_column(
-            column, suite, rng, fraction=fraction, trials=_trials(trials)
+    for name in _series_names(results, estimators):
+        table.add_series(
+            name, [_metric_value(result[name], metric) for result in results]
         )
-        for estimator in suite:
-            rows[estimator.name].append(
-                _metric_value(result[estimator.name], metric)
-            )
-    for name, values in rows.items():
-        table.add_series(name, values)
     return table
 
 
@@ -119,11 +280,31 @@ def error_vs_skew(
     seed: int = 0,
 ) -> SeriesTable:
     """Figures 5 (0.8% rate) and 6 (6.4% rate): error vs Zipf skew."""
-    rng = np.random.default_rng(seed)
     n = n_rows if n_rows is not None else config.scaled_rows(
         config.PAPER_ROWS, keep_divisible_by=duplication
     )
-    suite = make_estimators(estimators)
+    runs = _trials(trials)
+    if config.spawn_seeding():
+        results = executor.run_sweep(
+            _evaluate_point,
+            [
+                _EvalTask(
+                    _ColumnSpec(_KIND_ZIPF, n, z, duplication),
+                    tuple(estimators), runs, seed, fraction=fraction,
+                )
+                for z in skews
+            ],
+            seed=seed,
+        )
+    else:
+        rng = np.random.default_rng(seed)
+        suite = make_estimators(estimators)
+        results = []
+        for z in skews:
+            column = zipf_column(n, z, duplication=duplication, rng=rng)
+            results.append(
+                evaluate_column(column, suite, rng, fraction=fraction, trials=runs)
+            )
     table = SeriesTable(
         title=(
             f"mean ratio error vs skew "
@@ -132,16 +313,8 @@ def error_vs_skew(
         x_name="Z",
         x_values=[f"{z:g}" for z in skews],
     )
-    rows: dict[str, list[float]] = {e.name: [] for e in suite}
-    for z in skews:
-        column = zipf_column(n, z, duplication=duplication, rng=rng)
-        result = evaluate_column(
-            column, suite, rng, fraction=fraction, trials=_trials(trials)
-        )
-        for estimator in suite:
-            rows[estimator.name].append(result[estimator.name].mean_ratio_error)
-    for name, values in rows.items():
-        table.add_series(name, values)
+    for name in _series_names(results, estimators):
+        table.add_series(name, [result[name].mean_ratio_error for result in results])
     return table
 
 
@@ -155,25 +328,37 @@ def error_vs_duplication(
     seed: int = 0,
 ) -> SeriesTable:
     """Figures 7 (0.8% rate) and 8 (6.4% rate): error vs duplication factor."""
-    rng = np.random.default_rng(seed)
     base_n = n_rows if n_rows is not None else config.PAPER_ROWS
-    suite = make_estimators(estimators)
+    runs = _trials(trials)
+    sizes = [config.scaled_rows(base_n, keep_divisible_by=dup) for dup in duplications]
+    if config.spawn_seeding():
+        results = executor.run_sweep(
+            _evaluate_point,
+            [
+                _EvalTask(
+                    _ColumnSpec(_KIND_ZIPF, n, z, dup),
+                    tuple(estimators), runs, seed, fraction=fraction,
+                )
+                for n, dup in zip(sizes, duplications)
+            ],
+            seed=seed,
+        )
+    else:
+        rng = np.random.default_rng(seed)
+        suite = make_estimators(estimators)
+        results = []
+        for n, dup in zip(sizes, duplications):
+            column = zipf_column(n, z, duplication=dup, rng=rng)
+            results.append(
+                evaluate_column(column, suite, rng, fraction=fraction, trials=runs)
+            )
     table = SeriesTable(
         title=f"mean ratio error vs duplication (rate={fraction:.1%}, Z={z:g})",
         x_name="dup",
         x_values=[str(dup) for dup in duplications],
     )
-    rows: dict[str, list[float]] = {e.name: [] for e in suite}
-    for dup in duplications:
-        n = config.scaled_rows(base_n, keep_divisible_by=dup)
-        column = zipf_column(n, z, duplication=dup, rng=rng)
-        result = evaluate_column(
-            column, suite, rng, fraction=fraction, trials=_trials(trials)
-        )
-        for estimator in suite:
-            rows[estimator.name].append(result[estimator.name].mean_ratio_error)
-    for name, values in rows.items():
-        table.add_series(name, values)
+    for name in _series_names(results, estimators):
+        table.add_series(name, [result[name].mean_ratio_error for result in results])
     return table
 
 
@@ -186,12 +371,28 @@ def gee_interval_table(
     seed: int = 0,
 ) -> SeriesTable:
     """Tables 1 (Z=0) and 2 (Z=2): GEE's [LOWER, UPPER] interval vs rate."""
-    rng = np.random.default_rng(seed)
     n = n_rows if n_rows is not None else config.scaled_rows(
         config.PAPER_ROWS, keep_divisible_by=duplication
     )
-    column = zipf_column(n, z, duplication=duplication, rng=rng)
-    gee = GEE()
+    runs = _trials(trials)
+    if config.spawn_seeding():
+        spec = _ColumnSpec(_KIND_ZIPF, n, z, duplication)
+        results = executor.run_sweep(
+            _evaluate_point,
+            [
+                _EvalTask(spec, ("GEE",), runs, seed, fraction=f)
+                for f in fractions
+            ],
+            seed=seed,
+        )
+    else:
+        rng = np.random.default_rng(seed)
+        column = zipf_column(n, z, duplication=duplication, rng=rng)
+        gee = GEE()
+        results = [
+            evaluate_column(column, [gee], rng, fraction=f, trials=runs)
+            for f in fractions
+        ]
     table = SeriesTable(
         title=(
             f"GEE error guarantee (Z={z:g}, dup={duplication}, n={n:,})"
@@ -200,20 +401,11 @@ def gee_interval_table(
         x_values=[f"{f:.1%}" for f in fractions],
         notes="ACTUAL must always lie within [LOWER, UPPER]",
     )
-    actual, lower, upper, estimate = [], [], [], []
-    for fraction in fractions:
-        result = evaluate_column(
-            column, [gee], rng, fraction=fraction, trials=_trials(trials)
-        )
-        summary = result[gee.name]
-        actual.append(float(column.distinct_count))
-        lower.append(summary.mean_lower)
-        upper.append(summary.mean_upper)
-        estimate.append(summary.mean_estimate)
-    table.add_series("ACTUAL", actual)
-    table.add_series("LOWER", lower)
-    table.add_series("UPPER", upper)
-    table.add_series("GEE", estimate)
+    summaries = [result["GEE"] for result in results]
+    table.add_series("ACTUAL", [float(result.true_distinct) for result in results])
+    table.add_series("LOWER", [summary.mean_lower for summary in summaries])
+    table.add_series("UPPER", [summary.mean_upper for summary in summaries])
+    table.add_series("GEE", [summary.mean_estimate for summary in summaries])
     return table
 
 
@@ -230,14 +422,36 @@ def scaleup_bounded(
     seed: int = 0,
 ) -> SeriesTable:
     """Figure 9: fixed D and fixed 10K-row sample while n grows."""
-    rng = np.random.default_rng(seed)
     divisor = config.scale_divisor()
     if row_counts is None:
         row_counts = [k * 100_000 for k in range(1, 11)]
     row_counts = [max(base_rows, n // divisor - (n // divisor) % base_rows)
                   for n in row_counts]
     sample_size = max(100, sample_size // divisor)
-    suite = make_estimators(estimators)
+    runs = _trials(trials)
+    if config.spawn_seeding():
+        results = executor.run_sweep(
+            _evaluate_point,
+            [
+                _EvalTask(
+                    _ColumnSpec(_KIND_BOUNDED, n, z, base_rows),
+                    tuple(estimators), runs, seed, size=min(sample_size, n),
+                )
+                for n in row_counts
+            ],
+            seed=seed,
+        )
+    else:
+        rng = np.random.default_rng(seed)
+        suite = make_estimators(estimators)
+        results = []
+        for n in row_counts:
+            column = bounded_scaleup_column(n, base_rows=base_rows, z=z, rng=rng)
+            results.append(
+                evaluate_column(
+                    column, suite, rng, size=min(sample_size, n), trials=runs
+                )
+            )
     table = SeriesTable(
         title=(
             f"bounded-domain scaleup (Z={z:g}, base={base_rows}, "
@@ -246,16 +460,8 @@ def scaleup_bounded(
         x_name="n",
         x_values=[f"{n:,}" for n in row_counts],
     )
-    rows: dict[str, list[float]] = {e.name: [] for e in suite}
-    for n in row_counts:
-        column = bounded_scaleup_column(n, base_rows=base_rows, z=z, rng=rng)
-        result = evaluate_column(
-            column, suite, rng, size=min(sample_size, n), trials=_trials(trials)
-        )
-        for estimator in suite:
-            rows[estimator.name].append(result[estimator.name].mean_ratio_error)
-    for name, values in rows.items():
-        table.add_series(name, values)
+    for name in _series_names(results, estimators):
+        table.add_series(name, [result[name].mean_ratio_error for result in results])
     return table
 
 
@@ -269,7 +475,6 @@ def scaleup_unbounded(
     seed: int = 0,
 ) -> SeriesTable:
     """Figure 10: fixed sampling fraction while n (and D) grow."""
-    rng = np.random.default_rng(seed)
     divisor = config.scale_divisor()
     if row_counts is None:
         row_counts = [k * 100_000 for k in range(1, 11)]
@@ -277,7 +482,30 @@ def scaleup_unbounded(
         max(duplication, n // divisor - (n // divisor) % duplication)
         for n in row_counts
     ]
-    suite = make_estimators(estimators)
+    runs = _trials(trials)
+    if config.spawn_seeding():
+        results = executor.run_sweep(
+            _evaluate_point,
+            [
+                _EvalTask(
+                    _ColumnSpec(_KIND_UNBOUNDED, n, z, duplication),
+                    tuple(estimators), runs, seed, fraction=fraction,
+                )
+                for n in row_counts
+            ],
+            seed=seed,
+        )
+    else:
+        rng = np.random.default_rng(seed)
+        suite = make_estimators(estimators)
+        results = []
+        for n in row_counts:
+            column = unbounded_scaleup_column(
+                n, duplication=duplication, z=z, rng=rng
+            )
+            results.append(
+                evaluate_column(column, suite, rng, fraction=fraction, trials=runs)
+            )
     table = SeriesTable(
         title=(
             f"unbounded-domain scaleup (Z={z:g}, dup={duplication}, "
@@ -286,16 +514,8 @@ def scaleup_unbounded(
         x_name="n",
         x_values=[f"{n:,}" for n in row_counts],
     )
-    rows: dict[str, list[float]] = {e.name: [] for e in suite}
-    for n in row_counts:
-        column = unbounded_scaleup_column(n, duplication=duplication, z=z, rng=rng)
-        result = evaluate_column(
-            column, suite, rng, fraction=fraction, trials=_trials(trials)
-        )
-        for estimator in suite:
-            rows[estimator.name].append(result[estimator.name].mean_ratio_error)
-    for name, values in rows.items():
-        table.add_series(name, values)
+    for name in _series_names(results, estimators):
+        table.add_series(name, [result[name].mean_ratio_error for result in results])
     return table
 
 
@@ -314,41 +534,69 @@ def real_dataset_metric(
     """Figures 11-16: per-estimator mean error / stddev over all columns.
 
     ``dataset`` may be passed in to share one generated surrogate across
-    the error and variance exhibits of the same dataset.
+    the error and variance exhibits of the same dataset; an explicit
+    dataset always runs on the legacy sequential path (worker processes
+    regenerate shared inputs from specs rather than shipping arrays).
     """
-    rng = np.random.default_rng(seed)
-    if dataset is None:
-        try:
-            factory = DATASETS[dataset_name]
-        except KeyError:
-            known = ", ".join(sorted(DATASETS))
-            raise InvalidParameterError(
-                f"unknown dataset {dataset_name!r}; known: {known}"
-            ) from None
-        dataset = factory(rng, scale=1.0 / config.scale_divisor())
-    suite = make_estimators(estimators)
+    if metric not in _METRICS:
+        raise InvalidParameterError(f"metric must be one of {_METRICS}, got {metric!r}")
+    if dataset_name not in DATASETS and dataset is None:
+        known = ", ".join(sorted(DATASETS))
+        raise InvalidParameterError(
+            f"unknown dataset {dataset_name!r}; known: {known}"
+        )
+    runs = _trials(trials)
+    if dataset is None and config.spawn_seeding():
+        scale_ppm = round(1_000_000 / config.scale_divisor())
+        points = [
+            _DatasetTask(
+                dataset_name, scale_ppm, tuple(estimators), runs, seed, f, metric
+            )
+            for f in fractions
+        ]
+        outcomes = executor.run_sweep(_evaluate_dataset_point, points, seed=seed)
+        if outcomes:
+            first = outcomes[0]
+            names = list(first.means)
+            n_columns, n_rows_label = first.n_columns, first.n_rows
+            dataset_label = first.dataset_label
+        else:  # metadata only: no grid points to borrow it from
+            shared = _shared_dataset(dataset_name, scale_ppm, seed)
+            names = [e.name for e in make_estimators(estimators)]
+            n_columns, n_rows_label = len(shared), shared.n_rows
+            dataset_label = shared.name
+        rows = {
+            name: [outcome.means[name] for outcome in outcomes] for name in names
+        }
+    else:
+        rng = np.random.default_rng(seed)
+        if dataset is None:
+            dataset = DATASETS[dataset_name](rng, scale=1.0 / config.scale_divisor())
+        suite = make_estimators(estimators)
+        rows = {e.name: [] for e in suite}
+        for fraction in fractions:
+            totals = {e.name: 0.0 for e in suite}
+            for column in dataset:
+                result = evaluate_column(
+                    column, suite, rng, fraction=fraction, trials=runs
+                )
+                for estimator in suite:
+                    totals[estimator.name] += _metric_value(
+                        result[estimator.name], metric
+                    )
+            for name, total in totals.items():
+                rows[name].append(total / len(dataset))
+        n_columns, n_rows_label = len(dataset), dataset.n_rows
+        dataset_label = dataset.name
     label = "mean ratio error" if metric == "error" else "stddev / D"
     table = SeriesTable(
         title=(
-            f"{label} over all {len(dataset)} columns of {dataset.name} "
-            f"(n={dataset.n_rows:,})"
+            f"{label} over all {n_columns} columns of {dataset_label} "
+            f"(n={n_rows_label:,})"
         ),
         x_name="rate",
         x_values=[f"{f:.1%}" for f in fractions],
     )
-    rows: dict[str, list[float]] = {e.name: [] for e in suite}
-    for fraction in fractions:
-        totals = {e.name: 0.0 for e in suite}
-        for column in dataset:
-            result = evaluate_column(
-                column, suite, rng, fraction=fraction, trials=_trials(trials)
-            )
-            for estimator in suite:
-                totals[estimator.name] += _metric_value(
-                    result[estimator.name], metric
-                )
-        for name, total in totals.items():
-            rows[name].append(total / len(dataset))
     for name, values in rows.items():
         table.add_series(name, values)
     return table
@@ -390,6 +638,7 @@ def theorem1_comparison(
         ),
     )
     floor = lower_bound_error(n, r, gamma=gamma)
+    runs = _trials(trials)
     errors_a, errors_b, worst = [], [], []
     for estimator in suite:
         per_scenario = []
@@ -397,10 +646,9 @@ def theorem1_comparison(
             (pair.scenario_a, pair.distinct_a),
             (pair.scenario_b, pair.distinct_b),
         ):
+            profiles = sampler.profile_batch(data, rng, runs, size=r)
             total = 0.0
-            runs = _trials(trials)
-            for _ in range(runs):
-                profile = sampler.profile(data, rng, size=r)
+            for profile in profiles:
                 value = estimator.estimate(profile, n).value
                 total += ratio_error(value, truth)
             per_scenario.append(total / runs)

@@ -5,6 +5,7 @@ scheme the paper's experiments use.
 """
 
 from repro.sampling.base import RowSampler, as_column, resolve_sample_size
+from repro.sampling.batch import profiles_from_samples
 from repro.sampling.reservoir_state import ChunkedReservoir
 from repro.sampling.schemes import (
     DEFAULT_SAMPLER,
@@ -19,6 +20,7 @@ __all__ = [
     "RowSampler",
     "ChunkedReservoir",
     "as_column",
+    "profiles_from_samples",
     "resolve_sample_size",
     "DEFAULT_SAMPLER",
     "Bernoulli",

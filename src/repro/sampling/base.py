@@ -14,6 +14,7 @@ experiments are reproducible bit-for-bit.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 from typing import Any
 
 import numpy as np
@@ -21,6 +22,7 @@ import numpy.typing as npt
 
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
+from repro.sampling.batch import profiles_from_samples
 
 __all__ = ["RowSampler", "resolve_sample_size", "as_column"]
 
@@ -109,11 +111,63 @@ class RowSampler(ABC):
             self.sample(column, rng, size=size, fraction=fraction)
         )
 
+    def profile_batch(
+        self,
+        column: npt.ArrayLike,
+        rng: np.random.Generator,
+        trials: int,
+        size: int | None = None,
+        fraction: float | None = None,
+    ) -> list[FrequencyProfile]:
+        """Draw ``trials`` independent samples and return their profiles.
+
+        Semantically identical to calling :meth:`profile` ``trials``
+        times with the same generator — including the order in which the
+        random stream is consumed, so the batched and serial paths
+        produce bit-for-bit equal profiles — but samplers that implement
+        :meth:`_draw_batch` amortize the per-trial reduction into a
+        single vectorized pass over all trials.  Samplers that do not
+        (any custom subclass) fall back to the serial loop.
+        """
+        if trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+        data = as_column(column)
+        r = resolve_sample_size(
+            data.size,
+            size=size,
+            fraction=fraction,
+            allow_oversample=not self.without_replacement,
+        )
+        batch = self._draw_batch(data, r, rng, trials)
+        if batch is None:
+            return [
+                FrequencyProfile.from_sample(self._draw(data, r, rng))
+                for _ in range(trials)
+            ]
+        return profiles_from_samples(batch)
+
     @abstractmethod
     def _draw(
         self, column: npt.NDArray[Any], r: int, rng: np.random.Generator
     ) -> npt.NDArray[Any]:
         """Draw exactly ``r`` rows (or approximately, for Bernoulli) from ``column``."""
+
+    def _draw_batch(
+        self,
+        column: npt.NDArray[Any],
+        r: int,
+        rng: np.random.Generator,
+        trials: int,
+    ) -> Sequence[npt.NDArray[Any]] | None:
+        """Draw ``trials`` samples for the batched profile reduction.
+
+        Returns one array of sampled values per trial, or ``None`` to
+        request the serial fallback.  Implementations MUST consume
+        ``rng`` exactly as ``trials`` successive :meth:`_draw` calls
+        would, so that batched and serial runs stay interchangeable bit
+        for bit under a fixed seed.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

@@ -18,6 +18,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from typing import Any
 
 import numpy as np
@@ -49,6 +50,20 @@ class UniformWithoutReplacement(RowSampler):
         indices = rng.choice(column.size, size=r, replace=False)
         return column[indices]
 
+    def _draw_batch(
+        self,
+        column: npt.NDArray[Any],
+        r: int,
+        rng: np.random.Generator,
+        trials: int,
+    ) -> Sequence[npt.NDArray[Any]]:
+        # The index draws stay per-trial: ``Generator.choice`` without
+        # replacement is O(r) and stream-dependent, whereas a batched
+        # Gumbel-key top-r would be O(n) per trial at the paper's rates
+        # (r/n <= 6.4%) *and* consume a different stream.  The batch win
+        # here is the shared profile reduction.
+        return [self._draw(column, r, rng) for _ in range(trials)]
+
 
 class UniformWithReplacement(RowSampler):
     """``r`` independent uniform row draws (rows may repeat)."""
@@ -61,6 +76,19 @@ class UniformWithReplacement(RowSampler):
     ) -> npt.NDArray[Any]:
         indices = rng.integers(0, column.size, size=r)
         return column[indices]
+
+    def _draw_batch(
+        self,
+        column: npt.NDArray[Any],
+        r: int,
+        rng: np.random.Generator,
+        trials: int,
+    ) -> Sequence[npt.NDArray[Any]]:
+        # One (trials, r) draw fills the output buffer element by
+        # element from the same bit stream as ``trials`` successive
+        # size-r draws, so this is bit-identical to the serial loop.
+        indices = rng.integers(0, column.size, size=(trials, r))
+        return list(column[indices])
 
 
 class Bernoulli(RowSampler):
@@ -84,6 +112,19 @@ class Bernoulli(RowSampler):
         if not mask.any():
             mask[rng.integers(0, column.size)] = True
         return column[mask]
+
+    def _draw_batch(
+        self,
+        column: npt.NDArray[Any],
+        r: int,
+        rng: np.random.Generator,
+        trials: int,
+    ) -> Sequence[npt.NDArray[Any]]:
+        # The coin flips are already one vectorized draw per trial; the
+        # draws stay in a per-trial loop so the rare empty-mask fallback
+        # consumes the stream at exactly the position the serial path
+        # would.  The batch win is the shared profile reduction.
+        return [self._draw(column, r, rng) for _ in range(trials)]
 
 
 class Reservoir(RowSampler):
@@ -110,11 +151,26 @@ class Reservoir(RowSampler):
         # iff its candidate slot index falls below r.
         slots = rng.integers(0, tail + 1)
         hits = slots < r
-        # Later rows must overwrite earlier ones, which the forward loop
-        # guarantees; only accepted rows are visited.
-        for t, slot in zip(tail[hits], slots[hits]):
-            reservoir[slot] = column[t]
+        if hits.any():
+            # Later rows must overwrite earlier ones (last write wins
+            # per slot).  Reversing the accepted rows makes the *last*
+            # writer of each slot its first occurrence, which is the one
+            # ``np.unique(..., return_index=True)`` keeps.
+            last_first_slots = slots[hits][::-1]
+            winner_slots, winner_index = np.unique(
+                last_first_slots, return_index=True
+            )
+            reservoir[winner_slots] = column[tail[hits][::-1][winner_index]]
         return reservoir
+
+    def _draw_batch(
+        self,
+        column: npt.NDArray[Any],
+        r: int,
+        rng: np.random.Generator,
+        trials: int,
+    ) -> Sequence[npt.NDArray[Any]]:
+        return [self._draw(column, r, rng) for _ in range(trials)]
 
 
 class Block(RowSampler):
@@ -141,22 +197,30 @@ class Block(RowSampler):
     ) -> npt.NDArray[Any]:
         n = column.size
         n_blocks = -(-n // self.block_size)  # ceil division
-        # Accumulate random blocks until the target is covered; the last
-        # block of the table may be partial, so a fixed block count could
-        # undershoot.
+        # Take random blocks until the target is covered; the last block
+        # of the table may be partial, so a fixed block count could
+        # undershoot.  The cumulative block sizes over the permuted
+        # order locate the cutoff without iterating per block.
         order = rng.permutation(n_blocks)
-        pieces = []
-        collected = 0
-        for block in order:
-            piece = column[
-                block * self.block_size : min((block + 1) * self.block_size, n)
-            ]
-            pieces.append(piece)
-            collected += piece.size
-            if collected >= r:
-                break
-        rows = np.concatenate(pieces)
+        starts = order * self.block_size
+        sizes = np.minimum(starts + self.block_size, n) - starts
+        cumulative = np.cumsum(sizes)
+        needed = int(np.searchsorted(cumulative, r)) + 1
+        starts, sizes = starts[:needed], sizes[:needed]
+        # Gather the selected blocks' rows in permuted-block order.
+        offsets = np.repeat(starts, sizes)
+        block_begins = np.repeat(cumulative[:needed] - sizes, sizes)
+        rows = column[offsets + np.arange(offsets.size) - block_begins]
         return rows[:r]
+
+    def _draw_batch(
+        self,
+        column: npt.NDArray[Any],
+        r: int,
+        rng: np.random.Generator,
+        trials: int,
+    ) -> Sequence[npt.NDArray[Any]]:
+        return [self._draw(column, r, rng) for _ in range(trials)]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Block(block_size={self.block_size})"

@@ -64,3 +64,25 @@ class TestEvaluateColumn:
         summary = result["GEE"]
         expected = (summary.mean_estimate - 100) / 100
         assert summary.mean_relative_error == pytest.approx(expected)
+
+
+class TestRealizedSampleSize:
+    def test_bernoulli_reports_mean_over_trials(self, rng):
+        # Bernoulli's realized size varies per trial; the result must
+        # report the rounded mean, not whichever size the last trial
+        # happened to draw (the pre-batch behaviour).
+        from repro.sampling import Bernoulli
+
+        column = uniform_column(10_000, 100, rng=rng)
+        result = evaluate_column(
+            column, [GEE()], rng, fraction=0.05, trials=8, sampler=Bernoulli()
+        )
+        # Frozen from the serial per-trial sizes under this seed:
+        # [526, 488, 474, 503, 459, 501, 472, 509] -> mean 491.5 -> 492;
+        # the old last-trial report would have said 509.
+        assert result.sample_size == 492
+
+    def test_fixed_size_schemes_unaffected(self, rng):
+        column = uniform_column(10_000, 100, rng=rng)
+        result = evaluate_column(column, [GEE()], rng, size=500, trials=5)
+        assert result.sample_size == 500
