@@ -16,7 +16,10 @@ Every run of the suite also writes a wall-time report to
 ``REPRO_BENCH_PERF``): one entry per exhibit timed through
 :func:`run_exhibit`, one per test node, plus the scale/trials/workers
 configuration, so CI can archive the numbers as an artifact and perf
-regressions show up as diffs between runs.
+regressions show up as diffs between runs.  When the suite runs with
+``REPRO_TELEMETRY=1`` the report additionally aggregates the run's
+telemetry — counter totals and per-name span time — under a
+``telemetry`` key (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ import pytest
 
 from repro.experiments import config, run_experiment
 from repro.experiments.report import SeriesTable
+from repro.obs import OBS
 
 # Wall-time registries for the BENCH_perf.json report.  ``_EXHIBIT_TIMES``
 # holds the experiment compute alone (timed inside run_exhibit, excluding
@@ -115,6 +119,27 @@ def _perf_report_path() -> Path:
     return Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
+def _telemetry_totals() -> dict | None:
+    """Counter totals and per-name span aggregates for the whole session.
+
+    Only meaningful when the suite ran with ``REPRO_TELEMETRY=1``; the
+    recorder then buffered every exhibit's spans and counters in this
+    process (sweep workers merge back through ``run_sweep``).
+    """
+    if not OBS.enabled or OBS.is_empty:
+        return None
+    spans: dict[str, dict[str, float]] = {}
+    for record in OBS.span_records():
+        entry = spans.setdefault(record["name"], {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] = round(entry["seconds"] + record["dur"], 4)
+    return {
+        "counters": {k: round(v, 4) for k, v in sorted(OBS.counters().items())},
+        "gauges": {k: v for k, v in sorted(OBS.gauges().items())},
+        "spans": dict(sorted(spans.items())),
+    }
+
+
 def pytest_sessionfinish(session, exitstatus):
     if not _TEST_TIMES and not _EXHIBIT_TIMES:
         return
@@ -129,5 +154,8 @@ def pytest_sessionfinish(session, exitstatus):
         "tests": {k: round(v, 4) for k, v in sorted(_TEST_TIMES.items())},
         "total_seconds": round(sum(_TEST_TIMES.values()), 4),
     }
+    telemetry = _telemetry_totals()
+    if telemetry is not None:
+        report["telemetry"] = telemetry
     path = _perf_report_path()
     path.write_text(json.dumps(report, indent=2) + "\n")

@@ -27,6 +27,8 @@ The package layout follows the paper:
 * :mod:`repro.experiments` — the harness regenerating every table/figure.
 """
 
+import logging as _logging
+
 from repro._version import __version__
 from repro.core import (
     AE,
@@ -62,6 +64,11 @@ from repro.errors import (
     SolverError,
 )
 from repro.frequency import FrequencyProfile
+
+# Library logging policy (rule R801): the package logger stays silent
+# unless an application attaches a handler; the CLI attaches one in
+# ``repro.cli.main`` driven by ``--log-level``/``-v``.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __all__ = [
     "__version__",

@@ -3,8 +3,9 @@
 Importing this package registers every built-in rule.  Rule modules are
 grouped by concern: numeric safety (R1xx/R2xx), RNG discipline (R3xx),
 estimator purity (R4xx), registry completeness (R5xx), public-API
-drift (R6xx), and analyzer hygiene (R7xx: stale suppressions,
-provably-violated contracts).
+drift (R6xx), analyzer hygiene (R7xx: stale suppressions,
+provably-violated contracts), and logging hygiene (R8xx: no print or
+root-logger calls in library code).
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from repro.analysis.rules.base import (
 from repro.analysis.rules import contracts as _contracts
 from repro.analysis.rules import exports as _exports
 from repro.analysis.rules import flow as _flow
+from repro.analysis.rules import logging_hygiene as _logging_hygiene
 from repro.analysis.rules import numeric as _numeric
 from repro.analysis.rules import purity as _purity
 from repro.analysis.rules import registry_sync as _registry_sync
@@ -41,6 +43,7 @@ del (
     _contracts,
     _exports,
     _flow,
+    _logging_hygiene,
     _numeric,
     _purity,
     _registry_sync,

@@ -1,0 +1,145 @@
+"""R801 — logging hygiene: library code neither prints nor logs globally.
+
+Library modules (everything under ``repro/`` except the presentation
+layer) communicate diagnostics through the package logger so that
+applications — the CLI, the test suite, a notebook — decide whether and
+where messages appear.  A bare ``print()`` writes to whatever stdout
+happens to be, corrupting piped CSV output and CI artifact capture; a
+root-logger call (``logging.info(...)``, ``logging.basicConfig(...)``,
+argless ``logging.getLogger()``) reaches past the package logger and
+mutates or spams process-global logging state that the library does not
+own.
+
+The presentation layer is exempt: the CLI (``repro/cli.py``,
+``repro/__main__.py``) and the reporters whose *product* is rendered
+text (``repro/analysis/reporters.py``, ``repro/experiments/report.py``).
+The package logger policy itself lives in ``repro/__init__.py`` (a
+``NullHandler``) and ``repro.cli._configure_logging`` (the CLI handler).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectContext
+from repro.analysis.rules.base import Rule, register
+from repro.analysis.source import SourceModule
+
+__all__ = ["LoggingHygiene"]
+
+#: ``logging.<fn>`` module-level calls that emit through the root logger
+#: or mutate global logging configuration.
+_ROOT_LOGGER_CALLS = frozenset(
+    {
+        "debug",
+        "info",
+        "warning",
+        "warn",
+        "error",
+        "critical",
+        "exception",
+        "log",
+        "basicConfig",
+        "disable",
+    }
+)
+
+#: Presentation-layer modules where stdout *is* the product.
+_EXEMPT_SUFFIXES = (
+    ("repro", "cli.py"),
+    ("repro", "__main__.py"),
+    ("repro", "analysis", "reporters.py"),
+    ("repro", "experiments", "report.py"),
+)
+
+
+def _is_exempt(module: SourceModule) -> bool:
+    pieces = Path(module.path).parts
+    return any(
+        len(pieces) >= len(suffix) and pieces[-len(suffix) :] == suffix
+        for suffix in _EXEMPT_SUFFIXES
+    )
+
+
+def _logging_aliases(tree: ast.AST) -> tuple[set[str], set[str]]:
+    """Names bound to the ``logging`` module and to its emit functions.
+
+    Returns ``(module_aliases, function_aliases)`` covering both
+    ``import logging as log`` and ``from logging import info``.
+    """
+    modules: set[str] = set()
+    functions: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "logging":
+                    modules.add(alias.asname or "logging")
+        elif isinstance(node, ast.ImportFrom) and node.module == "logging":
+            for alias in node.names:
+                if alias.name in _ROOT_LOGGER_CALLS:
+                    functions.add(alias.asname or alias.name)
+    return modules, functions
+
+
+@register
+class LoggingHygiene(Rule):
+    """Flag ``print()`` and root-logger calls in library modules."""
+
+    code = "R801"
+    name = "logging-hygiene"
+    description = (
+        "print() or root-logger call in library code; log through "
+        "logging.getLogger(__name__) and let the application attach handlers"
+    )
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> Iterator[Finding]:
+        if not module.in_package("repro") or _is_exempt(module):
+            return
+        module_aliases, function_aliases = _logging_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id == "print":
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        "print() in library code; use the module logger "
+                        "(logging.getLogger(__name__)) so callers control output",
+                    )
+                elif func.id in function_aliases:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"{func.id}() imported from logging emits through the "
+                        "root logger; use a module logger instead",
+                    )
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+            ):
+                if func.attr in _ROOT_LOGGER_CALLS:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"logging.{func.attr}() emits through the root logger "
+                        "or mutates global logging state; use a module logger",
+                    )
+                elif func.attr == "getLogger" and not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        "logging.getLogger() without a name returns the root "
+                        "logger; pass __name__",
+                    )

@@ -29,6 +29,17 @@ Commands
 ``lint``
     Run reprolint, the project's static analyzer, over source paths
     (default ``src``); exits nonzero when findings remain.
+``trace``
+    Render the span tree of a telemetry run (``REPRO_TELEMETRY=1``
+    JSONL) with total/self times per span.
+``stats``
+    Show the counters, gauges, span aggregates, and manifest of a
+    telemetry run.
+
+Global flags: ``--log-level {debug,info,warning,error}`` (or ``-v`` /
+``-vv``) control the ``repro`` package logger; any command run with
+``REPRO_TELEMETRY=1`` flushes its recorded run to the telemetry
+directory (``REPRO_TELEMETRY_DIR``, default ``telemetry/``) on success.
 
 Examples
 --------
@@ -43,6 +54,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
@@ -60,6 +72,55 @@ from repro.experiments import EXPERIMENTS, run_experiment
 from repro.sampling import UniformWithoutReplacement
 
 __all__ = ["main", "build_parser"]
+
+_log = logging.getLogger("repro.cli")
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _configure_logging(level_name: str, verbosity: int) -> None:
+    """Attach a stderr handler to the ``repro`` package logger.
+
+    Library modules log to the package logger, which carries only a
+    ``NullHandler`` (rule R801 keeps ``print`` out of library code); the
+    CLI is where diagnostics become visible.  The handler is recreated
+    on every ``main()`` call so it follows ``sys.stderr`` redirection
+    (e.g. pytest's capsys), and ``-v``/``-vv`` can only lower the
+    threshold set by ``--log-level``.
+    """
+    level = getattr(logging, level_name.upper())
+    if verbosity >= 2:
+        level = min(level, logging.DEBUG)
+    elif verbosity == 1:
+        level = min(level, logging.INFO)
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    setattr(handler, "_repro_cli", True)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+
+
+def _finalize_telemetry(args: argparse.Namespace) -> None:
+    """Flush a ``REPRO_TELEMETRY=1`` run to the telemetry directory.
+
+    Writes ``<command>.jsonl`` (manifest embedded as the first record)
+    plus a standalone ``<command>.manifest.json`` next to it; a no-op
+    when recording is off or nothing was recorded.
+    """
+    from repro.obs import OBS, build_manifest, telemetry_dir, write_manifest
+
+    if not OBS.enabled or OBS.is_empty:
+        return
+    command = args.command or "run"
+    manifest = build_manifest(seed=getattr(args, "seed", None), command=command)
+    out_dir = telemetry_dir()
+    run_path = OBS.write_run(out_dir / f"{command}.jsonl", manifest=manifest)
+    write_manifest(out_dir / f"{command}.manifest.json", manifest)
+    _log.info("telemetry run written to %s", run_path)
 
 
 def _load_column(path: str, csv_column: str | None = None) -> np.ndarray:
@@ -188,6 +249,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
         summary_lines.append(f"### {exhibit_id}\n{rendered}")
         print(f"wrote {exhibit_id} ({table.title})")
     (out_dir / "REPORT.txt").write_text("\n".join(summary_lines))
+    from repro.obs import build_manifest, write_manifest
+
+    write_manifest(
+        out_dir / "manifest.json",
+        build_manifest(seed=args.seed, command="report", extra={"exhibits": exhibits}),
+    )
     print(f"report written to {out_dir}/")
     return 0
 
@@ -269,11 +336,40 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import load_run, render_trace
+
+    run = load_run(args.run)
+    print(render_trace(run, min_fraction=args.min_fraction))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import load_run, render_stats
+
+    run = load_run(args.run)
+    print(render_stats(run))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Distinct-values estimation (PODS 2000 reproduction).",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=_LOG_LEVELS,
+        help="threshold for the repro package logger (default: warning)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v: info, -vv: debug)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -401,6 +497,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="list rule codes and exit"
     )
     lint.set_defaults(func=_cmd_lint)
+
+    trace = sub.add_parser(
+        "trace", help="render the span tree of a telemetry run"
+    )
+    trace.add_argument("run", help="telemetry JSONL file (from a REPRO_TELEMETRY=1 run)")
+    trace.add_argument(
+        "--min-fraction",
+        type=float,
+        default=0.0,
+        help="hide spans below this share of their root's time (e.g. 0.01)",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    stats = sub.add_parser(
+        "stats",
+        help="show counters, gauges, and the manifest of a telemetry run",
+    )
+    stats.add_argument("run", help="telemetry JSONL file")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 
@@ -408,11 +523,15 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.log_level, args.verbose)
     try:
-        return args.func(args)
+        code = args.func(args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        _log.error("error: %s", error)
         return 2
+    if code == 0:
+        _finalize_telemetry(args)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -15,6 +15,7 @@ configuration, never global state, and take no randomness of their own.
 from __future__ import annotations
 
 import math
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -22,6 +23,7 @@ from typing import Mapping
 from repro.contracts import ensures
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
+from repro.obs.recorder import OBS
 
 __all__ = [
     "ConfidenceInterval",
@@ -165,6 +167,12 @@ class DistinctValueEstimator(ABC):
     )
     def estimate(self, profile: FrequencyProfile, population_size: int) -> Estimate:
         """Estimate the number of distinct values in a column of ``population_size`` rows."""
+        # Telemetry: every invocation is counted and its wall time
+        # accumulated per estimator name (one attribute check when off).
+        # No per-call span — a sweep makes hundreds of thousands of
+        # estimates; the enclosing ``harness.estimate`` span carries the
+        # tree attribution instead.
+        started = time.perf_counter() if OBS.enabled else 0.0
         n = int(population_size)
         d = profile.distinct
         r = profile.sample_size
@@ -186,7 +194,7 @@ class DistinctValueEstimator(ABC):
             raw, details = outcome
         else:
             raw, details = outcome, {}
-        return Estimate(
+        result = Estimate(
             value=clamp_estimate(raw, d, n),
             raw_value=float(raw),
             estimator=self.name,
@@ -196,6 +204,12 @@ class DistinctValueEstimator(ABC):
             interval=self._interval(profile, n),
             details=details,
         )
+        if OBS.enabled:
+            OBS.add(f"estimator.calls.{self.name}")
+            OBS.add(
+                f"estimator.seconds.{self.name}", time.perf_counter() - started
+            )
+        return result
 
     @abstractmethod
     def _estimate_raw(

@@ -37,6 +37,7 @@ from repro.estimators.jackknife import (
     UnsmoothedSecondOrderJackknife,
 )
 from repro.estimators.shlosser import ModifiedShlosser, Shlosser
+from repro.obs.recorder import OBS
 
 __all__ = [
     "ESTIMATOR_FACTORIES",
@@ -82,7 +83,14 @@ PAPER_ESTIMATORS: tuple[str, ...] = (
 
 
 def make_estimator(name: str) -> DistinctValueEstimator:
-    """Instantiate an estimator by registry name."""
+    """Instantiate an estimator by registry name.
+
+    Every instance built here is telemetry-instrumented through the
+    shared :meth:`~repro.core.base.DistinctValueEstimator.estimate`
+    wrapper (per-name invocation counters and accumulated seconds);
+    the registry additionally counts constructions per name so a trace
+    distinguishes "called often" from "rebuilt often".
+    """
     try:
         factory = ESTIMATOR_FACTORIES[name]
     except KeyError:
@@ -90,6 +98,8 @@ def make_estimator(name: str) -> DistinctValueEstimator:
         raise InvalidParameterError(
             f"unknown estimator {name!r}; known estimators: {known}"
         ) from None
+    if OBS.enabled:
+        OBS.add(f"registry.instantiations.{name}")
     return factory()
 
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.data.column import Column
 from repro.errors import DataGenerationError
+from repro.obs.recorder import OBS
 
 __all__ = ["zipf_class_sizes", "zipf_column", "shuffled_from_class_sizes"]
 
@@ -149,7 +150,11 @@ def zipf_column(
             f"n_rows={n_rows} is not divisible by duplication={duplication}"
         )
     rng = rng if rng is not None else np.random.default_rng()
-    base_sizes = zipf_class_sizes(n_rows // duplication, z)
-    sizes = base_sizes * duplication
-    label = name or f"zipf(n={n_rows},z={z:g},dup={duplication})"
-    return shuffled_from_class_sizes(sizes, rng, name=label)
+    with OBS.span("data.zipf_column", n_rows=n_rows, z=z, duplication=duplication):
+        base_sizes = zipf_class_sizes(n_rows // duplication, z)
+        sizes = base_sizes * duplication
+        label = name or f"zipf(n={n_rows},z={z:g},dup={duplication})"
+        column = shuffled_from_class_sizes(sizes, rng, name=label)
+    if OBS.enabled:
+        OBS.add("data.rows_generated", n_rows)
+    return column

@@ -18,6 +18,7 @@ from repro.core.gee import GEE
 from repro.db.catalog import Catalog, ColumnStatistics
 from repro.db.table import Table
 from repro.errors import InvalidParameterError
+from repro.obs.recorder import OBS
 from repro.sampling.base import RowSampler
 from repro.sampling.schemes import UniformWithoutReplacement
 
@@ -43,10 +44,15 @@ def analyze_column(
     sampler = sampler if sampler is not None else UniformWithoutReplacement()
     if fraction is None and sample_size is None:
         fraction = 0.01
-    profile = sampler.profile(
-        table.column(column_name), rng, size=sample_size, fraction=fraction
-    )
-    estimate = estimator.estimate(profile, table.n_rows)
+    with OBS.span(
+        "db.analyze_column", table=table.name, column=column_name
+    ):
+        if OBS.enabled:
+            OBS.add("db.analyze_columns")
+        profile = sampler.profile(
+            table.column(column_name), rng, size=sample_size, fraction=fraction
+        )
+        estimate = estimator.estimate(profile, table.n_rows)
     return ColumnStatistics(
         table=table.name,
         column=column_name,

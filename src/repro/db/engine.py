@@ -28,6 +28,7 @@ from repro.db.catalog import Catalog
 from repro.db.optimizer import JoinPlan, JoinPredicate, choose_join_order
 from repro.db.table import Table
 from repro.errors import InvalidParameterError
+from repro.obs.recorder import OBS
 
 __all__ = [
     "ExecutionStats",
@@ -80,6 +81,9 @@ def seq_scan(table: Table, stats: ExecutionStats) -> Relation:
         f"{table.name}.{name}": values for name, values in table.columns.items()
     }
     stats.rows_scanned += table.n_rows
+    if OBS.enabled:
+        OBS.add("db.rows_scanned", table.n_rows)
+        OBS.add("db.seq_scans")
     return relation
 
 
@@ -220,20 +224,21 @@ def execute_join_plan(
     the optimizer's estimated cost can be judged.
     """
     stats = ExecutionStats()
-    current = seq_scan(catalog.table(plan.order[0]), stats)
-    joined = {plan.order[0]}
-    for table_name in plan.order[1:]:
-        predicate = _predicate_for(predicates, joined, table_name)
-        if predicate.left in joined:
-            left_key = f"{predicate.left}.{predicate.left_column}"
-            right_key = f"{predicate.right}.{predicate.right_column}"
-        else:
-            left_key = f"{predicate.right}.{predicate.right_column}"
-            right_key = f"{predicate.left}.{predicate.left_column}"
-        right = seq_scan(catalog.table(table_name), stats)
-        current = hash_join(current, right, left_key, right_key, stats)
-        joined.add(table_name)
-    stats.rows_output = _relation_size(current)
+    with OBS.span("db.execute_join_plan", tables=len(plan.order)):
+        current = seq_scan(catalog.table(plan.order[0]), stats)
+        joined = {plan.order[0]}
+        for table_name in plan.order[1:]:
+            predicate = _predicate_for(predicates, joined, table_name)
+            if predicate.left in joined:
+                left_key = f"{predicate.left}.{predicate.left_column}"
+                right_key = f"{predicate.right}.{predicate.right_column}"
+            else:
+                left_key = f"{predicate.right}.{predicate.right_column}"
+                right_key = f"{predicate.left}.{predicate.left_column}"
+            right = seq_scan(catalog.table(table_name), stats)
+            current = hash_join(current, right, left_key, right_key, stats)
+            joined.add(table_name)
+        stats.rows_output = _relation_size(current)
     return current, stats
 
 

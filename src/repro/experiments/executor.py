@@ -30,12 +30,13 @@ from __future__ import annotations
 
 from collections.abc import Callable, Hashable, Iterable
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, TypeVar
+from typing import Any, NamedTuple, TypeVar
 
 import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.experiments import config
+from repro.obs.recorder import OBS
 
 __all__ = [
     "TASK_DOMAIN",
@@ -46,6 +47,8 @@ __all__ = [
     "memoized",
     "clear_memo",
     "memo_size",
+    "memo_stats",
+    "MemoStats",
 ]
 
 _PointT = TypeVar("_PointT")
@@ -93,6 +96,26 @@ def _run_point(
     return fn(point, np.random.default_rng(task_seed(seed, index)))
 
 
+def _run_point_traced(
+    fn: Callable[[_PointT, np.random.Generator], _ResultT],
+    point: _PointT,
+    seed: int,
+    index: int,
+) -> tuple[_ResultT, dict[str, Any]]:
+    """Worker-side traced variant: result plus the drained telemetry buffer.
+
+    Submitted instead of :func:`_run_point` when the parent's recorder is
+    enabled.  The capture is reset first — pool workers may be forked
+    with the parent's buffer in memory and are re-used across points —
+    so the payload contains exactly this point's spans and counters,
+    rooted at its ``sweep.point`` span.
+    """
+    OBS.begin_capture()
+    with OBS.span("sweep.point", index=index):
+        result = _run_point(fn, point, seed, index)
+    return result, OBS.drain()
+
+
 def run_sweep(
     fn: Callable[[_PointT, np.random.Generator], _ResultT],
     points: Iterable[_PointT],
@@ -113,20 +136,52 @@ def run_sweep(
     count = workers if workers is not None else config.workers()
     if count < 1:
         raise InvalidParameterError(f"workers must be >= 1, got {count}")
-    if count == 1 or len(todo) <= 1:
-        return [_run_point(fn, point, seed, i) for i, point in enumerate(todo)]
-    with ProcessPoolExecutor(max_workers=min(count, len(todo))) as pool:
-        futures = [
-            pool.submit(_run_point, fn, point, seed, i)
-            for i, point in enumerate(todo)
-        ]
-        return [future.result() for future in futures]
+    inline = count == 1 or len(todo) <= 1
+    realized = 1 if inline else min(count, len(todo))
+    with OBS.span(
+        "sweep.run", points=len(todo), workers=realized, seed=seed
+    ) as sweep_span:
+        OBS.gauge("sweep.realized_workers", realized)
+        if inline:
+            results: list[_ResultT] = []
+            for i, point in enumerate(todo):
+                with OBS.span("sweep.point", index=i):
+                    results.append(_run_point(fn, point, seed, i))
+            return results
+        with ProcessPoolExecutor(max_workers=realized) as pool:
+            if not OBS.enabled:
+                futures = [
+                    pool.submit(_run_point, fn, point, seed, i)
+                    for i, point in enumerate(todo)
+                ]
+                return [future.result() for future in futures]
+            traced = [
+                pool.submit(_run_point_traced, fn, point, seed, i)
+                for i, point in enumerate(todo)
+            ]
+            outcomes = [future.result() for future in traced]
+        # Absorb worker buffers in submission order once every point is
+        # in, so the merged span sequence is deterministic regardless of
+        # pool scheduling.
+        for _, payload in outcomes:
+            OBS.absorb(payload, parent_id=sweep_span.id)
+        return [result for result, _ in outcomes]
 
 
 # ----------------------------------------------------------------------
 # Per-process memo for shared sweep inputs
 # ----------------------------------------------------------------------
 _MEMO: dict[Hashable, Any] = {}
+_MEMO_HITS = 0
+_MEMO_MISSES = 0
+
+
+class MemoStats(NamedTuple):
+    """Hit/miss/size snapshot of the per-process memo."""
+
+    hits: int
+    misses: int
+    size: int
 
 
 def memoized(key: Hashable, build: Callable[[], _ResultT]) -> _ResultT:
@@ -136,21 +191,41 @@ def memoized(key: Hashable, build: Callable[[], _ResultT]) -> _ResultT:
     over the same column (or dataset) materializes it once.  Correctness
     never depends on hits: ``build`` must be deterministic for its key,
     which holds when its randomness comes from :func:`derived_rng` keyed
-    by the same specification.
+    by the same specification.  Hits and misses are tallied for
+    :func:`memo_stats` and, when telemetry is on, the
+    ``executor.memo_hits`` / ``executor.memo_misses`` counters — in a
+    parallel sweep those counters are per-process tallies summed at
+    merge, so they depend on how the pool scheduled points.
     """
+    global _MEMO_HITS, _MEMO_MISSES
     try:
-        return _MEMO[key]  # type: ignore[return-value]
+        value = _MEMO[key]
     except KeyError:
+        _MEMO_MISSES += 1
+        if OBS.enabled:
+            OBS.add("executor.memo_misses")
         value = build()
         _MEMO[key] = value
         return value
+    _MEMO_HITS += 1
+    if OBS.enabled:
+        OBS.add("executor.memo_hits")
+    return value  # type: ignore[no-any-return]
 
 
 def clear_memo() -> None:
-    """Drop every per-process memo entry (tests and long-lived servers)."""
+    """Drop every memo entry *and* its hit/miss tallies (tests, servers)."""
+    global _MEMO_HITS, _MEMO_MISSES
     _MEMO.clear()
+    _MEMO_HITS = 0
+    _MEMO_MISSES = 0
 
 
 def memo_size() -> int:
     """Number of live per-process memo entries."""
     return len(_MEMO)
+
+
+def memo_stats() -> MemoStats:
+    """Hits, misses, and live entries of the per-process memo."""
+    return MemoStats(hits=_MEMO_HITS, misses=_MEMO_MISSES, size=len(_MEMO))

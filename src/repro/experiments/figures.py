@@ -44,6 +44,7 @@ from repro.errors import InvalidParameterError
 from repro.experiments import config, executor
 from repro.experiments.harness import EvaluationResult, evaluate_column
 from repro.experiments.report import SeriesTable
+from repro.obs.recorder import OBS
 from repro.sampling.schemes import UniformWithoutReplacement
 
 __all__ = [
@@ -122,11 +123,19 @@ class _ColumnSpec:
         )
 
 
+def _build_column_traced(spec: _ColumnSpec, seed: int) -> Column:
+    # Covers all three column kinds; zipf specs additionally nest the
+    # generator's own ``data.zipf_column`` span (which owns the
+    # ``data.rows_generated`` counter — no double count here).
+    with OBS.span("data.build_column", n_rows=spec.n_rows, z=spec.z):
+        return spec.build(executor.derived_rng(seed, *spec.key))
+
+
 def _shared_column(spec: _ColumnSpec, seed: int) -> Column:
     """Materialize ``spec`` once per process, on its spec-derived stream."""
     return executor.memoized(
         ("column", seed, spec),
-        lambda: spec.build(executor.derived_rng(seed, *spec.key)),
+        lambda: _build_column_traced(spec, seed),
     )
 
 
@@ -165,14 +174,19 @@ class _DatasetTask:
     metric: str
 
 
-def _shared_dataset(name: str, scale_ppm: int, seed: int) -> Dataset:
+def _build_dataset_traced(name: str, scale_ppm: int, seed: int) -> Dataset:
     index = sorted(DATASETS).index(name)
-    return executor.memoized(
-        ("dataset", seed, name, scale_ppm),
-        lambda: DATASETS[name](
+    with OBS.span("data.build_dataset", dataset=name):
+        return DATASETS[name](
             executor.derived_rng(seed, 4, index, scale_ppm),
             scale=scale_ppm / 1_000_000,
-        ),
+        )
+
+
+def _shared_dataset(name: str, scale_ppm: int, seed: int) -> Dataset:
+    return executor.memoized(
+        ("dataset", seed, name, scale_ppm),
+        lambda: _build_dataset_traced(name, scale_ppm, seed),
     )
 
 
@@ -774,4 +788,7 @@ def run_experiment(exhibit_id: str, **kwargs) -> SeriesTable:
         raise InvalidParameterError(
             f"unknown exhibit {exhibit_id!r}; known: {known}"
         ) from None
-    return runner(**kwargs)
+    with OBS.span(f"exhibit.{exhibit_id}"):
+        if OBS.enabled:
+            OBS.add("experiments.exhibits_run")
+        return runner(**kwargs)

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.base import DistinctValueEstimator, ratio_error
 from repro.data.column import Column
 from repro.errors import InvalidParameterError
+from repro.obs.recorder import OBS
 from repro.sampling.base import RowSampler
 from repro.sampling.schemes import UniformWithoutReplacement
 
@@ -115,20 +116,31 @@ def evaluate_column(
     errors: dict[str, list[float]] = {e.name: [] for e in estimators}
     lowers: dict[str, list[float]] = {e.name: [] for e in estimators}
     uppers: dict[str, list[float]] = {e.name: [] for e in estimators}
-    profiles = sampler.profile_batch(
-        column.values, rng, trials, size=size, fraction=fraction
-    )
-    realized_sample_size = round(
-        math.fsum(p.sample_size for p in profiles) / trials
-    )
-    for profile in profiles:
-        for estimator in estimators:
-            outcome = estimator.estimate(profile, n)
-            estimates[estimator.name].append(outcome.value)
-            errors[estimator.name].append(ratio_error(outcome.value, true_distinct))
-            if outcome.interval is not None:
-                lowers[estimator.name].append(outcome.interval.lower)
-                uppers[estimator.name].append(outcome.interval.upper)
+    with OBS.span(
+        "harness.evaluate_column",
+        column=column.name,
+        trials=trials,
+        estimators=len(estimators),
+    ):
+        if OBS.enabled:
+            OBS.add("harness.evaluations")
+        profiles = sampler.profile_batch(
+            column.values, rng, trials, size=size, fraction=fraction
+        )
+        realized_sample_size = round(
+            math.fsum(p.sample_size for p in profiles) / trials
+        )
+        with OBS.span("harness.estimate", trials=trials):
+            for profile in profiles:
+                for estimator in estimators:
+                    outcome = estimator.estimate(profile, n)
+                    estimates[estimator.name].append(outcome.value)
+                    errors[estimator.name].append(
+                        ratio_error(outcome.value, true_distinct)
+                    )
+                    if outcome.interval is not None:
+                        lowers[estimator.name].append(outcome.interval.lower)
+                        uppers[estimator.name].append(outcome.interval.upper)
 
     summaries = {}
     for estimator in estimators:

@@ -1,0 +1,68 @@
+"""repro.obs — zero-dependency telemetry for the reproduction stack.
+
+The subsystem has three parts (full reference: ``docs/observability.md``):
+
+* :mod:`repro.obs.recorder` — the per-process recorder :data:`OBS` with
+  nestable wall-time spans, counters/gauges, a JSONL sink, and the
+  drain/absorb protocol that merges worker-process buffers into a
+  parent run deterministically.  Disabled (the default without
+  ``REPRO_TELEMETRY``), its hot-path cost is one attribute check.
+* :mod:`repro.obs.manifest` — the per-run manifest (seed, ``REPRO_*``
+  knob snapshot, versions, platform, realized worker count) written
+  alongside results.
+* :mod:`repro.obs.trace` — offline readers powering ``repro trace``
+  (span tree with self/total times) and ``repro stats``.
+
+Instrumented call sites guard with ``if OBS.enabled:`` (counters in hot
+loops) or call ``OBS.span(...)`` (which no-ops when disabled); telemetry
+never reads a random generator, so recorded runs are bit-identical to
+unrecorded ones.
+"""
+
+from __future__ import annotations
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    knob_snapshot,
+    read_manifest,
+    write_manifest,
+)
+from repro.obs.recorder import (
+    ENV_DIR,
+    ENV_FLAG,
+    OBS,
+    Telemetry,
+    env_enabled,
+    telemetry_dir,
+)
+from repro.obs.trace import (
+    RunData,
+    SpanNode,
+    attributed_fraction,
+    build_tree,
+    load_run,
+    render_stats,
+    render_trace,
+)
+
+__all__ = [
+    "ENV_DIR",
+    "ENV_FLAG",
+    "MANIFEST_SCHEMA",
+    "OBS",
+    "RunData",
+    "SpanNode",
+    "Telemetry",
+    "attributed_fraction",
+    "build_manifest",
+    "build_tree",
+    "env_enabled",
+    "knob_snapshot",
+    "load_run",
+    "read_manifest",
+    "render_stats",
+    "render_trace",
+    "telemetry_dir",
+    "write_manifest",
+]

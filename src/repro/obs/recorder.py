@@ -1,0 +1,293 @@
+"""The telemetry recorder: nestable spans, counters, gauges, JSONL runs.
+
+Design constraints (see ``docs/observability.md``):
+
+* **zero dependencies** — stdlib only, importable from every layer
+  (sampling, db, sketches) without dragging in the experiment stack;
+* **off by default, one attribute check when off** — the module-level
+  singleton :data:`OBS` starts disabled unless ``REPRO_TELEMETRY`` is
+  set; every recording entry point returns after testing
+  ``self.enabled`` once, and hot loops are expected to guard with
+  ``if OBS.enabled:`` themselves so the disabled cost is exactly one
+  attribute load;
+* **never touches randomness** — the recorder reads clocks, never a
+  generator, so estimates and RNG stream positions are bit-identical
+  with telemetry on or off (pinned by ``tests/obs/test_identity.py``);
+* **process-safe by merging, not by sharing** — worker processes record
+  into their own buffer (:meth:`Telemetry.begin_capture`), hand the
+  buffer back as a picklable payload (:meth:`Telemetry.drain`), and the
+  parent splices it into its own run (:meth:`Telemetry.absorb`) in
+  submission order, so the merged run is deterministic for a fixed
+  worker count and span *structure* is identical for every count.
+
+A *span* is a named interval of wall time with a parent (nesting follows
+the with-statement stack), recorded at close.  A *counter* accumulates
+(``+=``); a *gauge* overwrites.  Timestamps are offsets from the
+recorder's start on the monotonic :func:`time.perf_counter` clock —
+durations are exact, absolute wall-clock time belongs in the manifest.
+
+The recorder is deliberately not thread-safe: the project parallelizes
+with processes, and a per-process buffer needs no locks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from types import TracebackType
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "ENV_FLAG",
+    "ENV_DIR",
+    "OBS",
+    "Telemetry",
+    "env_enabled",
+    "telemetry_dir",
+]
+
+#: Environment switch; any value other than empty/0/false/off enables
+#: recording for the process (workers inherit it through the pool).
+ENV_FLAG = "REPRO_TELEMETRY"
+
+#: Where CLI runs write their JSONL + manifest (default ``telemetry/``).
+ENV_DIR = "REPRO_TELEMETRY_DIR"
+
+_DISABLED_VALUES = frozenset({"", "0", "false", "False", "off", "no"})
+
+
+def env_enabled() -> bool:
+    """Whether ``REPRO_TELEMETRY`` asks for recording in this process."""
+    return os.environ.get(ENV_FLAG, "") not in _DISABLED_VALUES
+
+
+def telemetry_dir() -> Path:
+    """Output directory for CLI-written runs (``REPRO_TELEMETRY_DIR``)."""
+    return Path(os.environ.get(ENV_DIR, "telemetry"))
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while recording is off."""
+
+    __slots__ = ()
+
+    #: Disabled spans have no identity for children to attach to.
+    id: None = None
+
+    #: Shared empty mapping so ``span.attrs`` is always readable; callers
+    #: must only annotate attrs after checking ``span.id is not None``.
+    attrs: dict[str, Any] = {}
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """One live span; records itself into the owning recorder at close."""
+
+    __slots__ = ("_recorder", "name", "attrs", "id", "parent", "_start")
+
+    def __init__(self, recorder: "Telemetry", name: str, attrs: dict[str, Any]):
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.id: int | None = None
+        self.parent: int | None = None
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        recorder = self._recorder
+        self.id = recorder._next_id
+        recorder._next_id += 1
+        self.parent = recorder._stack[-1] if recorder._stack else None
+        recorder._stack.append(self.id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        ended = time.perf_counter()
+        recorder = self._recorder
+        if recorder._stack and recorder._stack[-1] == self.id:
+            recorder._stack.pop()
+        record: dict[str, Any] = {
+            "ev": "span",
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "t": round(self._start - recorder._t0, 6),
+            "dur": round(ended - self._start, 6),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        recorder._events.append(record)
+        return None
+
+
+class Telemetry:
+    """A per-process telemetry buffer; use the singleton :data:`OBS`."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._events: list[dict[str, Any]] = []
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._stack: list[int] = []
+        self._next_id = 1
+        self._t0 = time.perf_counter()
+
+    # -- lifecycle -----------------------------------------------------
+    def enable(self) -> None:
+        """Turn recording on (idempotent; keeps any buffered data)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn recording off without dropping buffered data."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all buffered data and restart ids and the clock."""
+        self._events.clear()
+        self._counters.clear()
+        self._gauges.clear()
+        self._stack.clear()
+        self._next_id = 1
+        self._t0 = time.perf_counter()
+
+    def begin_capture(self) -> None:
+        """Start a fresh worker-side capture.
+
+        Pool workers may be forked mid-run and re-used across tasks, so
+        each traced task first clears whatever the process inherited or
+        left behind; the parent then receives exactly one task's worth
+        of telemetry from :meth:`drain`.
+        """
+        self.reset()
+        self.enabled = True
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _Span | _NoopSpan:
+        """A context manager timing a named, nestable interval."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Accumulate ``value`` onto counter ``name`` (no-op when off)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Overwrite gauge ``name`` with ``value`` (no-op when off)."""
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    # -- introspection -------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing has been recorded since the last reset."""
+        return not (self._events or self._counters or self._gauges)
+
+    def counters(self) -> dict[str, float]:
+        """Snapshot of the counter table (name -> accumulated value)."""
+        return dict(self._counters)
+
+    def gauges(self) -> dict[str, float]:
+        """Snapshot of the gauge table (name -> last value)."""
+        return dict(self._gauges)
+
+    def span_records(self) -> list[dict[str, Any]]:
+        """Snapshot of the closed-span records, in close order."""
+        return [dict(record) for record in self._events]
+
+    # -- cross-process merge -------------------------------------------
+    def drain(self) -> dict[str, Any]:
+        """Detach everything recorded so far as a picklable payload.
+
+        The buffer is reset afterwards, so a re-used pool worker starts
+        its next task clean even without :meth:`begin_capture`.
+        """
+        payload = {
+            "events": self._events,
+            "counters": self._counters,
+            "gauges": self._gauges,
+        }
+        self._events = []
+        self._counters = {}
+        self._gauges = {}
+        self._stack = []
+        self._next_id = 1
+        return payload
+
+    def absorb(self, payload: Mapping[str, Any], parent_id: int | None = None) -> None:
+        """Splice a drained worker payload into this recorder.
+
+        Span ids are remapped past this recorder's id watermark so they
+        stay unique; the payload's root spans (parent ``None``) are
+        re-parented under ``parent_id``.  Counters accumulate, gauges
+        overwrite.  Callers absorb payloads in submission order, which
+        makes the merged event sequence deterministic for a fixed worker
+        count (see :mod:`repro.experiments.executor`).
+        """
+        if not self.enabled:
+            return
+        offset = self._next_id
+        highest = 0
+        for record in payload["events"]:
+            spliced = dict(record)
+            highest = max(highest, spliced["id"])
+            spliced["id"] = spliced["id"] + offset
+            if spliced.get("parent") is None:
+                spliced["parent"] = parent_id
+            else:
+                spliced["parent"] = spliced["parent"] + offset
+            self._events.append(spliced)
+        self._next_id = offset + highest + 1
+        for name, value in payload["counters"].items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in payload["gauges"].items():
+            self._gauges[name] = value
+
+    # -- serialization -------------------------------------------------
+    def records(self, manifest: Mapping[str, Any] | None = None) -> Iterator[dict[str, Any]]:
+        """All JSONL records for the run, manifest first, counters sorted."""
+        if manifest is not None:
+            yield {"ev": "manifest", "data": dict(manifest)}
+        yield from self._events
+        for name in sorted(self._counters):
+            yield {"ev": "counter", "name": name, "value": self._counters[name]}
+        for name in sorted(self._gauges):
+            yield {"ev": "gauge", "name": name, "value": self._gauges[name]}
+
+    def write_run(
+        self, path: str | Path, manifest: Mapping[str, Any] | None = None
+    ) -> Path:
+        """Write the buffered run as JSON Lines, creating parent dirs."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            for record in self.records(manifest=manifest):
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return target
+
+
+#: The process-wide recorder.  Enabled at import when ``REPRO_TELEMETRY``
+#: is set, so library code can guard hot paths with ``if OBS.enabled:``
+#: and CLI/benchmark entry points flush it at exit.
+OBS = Telemetry(enabled=env_enabled())

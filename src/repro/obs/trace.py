@@ -1,0 +1,242 @@
+"""Reading telemetry runs back: span trees, self/total times, stats.
+
+``repro trace run.jsonl`` renders the span tree of a recorded run with
+each span's **total** time (its own duration) and **self** time (total
+minus the time covered by its children), so the question "where did the
+sweep's wall time go?" has a direct answer.  ``repro stats run.jsonl``
+renders the counter/gauge tables and the embedded manifest.
+
+Rendering works purely from the JSONL records — no recorder state — so
+runs can be inspected from another process, another machine, or CI
+artifacts.  Sibling order follows record order in the file, which the
+recorder makes deterministic (close order within a process, submission
+order across merged workers); child durations from parallel workers may
+legitimately sum past their parent's wall time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "RunData",
+    "SpanNode",
+    "attributed_fraction",
+    "build_tree",
+    "load_run",
+    "render_stats",
+    "render_trace",
+]
+
+
+@dataclass
+class SpanNode:
+    """One span of a loaded run, linked into its tree."""
+
+    id: int
+    name: str
+    parent: int | None
+    start: float
+    duration: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def self_time(self) -> float:
+        """Duration not covered by child spans (clamped at zero).
+
+        Children executed in parallel worker processes can overlap, so
+        their durations may sum past the parent's; the clamp keeps the
+        column meaningful in that case.
+        """
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+
+@dataclass
+class RunData:
+    """Everything one telemetry JSONL file contains."""
+
+    manifest: dict[str, Any] | None
+    spans: list[dict[str, Any]]
+    counters: dict[str, float]
+    gauges: dict[str, float]
+
+
+def load_run(path: str | Path) -> RunData:
+    """Parse a telemetry JSONL file into its typed parts."""
+    manifest: dict[str, Any] | None = None
+    spans: list[dict[str, Any]] = []
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    source = Path(path)
+    if not source.exists():
+        raise InvalidParameterError(f"no telemetry run at {source}")
+    for line_number, line in enumerate(
+        source.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise InvalidParameterError(
+                f"{source}:{line_number}: not a JSON record ({error.msg})"
+            ) from None
+        kind = record.get("ev")
+        if kind == "manifest":
+            manifest = record.get("data", {})
+        elif kind == "span":
+            spans.append(record)
+        elif kind == "counter":
+            counters[record["name"]] = record["value"]
+        elif kind == "gauge":
+            gauges[record["name"]] = record["value"]
+        else:
+            raise InvalidParameterError(
+                f"{source}:{line_number}: unknown record kind {kind!r}"
+            )
+    return RunData(manifest=manifest, spans=spans, counters=counters, gauges=gauges)
+
+
+def build_tree(spans: list[dict[str, Any]]) -> list[SpanNode]:
+    """Link span records into root nodes, preserving record order.
+
+    Spans are recorded at close, so children precede their parents in
+    the file; linking is therefore a two-pass id join, and sibling order
+    is the (deterministic) record order.
+    """
+    nodes: dict[int, SpanNode] = {}
+    ordered: list[SpanNode] = []
+    for record in spans:
+        node = SpanNode(
+            id=record["id"],
+            name=record["name"],
+            parent=record.get("parent"),
+            start=record.get("t", 0.0),
+            duration=record.get("dur", 0.0),
+            attrs=dict(record.get("attrs", {})),
+            error=record.get("error"),
+        )
+        nodes[node.id] = node
+        ordered.append(node)
+    roots: list[SpanNode] = []
+    for node in ordered:
+        parent = nodes.get(node.parent) if node.parent is not None else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    return roots
+
+
+def attributed_fraction(node: SpanNode) -> float:
+    """Fraction of a span's wall time covered by its child spans.
+
+    The acceptance bar for instrumentation coverage: a well-instrumented
+    ``sweep.run`` attributes >= 90% of its time to named children.
+    Capped at 1 because parallel children may overlap.
+    """
+    if node.duration <= 0.0:
+        return 1.0 if not node.children else 0.0
+    covered = sum(child.duration for child in node.children)
+    return min(1.0, covered / node.duration)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1000.0:7.2f}ms"
+
+
+def _attr_suffix(node: SpanNode) -> str:
+    parts = [f"{key}={value}" for key, value in node.attrs.items()]
+    if node.error:
+        parts.append(f"error={node.error}")
+    return f"  [{', '.join(parts)}]" if parts else ""
+
+
+def _render_node(
+    node: SpanNode,
+    root_total: float,
+    depth: int,
+    min_fraction: float,
+    lines: list[str],
+) -> None:
+    share = node.duration / root_total if root_total > 0 else 0.0
+    if depth and share < min_fraction:
+        return
+    lines.append(
+        f"{_format_duration(node.duration)}  {_format_duration(node.self_time)}"
+        f"  {share:6.1%}  {'  ' * depth}{node.name}{_attr_suffix(node)}"
+    )
+    for child in node.children:
+        _render_node(child, root_total, depth + 1, min_fraction, lines)
+
+
+def render_trace(run: RunData, min_fraction: float = 0.0) -> str:
+    """Render the span tree with total/self times and share-of-root.
+
+    ``min_fraction`` hides non-root spans below that share of their
+    root's time — handy for very wide sweeps.
+    """
+    roots = build_tree(run.spans)
+    if not roots:
+        return "(no spans recorded)"
+    lines = [f"{'total':>9}  {'self':>9}  {'%root':>6}  span"]
+    for root in roots:
+        _render_node(root, root.duration, 0, min_fraction, lines)
+        lines.append(
+            f"{'':>9}  {'':>9}  {'':>6}  "
+            f"({attributed_fraction(root):.1%} of {root.name} attributed "
+            f"to child spans)"
+        )
+    return "\n".join(lines)
+
+
+def _render_table(title: str, values: dict[str, float]) -> list[str]:
+    lines = [title]
+    width = max(len(name) for name in values)
+    for name in sorted(values):
+        value = values[name]
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"  {name:<{width}}  {rendered}")
+    return lines
+
+
+def render_stats(run: RunData) -> str:
+    """Render counters, gauges, and the manifest summary of a run."""
+    sections: list[list[str]] = []
+    if run.counters:
+        sections.append(_render_table("counters:", run.counters))
+    if run.gauges:
+        sections.append(_render_table("gauges:", run.gauges))
+    if run.spans:
+        by_name: dict[str, tuple[int, float]] = {}
+        for record in run.spans:
+            count, total = by_name.get(record["name"], (0, 0.0))
+            by_name[record["name"]] = (count + 1, total + record.get("dur", 0.0))
+        width = max(len(name) for name in by_name)
+        lines = ["spans:"]
+        for name in sorted(by_name):
+            count, total = by_name[name]
+            lines.append(f"  {name:<{width}}  n={count}  total={total:.4f}s")
+        sections.append(lines)
+    if run.manifest:
+        lines = ["manifest:"]
+        for key in ("command", "seed", "package_version", "realized_workers",
+                    "python", "platform"):
+            if run.manifest.get(key) is not None:
+                lines.append(f"  {key}: {run.manifest[key]}")
+        knobs = run.manifest.get("knobs") or {}
+        for name in sorted(knobs):
+            lines.append(f"  knob {name}={knobs[name]}")
+        sections.append(lines)
+    if not sections:
+        return "(empty run)"
+    return "\n".join("\n".join(section) for section in sections)

@@ -22,6 +22,7 @@ import numpy.typing as npt
 
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
+from repro.obs.recorder import OBS
 from repro.sampling.batch import profiles_from_samples
 
 __all__ = ["RowSampler", "resolve_sample_size", "as_column"]
@@ -107,9 +108,14 @@ class RowSampler(ABC):
         fraction: float | None = None,
     ) -> FrequencyProfile:
         """Draw a sample and return its frequency profile."""
-        return FrequencyProfile.from_sample(
-            self.sample(column, rng, size=size, fraction=fraction)
-        )
+        with OBS.span(f"sample.{self.name}", trials=1):
+            profile = FrequencyProfile.from_sample(
+                self.sample(column, rng, size=size, fraction=fraction)
+            )
+        if OBS.enabled:
+            OBS.add("sample.trials", 1)
+            OBS.add("sample.rows_sampled", profile.sample_size)
+        return profile
 
     def profile_batch(
         self,
@@ -138,13 +144,23 @@ class RowSampler(ABC):
             fraction=fraction,
             allow_oversample=not self.without_replacement,
         )
-        batch = self._draw_batch(data, r, rng, trials)
-        if batch is None:
-            return [
-                FrequencyProfile.from_sample(self._draw(data, r, rng))
-                for _ in range(trials)
-            ]
-        return profiles_from_samples(batch)
+        with OBS.span(
+            f"sample.{self.name}", trials=trials, requested_size=r
+        ) as span:
+            batch = self._draw_batch(data, r, rng, trials)
+            if batch is None:
+                if span.id is not None:
+                    span.attrs["path"] = "serial"
+                profiles = [
+                    FrequencyProfile.from_sample(self._draw(data, r, rng))
+                    for _ in range(trials)
+                ]
+            else:
+                profiles = profiles_from_samples(batch)
+        if OBS.enabled:
+            OBS.add("sample.trials", trials)
+            OBS.add("sample.rows_sampled", sum(p.sample_size for p in profiles))
+        return profiles
 
     @abstractmethod
     def _draw(

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from repro.obs.recorder import OBS
+
 __all__ = ["DistinctSketch"]
 
 
@@ -41,12 +43,19 @@ class DistinctSketch(ABC):
     @classmethod
     def count(cls, values, **kwargs) -> float:
         """One-shot convenience: build, add, estimate."""
-        sketch = cls(**kwargs)
-        sketch.add(values)
-        return sketch.estimate()
+        with OBS.span(f"sketch.{cls.name}"):
+            sketch = cls(**kwargs)
+            sketch.add(values)
+            estimate = sketch.estimate()
+        if OBS.enabled:
+            OBS.add("sketch.counts")
+            OBS.add(f"sketch.memory_bytes.{cls.name}", sketch.memory_bytes)
+        return estimate
 
     def _require_compatible(self, other: "DistinctSketch", **attrs) -> None:
         """Raise TypeError/ValueError unless ``other`` matches this sketch."""
+        if OBS.enabled:
+            OBS.add("sketch.merges")
         if type(other) is not type(self):
             raise TypeError(
                 f"cannot merge {type(other).__name__} into {type(self).__name__}"

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.recorder import OBS
 from repro.sampling.base import as_column
 
 __all__ = ["hash64"]
@@ -35,6 +36,10 @@ def hash64(values, seed: int = 0) -> np.ndarray:
     (slower, but correct for arbitrary hashables).
     """
     data = as_column(values)
+    # Every sketch's ``add`` funnels through this hash, so one guarded
+    # counter here observes all sketch ingest without per-sketch hooks.
+    if OBS.enabled:
+        OBS.add("sketch.values_hashed", data.size)
     if np.issubdtype(data.dtype, np.integer):
         raw = data.astype(np.uint64, copy=False)
     elif np.issubdtype(data.dtype, np.floating):

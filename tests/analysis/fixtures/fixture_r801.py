@@ -1,0 +1,35 @@
+"""R801 fixture: five logging-hygiene violations, two clean patterns."""
+
+import logging
+from logging import warning
+
+
+def bad_print(values):
+    print("estimating", len(values))
+    return values
+
+
+def bad_root_emit(count):
+    logging.info("sampled %d rows", count)
+
+
+def bad_global_config():
+    logging.basicConfig(level=logging.DEBUG)
+
+
+def bad_root_logger():
+    return logging.getLogger()
+
+
+def bad_imported_emit():
+    warning("low sample size")
+
+
+def good_module_logger():
+    log = logging.getLogger(__name__)
+    log.debug("profile built")
+    return log
+
+
+def good_null_handler():
+    logging.getLogger("repro").addHandler(logging.NullHandler())

@@ -1,0 +1,66 @@
+"""Per-rule tests for R801 (logging-hygiene)."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_fixture, lint_text
+
+
+class TestLoggingHygiene:
+    def test_flags_the_five_violations(self):
+        findings = lint_fixture("fixture_r801.py", ["R801"])
+        assert [f.line for f in findings] == [8, 13, 17, 21, 25]
+        assert all(f.code == "R801" for f in findings)
+
+    def test_cli_is_exempt(self):
+        findings = lint_fixture(
+            "fixture_r801.py", ["R801"], virtual_path="repro/cli.py"
+        )
+        assert findings == []
+
+    def test_reporters_are_exempt(self):
+        for virtual_path in (
+            "repro/analysis/reporters.py",
+            "repro/experiments/report.py",
+            "repro/__main__.py",
+        ):
+            assert (
+                lint_fixture("fixture_r801.py", ["R801"], virtual_path=virtual_path)
+                == []
+            )
+
+    def test_outside_repro_is_out_of_scope(self):
+        findings = lint_fixture(
+            "fixture_r801.py", ["R801"], virtual_path="scripts/tool.py"
+        )
+        assert findings == []
+
+    def test_logging_import_alias_is_tracked(self):
+        text = (
+            "import logging as log\n"
+            "\n"
+            "def f():\n"
+            "    log.error('boom')\n"
+        )
+        findings = lint_text(text, ["R801"])
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+    def test_named_get_logger_is_clean(self):
+        text = (
+            "import logging\n"
+            "\n"
+            "_log = logging.getLogger(__name__)\n"
+            "\n"
+            "def f():\n"
+            "    _log.info('fine')\n"
+        )
+        assert lint_text(text, ["R801"]) == []
+
+    def test_print_message_names_the_module_logger(self):
+        findings = lint_text("print('x')\n", ["R801"])
+        assert len(findings) == 1
+        assert "module logger" in findings[0].message
+
+    def test_suppression_pragma_silences(self):
+        text = "print('intentional')  # reprolint: disable=R801\n"
+        assert lint_text(text, ["R801"]) == []

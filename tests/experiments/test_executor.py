@@ -172,3 +172,40 @@ class TestFigureLevelDeterminism:
         executor.clear_memo()
         monkeypatch.setenv("REPRO_SEED_MODE", "legacy")
         assert spawned != _tiny_sweep()
+
+
+class TestMemoStats:
+    def setup_method(self):
+        executor.clear_memo()
+
+    def teardown_method(self):
+        executor.clear_memo()
+
+    def test_counts_hits_misses_and_size(self):
+        executor.memoized("a", lambda: 1)
+        executor.memoized("a", lambda: 1)
+        executor.memoized("b", lambda: 2)
+        assert executor.memo_stats() == executor.MemoStats(hits=1, misses=2, size=2)
+
+    def test_clear_memo_resets_the_tallies(self):
+        executor.memoized("a", lambda: 1)
+        executor.memoized("a", lambda: 1)
+        executor.clear_memo()
+        assert executor.memo_stats() == executor.MemoStats(hits=0, misses=0, size=0)
+        assert executor.memo_size() == 0
+
+    def test_telemetry_counters_mirror_the_tallies(self):
+        from repro.obs import OBS
+
+        OBS.reset()
+        OBS.enable()
+        try:
+            executor.memoized("a", lambda: 1)
+            executor.memoized("a", lambda: 1)
+            executor.memoized("b", lambda: 2)
+            counters = OBS.counters()
+        finally:
+            OBS.disable()
+            OBS.reset()
+        assert counters["executor.memo_misses"] == 2
+        assert counters["executor.memo_hits"] == 1

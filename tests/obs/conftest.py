@@ -1,0 +1,22 @@
+"""Shared fixtures for the telemetry tests.
+
+The recorder is a process-wide singleton, so every test that turns it
+on must leave it off and empty for the rest of the suite (the suite
+runs with ``REPRO_TELEMETRY`` unset, i.e. recording disabled).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import OBS
+
+
+@pytest.fixture
+def obs():
+    """The singleton recorder, enabled and empty; restored afterwards."""
+    OBS.reset()
+    OBS.enable()
+    yield OBS
+    OBS.disable()
+    OBS.reset()

@@ -1,0 +1,73 @@
+"""The hard requirement: telemetry never changes what a run computes.
+
+The recorder reads clocks, never a generator, so estimates and RNG
+stream positions must be **bit-identical** with recording on or off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_experiment
+from repro.experiments.executor import clear_memo
+from repro.obs import OBS
+from repro.sampling import UniformWithoutReplacement
+
+
+def _profile_and_estimate(enabled: bool):
+    """One full sample -> profile -> estimate pass under a fixed seed."""
+    from repro.core import GEE
+    from repro.data import zipf_column
+
+    OBS.reset()
+    OBS.enabled = enabled
+    try:
+        rng = np.random.default_rng(123)
+        column = zipf_column(20_000, z=1.0, duplication=10, rng=rng)
+        profiles = UniformWithoutReplacement().profile_batch(
+            column.values, rng, trials=3, fraction=0.05
+        )
+        estimates = [
+            GEE().estimate(profile, column.n_rows).value for profile in profiles
+        ]
+        return estimates, rng.bit_generator.state
+    finally:
+        OBS.disable()
+        OBS.reset()
+
+
+def _run_exhibit(enabled: bool) -> str:
+    OBS.reset()
+    OBS.enabled = enabled
+    clear_memo()
+    try:
+        return run_experiment("fig5", seed=0, trials=2, n_rows=2000).to_csv()
+    finally:
+        OBS.disable()
+        OBS.reset()
+
+
+class TestBitIdentity:
+    def test_sampling_pipeline_is_invariant(self):
+        on_estimates, on_state = _profile_and_estimate(True)
+        off_estimates, off_state = _profile_and_estimate(False)
+        assert on_estimates == off_estimates
+        assert on_state == off_state
+
+    def test_exhibit_csv_is_invariant(self):
+        assert _run_exhibit(True) == _run_exhibit(False)
+
+    def test_recording_happened_at_all(self):
+        # Guard against the on-path silently not recording (which would
+        # make the identity assertions vacuous).
+        OBS.reset()
+        OBS.enable()
+        try:
+            _ = UniformWithoutReplacement().profile_batch(
+                np.arange(1000), np.random.default_rng(0), trials=2, size=50
+            )
+            assert OBS.counters()["sample.trials"] == 2
+            assert not OBS.is_empty
+        finally:
+            OBS.disable()
+            OBS.reset()

@@ -1,0 +1,78 @@
+"""Manifest assembly and round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    OBS,
+    build_manifest,
+    knob_snapshot,
+    load_run,
+    read_manifest,
+    write_manifest,
+)
+
+
+class TestKnobSnapshot:
+    def test_only_repro_knobs_and_sorted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ZED", "9")
+        monkeypatch.setenv("REPRO_ALPHA", "1")
+        monkeypatch.setenv("UNRELATED", "x")
+        knobs = knob_snapshot()
+        assert "UNRELATED" not in knobs
+        names = [name for name in knobs if name in ("REPRO_ALPHA", "REPRO_ZED")]
+        assert names == ["REPRO_ALPHA", "REPRO_ZED"]
+
+
+class TestBuildManifest:
+    def test_core_fields(self):
+        manifest = build_manifest(seed=7, workers=3, command="exhibit")
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["package"] == "repro"
+        assert manifest["seed"] == 7
+        assert manifest["realized_workers"] == 3
+        assert manifest["command"] == "exhibit"
+        assert manifest["python"]
+        assert manifest["platform"]
+
+    def test_workers_fall_back_to_the_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert build_manifest()["realized_workers"] == 4
+        monkeypatch.setenv("REPRO_WORKERS", "garbage")
+        assert build_manifest()["realized_workers"] == 1
+
+    def test_extra_fields_merge(self):
+        manifest = build_manifest(extra={"exhibit": "fig5"})
+        assert manifest["exhibit"] == "fig5"
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        manifest = build_manifest(seed=1, command="report")
+        path = write_manifest(tmp_path / "artifacts" / "manifest.json", manifest)
+        assert read_manifest(path) == manifest
+
+    def test_non_object_manifest_is_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError):
+            read_manifest(path)
+
+    def test_embedded_in_run_jsonl(self, tmp_path):
+        OBS.reset()
+        OBS.enable()
+        try:
+            with OBS.span("work"):
+                pass
+            manifest = build_manifest(seed=5, command="exhibit")
+            path = OBS.write_run(tmp_path / "run.jsonl", manifest=manifest)
+        finally:
+            OBS.disable()
+            OBS.reset()
+        run = load_run(path)
+        assert run.manifest is not None
+        assert run.manifest["seed"] == 5
+        assert run.manifest["command"] == "exhibit"

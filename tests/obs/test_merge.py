@@ -1,0 +1,101 @@
+"""Worker telemetry merges deterministically across worker counts.
+
+``run_sweep`` absorbs worker payloads in submission order, so for a
+fixed worker count the merged run is reproducible, and across worker
+counts the span *structure* (who is whose child) and work-proportional
+counters are identical; only timings and scheduling-dependent tallies
+(memo hits) may differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.executor import run_sweep
+from repro.obs import OBS
+
+_POINTS = [0, 1, 2, 3, 4]
+
+
+def _task(point: int, rng: np.random.Generator) -> float:
+    """Module-level task so pool workers can unpickle it."""
+    with OBS.span("test.work", point=point):
+        OBS.add("test.points")
+        OBS.add("test.rows", 10 * (point + 1))
+    return point * point + float(rng.random())
+
+
+def _sweep_with_telemetry(workers: int):
+    OBS.reset()
+    OBS.enable()
+    try:
+        results = run_sweep(_task, _POINTS, seed=9, workers=workers)
+        spans = OBS.span_records()
+        counters = OBS.counters()
+        gauges = OBS.gauges()
+    finally:
+        OBS.disable()
+        OBS.reset()
+    return results, spans, counters, gauges
+
+
+def _structure(spans):
+    """(name, parent-name, index-attr) triples, in record order."""
+    names = {record["id"]: record["name"] for record in spans}
+    return [
+        (
+            record["name"],
+            names.get(record["parent"]) if record["parent"] is not None else None,
+            record.get("attrs", {}).get("index"),
+        )
+        for record in spans
+    ]
+
+
+class TestDeterministicMerge:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_results_match_the_serial_sweep(self, workers):
+        baseline = run_sweep(_task, _POINTS, seed=9, workers=1)
+        results, _, _, _ = _sweep_with_telemetry(workers)
+        assert results == baseline
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_span_structure_matches_the_serial_run(self, workers):
+        _, serial_spans, _, _ = _sweep_with_telemetry(1)
+        _, parallel_spans, _, _ = _sweep_with_telemetry(workers)
+        assert _structure(parallel_spans) == _structure(serial_spans)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_work_proportional_counters_are_invariant(self, workers):
+        _, _, counters, _ = _sweep_with_telemetry(workers)
+        assert counters["test.points"] == len(_POINTS)
+        assert counters["test.rows"] == sum(10 * (p + 1) for p in _POINTS)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_realized_worker_gauge(self, workers):
+        _, _, _, gauges = _sweep_with_telemetry(workers)
+        expected = 1 if workers == 1 else min(workers, len(_POINTS))
+        assert gauges["sweep.realized_workers"] == expected
+
+    def test_every_point_is_rooted_under_sweep_run(self):
+        _, spans, _, _ = _sweep_with_telemetry(4)
+        structure = _structure(spans)
+        points = [entry for entry in structure if entry[0] == "sweep.point"]
+        assert len(points) == len(_POINTS)
+        assert all(parent == "sweep.run" for _, parent, _ in points)
+        assert [index for _, _, index in points] == _POINTS
+        leaves = [entry for entry in structure if entry[0] == "test.work"]
+        assert all(parent == "sweep.point" for _, parent, _ in leaves)
+
+    def test_repeated_runs_are_identical(self):
+        _, first, counters_a, _ = _sweep_with_telemetry(2)
+        _, second, counters_b, _ = _sweep_with_telemetry(2)
+        assert _structure(first) == _structure(second)
+        assert counters_a == counters_b
+
+    def test_disabled_parallel_sweep_records_nothing(self):
+        OBS.reset()
+        results = run_sweep(_task, _POINTS, seed=9, workers=2)
+        assert OBS.is_empty
+        assert results == run_sweep(_task, _POINTS, seed=9, workers=1)

@@ -1,0 +1,182 @@
+"""Recorder semantics: spans, counters, gauges, drain/absorb, JSONL."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import OBS, Telemetry, env_enabled
+from repro.obs.recorder import _NOOP_SPAN
+
+
+class TestDisabledRecorder:
+    def test_span_returns_the_shared_noop(self):
+        recorder = Telemetry(enabled=False)
+        assert recorder.span("anything") is _NOOP_SPAN
+        assert recorder.span("other", key=1) is _NOOP_SPAN
+
+    def test_noop_span_has_no_identity(self):
+        with Telemetry(enabled=False).span("x") as span:
+            assert span.id is None
+            assert span.attrs == {}
+
+    def test_nothing_is_recorded(self):
+        recorder = Telemetry(enabled=False)
+        with recorder.span("a"):
+            recorder.add("hits")
+            recorder.gauge("level", 3.0)
+        assert recorder.is_empty
+
+    def test_env_flag_parsing(self, monkeypatch):
+        for value in ("", "0", "false", "off", "no"):
+            monkeypatch.setenv("REPRO_TELEMETRY", value)
+            assert not env_enabled()
+        for value in ("1", "true", "yes", "on"):
+            monkeypatch.setenv("REPRO_TELEMETRY", value)
+            assert env_enabled()
+        monkeypatch.delenv("REPRO_TELEMETRY")
+        assert not env_enabled()
+
+
+class TestSpans:
+    def test_nesting_assigns_parents(self, obs):
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                assert inner.parent == outer.id
+        records = obs.span_records()
+        by_name = {record["name"]: record for record in records}
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["outer"]["parent"] is None
+
+    def test_children_close_before_parents(self, obs):
+        with obs.span("outer"):
+            with obs.span("first"):
+                pass
+            with obs.span("second"):
+                pass
+        names = [record["name"] for record in obs.span_records()]
+        assert names == ["first", "second", "outer"]
+
+    def test_siblings_keep_record_order(self, obs):
+        for index in range(5):
+            with obs.span("step", index=index):
+                pass
+        indexes = [record["attrs"]["index"] for record in obs.span_records()]
+        assert indexes == [0, 1, 2, 3, 4]
+
+    def test_durations_are_nonnegative_and_nested(self, obs):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        by_name = {record["name"]: record for record in obs.span_records()}
+        assert 0.0 <= by_name["inner"]["dur"] <= by_name["outer"]["dur"]
+        assert by_name["outer"]["t"] <= by_name["inner"]["t"]
+
+    def test_exception_is_recorded_and_propagates(self, obs):
+        with pytest.raises(ReproError):
+            with obs.span("doomed"):
+                raise ReproError("boom")
+        (record,) = obs.span_records()
+        assert record["error"] == "ReproError"
+
+    def test_attrs_travel_with_the_record(self, obs):
+        with obs.span("work", rows=100, scheme="srswor"):
+            pass
+        (record,) = obs.span_records()
+        assert record["attrs"] == {"rows": 100, "scheme": "srswor"}
+
+
+class TestCountersAndGauges:
+    def test_counters_accumulate(self, obs):
+        obs.add("rows", 10)
+        obs.add("rows", 5)
+        obs.add("calls")
+        assert obs.counters() == {"rows": 15, "calls": 1}
+
+    def test_gauges_overwrite(self, obs):
+        obs.gauge("workers", 2)
+        obs.gauge("workers", 4)
+        assert obs.gauges() == {"workers": 4}
+
+
+class TestDrainAndAbsorb:
+    def test_drain_resets_the_buffer(self, obs):
+        with obs.span("a"):
+            obs.add("n")
+        payload = obs.drain()
+        assert obs.is_empty
+        assert [event["name"] for event in payload["events"]] == ["a"]
+        assert payload["counters"] == {"n": 1}
+
+    def test_absorb_remaps_ids_and_reparents_roots(self, obs):
+        worker = Telemetry()
+        worker.begin_capture()
+        with worker.span("point"):
+            with worker.span("leaf"):
+                pass
+        payload = worker.drain()
+
+        with obs.span("sweep") as sweep:
+            pass
+        obs.absorb(payload, parent_id=sweep.id)
+        by_name = {record["name"]: record for record in obs.span_records()}
+        assert by_name["point"]["parent"] == by_name["sweep"]["id"]
+        assert by_name["leaf"]["parent"] == by_name["point"]["id"]
+        ids = [record["id"] for record in obs.span_records()]
+        assert len(ids) == len(set(ids))
+
+    def test_absorb_accumulates_counters(self, obs):
+        worker = Telemetry()
+        worker.begin_capture()
+        worker.add("rows", 7)
+        payload = worker.drain()
+        obs.add("rows", 3)
+        obs.absorb(payload)
+        assert obs.counters() == {"rows": 10}
+
+    def test_two_payloads_keep_unique_ids(self, obs):
+        payloads = []
+        for _ in range(2):
+            worker = Telemetry()
+            worker.begin_capture()
+            with worker.span("point"):
+                pass
+            payloads.append(worker.drain())
+        for payload in payloads:
+            obs.absorb(payload)
+        ids = [record["id"] for record in obs.span_records()]
+        assert len(ids) == len(set(ids))
+
+    def test_begin_capture_clears_inherited_state(self):
+        worker = Telemetry(enabled=True)
+        with worker.span("stale"):
+            worker.add("stale", 1)
+        worker.begin_capture()
+        assert worker.is_empty
+        assert worker.enabled
+
+
+class TestWriteRun:
+    def test_jsonl_layout(self, obs, tmp_path):
+        with obs.span("work"):
+            pass
+        obs.add("b_counter", 2)
+        obs.add("a_counter", 1)
+        obs.gauge("level", 3)
+        path = obs.write_run(tmp_path / "run.jsonl", manifest={"seed": 0})
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {"ev": "manifest", "data": {"seed": 0}}
+        kinds = [line["ev"] for line in lines]
+        assert kinds == ["manifest", "span", "counter", "counter", "gauge"]
+        # Counters serialize in name order for stable diffs.
+        assert [line["name"] for line in lines if line["ev"] == "counter"] == [
+            "a_counter",
+            "b_counter",
+        ]
+
+    def test_creates_parent_directories(self, obs, tmp_path):
+        obs.add("n")
+        path = obs.write_run(tmp_path / "deep" / "run.jsonl")
+        assert path.exists()

@@ -1,0 +1,159 @@
+"""Reading runs back: tree building, self/total time, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs import (
+    Telemetry,
+    attributed_fraction,
+    build_tree,
+    load_run,
+    render_stats,
+    render_trace,
+)
+
+
+def _recorded_run(tmp_path, manifest=None):
+    recorder = Telemetry(enabled=True)
+    with recorder.span("sweep.run", points=2):
+        with recorder.span("sweep.point", index=0):
+            with recorder.span("sample.srswor"):
+                pass
+        with recorder.span("sweep.point", index=1):
+            pass
+    recorder.add("sample.trials", 20)
+    recorder.gauge("sweep.realized_workers", 1)
+    return recorder.write_run(tmp_path / "run.jsonl", manifest=manifest)
+
+
+class TestLoadRun:
+    def test_partitions_record_kinds(self, tmp_path):
+        run = load_run(_recorded_run(tmp_path, manifest={"seed": 3}))
+        assert run.manifest == {"seed": 3}
+        assert [span["name"] for span in run.spans] == [
+            "sample.srswor",
+            "sweep.point",
+            "sweep.point",
+            "sweep.run",
+        ]
+        assert run.counters == {"sample.trials": 20}
+        assert run.gauges == {"sweep.realized_workers": 1}
+
+    def test_missing_file_is_a_repro_error(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="no telemetry run"):
+            load_run(tmp_path / "absent.jsonl")
+
+    def test_bad_json_names_the_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"ev": "counter", "name": "x", "value": 1}\nnot json\n')
+        with pytest.raises(InvalidParameterError, match=":2:"):
+            load_run(path)
+
+    def test_unknown_kind_is_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(json.dumps({"ev": "mystery"}) + "\n")
+        with pytest.raises(InvalidParameterError, match="mystery"):
+            load_run(path)
+
+
+class TestBuildTree:
+    def test_links_children_under_parents(self, tmp_path):
+        run = load_run(_recorded_run(tmp_path))
+        roots = build_tree(run.spans)
+        assert [root.name for root in roots] == ["sweep.run"]
+        (root,) = roots
+        assert [child.name for child in root.children] == [
+            "sweep.point",
+            "sweep.point",
+        ]
+        assert [child.attrs["index"] for child in root.children] == [0, 1]
+        assert root.children[0].children[0].name == "sample.srswor"
+
+    def test_self_time_subtracts_children(self):
+        spans = [
+            {"id": 2, "parent": 1, "name": "child", "t": 0.0, "dur": 3.0},
+            {"id": 1, "parent": None, "name": "root", "t": 0.0, "dur": 10.0},
+        ]
+        (root,) = build_tree(spans)
+        assert root.self_time == 7.0
+        assert root.children[0].self_time == 3.0
+
+    def test_self_time_clamps_on_parallel_overlap(self):
+        spans = [
+            {"id": 2, "parent": 1, "name": "a", "t": 0.0, "dur": 8.0},
+            {"id": 3, "parent": 1, "name": "b", "t": 0.0, "dur": 8.0},
+            {"id": 1, "parent": None, "name": "root", "t": 0.0, "dur": 10.0},
+        ]
+        (root,) = build_tree(spans)
+        assert root.self_time == 0.0
+
+
+class TestAttributedFraction:
+    def test_plain_ratio(self):
+        spans = [
+            {"id": 2, "parent": 1, "name": "child", "t": 0.0, "dur": 9.5},
+            {"id": 1, "parent": None, "name": "root", "t": 0.0, "dur": 10.0},
+        ]
+        (root,) = build_tree(spans)
+        assert attributed_fraction(root) == pytest.approx(0.95)
+
+    def test_caps_at_one_for_overlapping_children(self):
+        spans = [
+            {"id": 2, "parent": 1, "name": "a", "t": 0.0, "dur": 8.0},
+            {"id": 3, "parent": 1, "name": "b", "t": 0.0, "dur": 8.0},
+            {"id": 1, "parent": None, "name": "root", "t": 0.0, "dur": 10.0},
+        ]
+        (root,) = build_tree(spans)
+        assert attributed_fraction(root) == 1.0
+
+
+class TestRenderTrace:
+    def test_shows_tree_and_attribution(self, tmp_path):
+        run = load_run(_recorded_run(tmp_path))
+        text = render_trace(run)
+        assert "sweep.run" in text
+        assert "sample.srswor" in text
+        assert "attributed to child spans" in text
+        header = text.splitlines()[0]
+        assert "total" in header and "self" in header
+
+    def test_min_fraction_hides_small_spans(self):
+        spans = [
+            {"id": 2, "parent": 1, "name": "tiny", "t": 0.0, "dur": 0.001},
+            {"id": 3, "parent": 1, "name": "big", "t": 0.0, "dur": 9.0},
+            {"id": 1, "parent": None, "name": "root", "t": 0.0, "dur": 10.0},
+        ]
+        from repro.obs import RunData
+
+        run = RunData(manifest=None, spans=spans, counters={}, gauges={})
+        text = render_trace(run, min_fraction=0.05)
+        assert "big" in text
+        assert "tiny" not in text
+
+    def test_empty_run(self):
+        from repro.obs import RunData
+
+        run = RunData(manifest=None, spans=[], counters={}, gauges={})
+        assert render_trace(run) == "(no spans recorded)"
+
+
+class TestRenderStats:
+    def test_shows_counters_gauges_spans_manifest(self, tmp_path):
+        manifest = {"command": "exhibit", "seed": 3, "knobs": {"REPRO_SCALE": "2"}}
+        run = load_run(_recorded_run(tmp_path, manifest=manifest))
+        text = render_stats(run)
+        assert "sample.trials" in text
+        assert "sweep.realized_workers" in text
+        assert "n=2" in text  # two sweep.point spans aggregate
+        assert "command: exhibit" in text
+        assert "knob REPRO_SCALE=2" in text
+
+    def test_empty_run(self):
+        from repro.obs import RunData
+
+        run = RunData(manifest=None, spans=[], counters={}, gauges={})
+        assert render_stats(run) == "(empty run)"

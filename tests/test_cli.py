@@ -222,3 +222,160 @@ class TestSqlCommand:
     def test_bad_load_spec(self, capsys):
         assert main(["sql", "SELECT COUNT(DISTINCT c) FROM t", "--load", "oops"]) == 2
         assert "name=path" in capsys.readouterr().err
+
+
+class TestTraceAndStats:
+    def _run_file(self, tmp_path):
+        import json
+
+        records = [
+            {
+                "ev": "manifest",
+                "data": {
+                    "command": "exhibit",
+                    "seed": 3,
+                    "knobs": {"REPRO_SCALE": "2"},
+                },
+            },
+            {
+                "ev": "span",
+                "id": 2,
+                "parent": 1,
+                "name": "sample.srswor",
+                "t": 0.0,
+                "dur": 0.25,
+                "attrs": {"trials": 10},
+            },
+            {
+                "ev": "span",
+                "id": 1,
+                "parent": None,
+                "name": "sweep.run",
+                "t": 0.0,
+                "dur": 1.0,
+            },
+            {"ev": "counter", "name": "sample.trials", "value": 10},
+            {"ev": "gauge", "name": "sweep.realized_workers", "value": 2},
+        ]
+        path = tmp_path / "run.jsonl"
+        path.write_text("\n".join(json.dumps(record) for record in records) + "\n")
+        return path
+
+    def test_trace_renders_the_span_tree(self, tmp_path, capsys):
+        assert main(["trace", str(self._run_file(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "sweep.run" in out
+        assert "sample.srswor" in out
+        assert "trials=10" in out
+        assert "(25.0% of sweep.run attributed to child spans)" in out
+
+    def test_trace_min_fraction_filters(self, tmp_path, capsys):
+        path = self._run_file(tmp_path)
+        assert main(["trace", str(path), "--min-fraction", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep.run" in out
+        assert "sample.srswor" not in out
+
+    def test_stats_renders_counters_and_manifest(self, tmp_path, capsys):
+        assert main(["stats", str(self._run_file(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "sample.trials" in out
+        assert "sweep.realized_workers" in out
+        assert "command: exhibit" in out
+        assert "knob REPRO_SCALE=2" in out
+
+    def test_trace_missing_file_is_clean_error(self, capsys):
+        assert main(["trace", "/no/such/run.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_bad_json_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        path.write_text("not json\n")
+        assert main(["stats", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLogLevelFlag:
+    def test_invalid_level_is_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "loud", "list-estimators"])
+
+    def test_error_path_routes_through_the_logger(self, capsys):
+        assert main(["--log-level", "error", "estimate", "/no/such/file.npy"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_verbose_flag_counts(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["-vv", "list-estimators"])
+        assert args.verbose == 2
+        assert args.log_level == "warning"
+
+
+class TestTelemetryFlush:
+    def _flush_run(self, tmp_path, monkeypatch, argv):
+        from repro.obs import OBS
+
+        tdir = tmp_path / "telemetry"
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tdir))
+        OBS.reset()
+        OBS.enable()
+        try:
+            assert main(argv) == 0
+        finally:
+            OBS.disable()
+            OBS.reset()
+        return tdir
+
+    def test_run_and_manifest_written(self, tmp_path, capsys, monkeypatch):
+        out = tmp_path / "col.npy"
+        tdir = self._flush_run(
+            tmp_path,
+            monkeypatch,
+            ["-v", "generate", "--rows", "1000", "--z", "1", "--out", str(out)],
+        )
+        assert (tdir / "generate.jsonl").exists()
+        assert "telemetry run written" in capsys.readouterr().err
+
+        from repro.obs import read_manifest
+
+        manifest = read_manifest(tdir / "generate.manifest.json")
+        assert manifest["command"] == "generate"
+        assert manifest["seed"] == 0
+        assert manifest["knobs"]["REPRO_TELEMETRY"] == "1"
+
+        assert main(["trace", str(tdir / "generate.jsonl")]) == 0
+        assert "data.zipf_column" in capsys.readouterr().out
+
+    def test_flush_note_hidden_without_verbose(self, tmp_path, capsys, monkeypatch):
+        out = tmp_path / "col.npy"
+        self._flush_run(
+            tmp_path,
+            monkeypatch,
+            ["generate", "--rows", "1000", "--z", "1", "--out", str(out)],
+        )
+        assert "telemetry run written" not in capsys.readouterr().err
+
+    def test_nothing_written_when_disabled(self, tmp_path, capsys, monkeypatch):
+        tdir = tmp_path / "telemetry"
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tdir))
+        out = tmp_path / "col.npy"
+        assert (
+            main(["generate", "--rows", "1000", "--z", "1", "--out", str(out)]) == 0
+        )
+        assert not tdir.exists()
+
+
+class TestReportManifest:
+    def test_report_writes_a_manifest(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "100")
+        monkeypatch.setenv("REPRO_TRIALS", "2")
+        out = tmp_path / "report"
+        assert main(["report", "--out", str(out), "--only", "theorem1"]) == 0
+
+        from repro.obs import read_manifest
+
+        manifest = read_manifest(out / "manifest.json")
+        assert manifest["command"] == "report"
+        assert manifest["exhibits"] == ["theorem1"]
