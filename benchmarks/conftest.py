@@ -34,6 +34,7 @@ import pytest
 from repro.experiments import config, run_experiment
 from repro.experiments.report import SeriesTable
 from repro.obs import OBS
+from repro.resilience import atomic_write
 
 # Wall-time registries for the BENCH_perf.json report.  ``_EXHIBIT_TIMES``
 # holds the experiment compute alone (timed inside run_exhibit, excluding
@@ -157,5 +158,4 @@ def pytest_sessionfinish(session, exitstatus):
     telemetry = _telemetry_totals()
     if telemetry is not None:
         report["telemetry"] = telemetry
-    path = _perf_report_path()
-    path.write_text(json.dumps(report, indent=2) + "\n")
+    atomic_write(_perf_report_path(), json.dumps(report, indent=2) + "\n")

@@ -4,8 +4,9 @@ Importing this package registers every built-in rule.  Rule modules are
 grouped by concern: numeric safety (R1xx/R2xx), RNG discipline (R3xx),
 estimator purity (R4xx), registry completeness (R5xx), public-API
 drift (R6xx), analyzer hygiene (R7xx: stale suppressions,
-provably-violated contracts), and logging hygiene (R8xx: no print or
-root-logger calls in library code).
+provably-violated contracts), logging hygiene (R8xx: no print or
+root-logger calls in library code), and exception hygiene (R9xx: no
+bare or silently-swallowed exception handlers).
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ from repro.analysis.rules.base import (
 
 # Importing for side effect: each module registers its rules.
 from repro.analysis.rules import contracts as _contracts
+from repro.analysis.rules import exceptions as _exceptions
 from repro.analysis.rules import exports as _exports
 from repro.analysis.rules import flow as _flow
 from repro.analysis.rules import logging_hygiene as _logging_hygiene
@@ -41,6 +43,7 @@ __all__ = [
 
 del (
     _contracts,
+    _exceptions,
     _exports,
     _flow,
     _logging_hygiene,

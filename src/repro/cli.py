@@ -22,6 +22,11 @@ Commands
 ``report``
     Regenerate every paper exhibit into a directory (rendered text plus
     one CSV per exhibit).
+``sweep``
+    Run one exhibit as a crash-safe supervised sweep: every completed
+    grid point is checkpointed to a journal, so a killed run can be
+    resumed with ``--resume`` and produces the byte-identical CSV the
+    uninterrupted run would have (see ``docs/robustness.md``).
 ``sql``
     Run a micro-SQL statement (``SELECT COUNT(DISTINCT c) FROM t
     [SAMPLE p%] [USING est] [WHERE ...]``) against CSV tables loaded
@@ -55,6 +60,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from pathlib import Path
 
@@ -67,7 +73,7 @@ from repro.core import (
     minimum_sample_size_for_error,
 )
 from repro.data import zipf_column
-from repro.errors import ReproError
+from repro.errors import InvalidParameterError, ReproError, SweepGapError
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.sampling import UniformWithoutReplacement
 
@@ -116,7 +122,11 @@ def _finalize_telemetry(args: argparse.Namespace) -> None:
     if not OBS.enabled or OBS.is_empty:
         return
     command = args.command or "run"
-    manifest = build_manifest(seed=getattr(args, "seed", None), command=command)
+    manifest = build_manifest(
+        seed=getattr(args, "seed", None),
+        command=command,
+        extra=getattr(args, "_telemetry_extra", None),
+    )
     out_dir = telemetry_dir()
     run_path = OBS.write_run(out_dir / f"{command}.jsonl", manifest=manifest)
     write_manifest(out_dir / f"{command}.manifest.json", manifest)
@@ -130,13 +140,23 @@ def _load_column(path: str, csv_column: str | None = None) -> np.ndarray:
     return load_column(path, column=csv_column).values
 
 
-def _save_column(values: np.ndarray, path: str) -> None:
-    file_path = Path(path)
-    if file_path.suffix == ".npy":
-        np.save(file_path, values)
-    else:
-        with open(file_path, "w") as handle:
-            handle.writelines(f"{value}\n" for value in values)
+# -- argument validation ------------------------------------------------
+# argparse only checks types; value ranges are checked here so a bad
+# ``--rows -5`` exits 2 with one logged line instead of a numpy traceback
+# from deep inside a generator.
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvalidParameterError(message)
+
+
+def _validate_seed(seed: int) -> None:
+    _require(seed >= 0, f"--seed must be >= 0, got {seed}")
+
+
+def _validate_gamma(gamma: float) -> None:
+    _require(0.0 < gamma < 1.0, f"--gamma must be in (0, 1), got {gamma:g}")
 
 
 def _cmd_list_estimators(_args: argparse.Namespace) -> int:
@@ -146,11 +166,19 @@ def _cmd_list_estimators(_args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data.io import save_column
+
+    _require(args.rows >= 1, f"--rows must be >= 1, got {args.rows}")
+    _require(args.z >= 0, f"--z must be >= 0, got {args.z:g}")
+    _require(
+        args.duplication >= 1, f"--duplication must be >= 1, got {args.duplication}"
+    )
+    _validate_seed(args.seed)
     rng = np.random.default_rng(args.seed)
     column = zipf_column(
         args.rows, z=args.z, duplication=args.duplication, rng=rng
     )
-    _save_column(column.values, args.out)
+    save_column(column.values, args.out)
     print(
         f"wrote {column.n_rows:,} rows, {column.distinct_count:,} distinct "
         f"values to {args.out}"
@@ -159,6 +187,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
+    _require(
+        0.0 < args.fraction <= 1.0,
+        f"--fraction must be in (0, 1], got {args.fraction:g}",
+    )
+    _validate_seed(args.seed)
     values = _load_column(args.column, csv_column=args.csv_column)
     rng = np.random.default_rng(args.seed)
     sampler = UniformWithoutReplacement()
@@ -184,17 +217,75 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _cmd_exhibit(args: argparse.Namespace) -> int:
+    _validate_seed(args.seed)
     table = run_experiment(args.id, seed=args.seed)
     if args.csv:
-        Path(args.csv).write_text(table.to_csv())
+        table.write_csv(args.csv)
         print(f"wrote {args.csv}")
     else:
         print(table.render())
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import config
+    from repro.experiments.executor import sweep_context
+    from repro.resilience import RetryPolicy
+
+    _validate_seed(args.seed)
+    _require(args.retries >= 0, f"--retries must be >= 0, got {args.retries}")
+    if args.timeout is not None:
+        _require(args.timeout > 0, f"--timeout must be positive, got {args.timeout:g}")
+    # Resumable sweeps need worker-count-invariant per-point streams; the
+    # legacy protocol threads one generator through the whole sweep and
+    # cannot skip completed points bit-identically.
+    if config.seed_mode() == "legacy":
+        raise InvalidParameterError(
+            "repro sweep requires spawned seeding; unset REPRO_SEED_MODE=legacy"
+        )
+    os.environ["REPRO_SEED_MODE"] = "spawn"
+    journal_path = Path(args.journal or f"sweeps/{args.id}.journal.jsonl")
+    policy = RetryPolicy(retries=args.retries, timeout=args.timeout)
+    args._telemetry_extra = {
+        "exhibit": args.id,
+        "journal": str(journal_path),
+        "resumed": bool(args.resume),
+    }
+    try:
+        with sweep_context(journal=journal_path, resume=args.resume, policy=policy):
+            table = run_experiment(args.id, seed=args.seed)
+    except SweepGapError as error:
+        _log.error("sweep incomplete: %s", error)
+        _log.error(
+            "completed points remain journaled in %s; re-run with --resume "
+            "to fill only the gaps",
+            journal_path,
+        )
+        return 1
+    if args.csv:
+        table.write_csv(args.csv)
+        print(f"wrote {args.csv}")
+    else:
+        print(table.render())
+    if not args.keep_journal:
+        journal_path.unlink(missing_ok=True)
+        _log.info("sweep complete; removed journal %s", journal_path)
+    return 0
+
+
 def _cmd_bound(args: argparse.Namespace) -> int:
+    _require(args.rows >= 1, f"--rows must be >= 1, got {args.rows}")
+    _validate_gamma(args.gamma)
+    if args.sample_size is not None:
+        _require(
+            1 <= args.sample_size <= args.rows,
+            f"--sample-size must be in [1, --rows], got {args.sample_size}",
+        )
     if args.target_error is not None:
+        _require(
+            args.target_error >= 1.0,
+            f"--target-error is a ratio error >= 1, got {args.target_error:g}",
+        )
         needed = minimum_sample_size_for_error(
             args.rows, args.target_error, gamma=args.gamma
         )
@@ -218,6 +309,12 @@ def _cmd_bound(args: argparse.Namespace) -> int:
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.core.planner import plan_sample_size
 
+    _require(args.rows >= 1, f"--rows must be >= 1, got {args.rows}")
+    _require(
+        args.target_error >= 1.0,
+        f"--target-error is a ratio error >= 1, got {args.target_error:g}",
+    )
+    _validate_gamma(args.gamma)
     plan = plan_sample_size(args.rows, args.target_error, gamma=args.gamma)
     print(
         f"target ratio error {plan.target_error:g} on a {plan.population_size:,}-row "
@@ -237,18 +334,21 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.resilience import atomic_write
+
+    _validate_seed(args.seed)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     exhibits = args.only if args.only else sorted(EXPERIMENTS)
     summary_lines = []
     for exhibit_id in exhibits:
         table = run_experiment(exhibit_id, seed=args.seed)
-        (out_dir / f"{exhibit_id}.csv").write_text(table.to_csv())
+        table.write_csv(out_dir / f"{exhibit_id}.csv")
         rendered = table.render()
-        (out_dir / f"{exhibit_id}.txt").write_text(rendered)
+        atomic_write(out_dir / f"{exhibit_id}.txt", rendered)
         summary_lines.append(f"### {exhibit_id}\n{rendered}")
         print(f"wrote {exhibit_id} ({table.title})")
-    (out_dir / "REPORT.txt").write_text("\n".join(summary_lines))
+    atomic_write(out_dir / "REPORT.txt", "\n".join(summary_lines))
     from repro.obs import build_manifest, write_manifest
 
     write_manifest(
@@ -410,6 +510,40 @@ def build_parser() -> argparse.ArgumentParser:
     exhibit.add_argument("--seed", type=int, default=0)
     exhibit.add_argument("--csv", help="write CSV here instead of printing")
     exhibit.set_defaults(func=_cmd_exhibit)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an exhibit as a crash-safe, resumable supervised sweep",
+    )
+    sweep.add_argument("id", choices=sorted(EXPERIMENTS))
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--csv", help="write CSV here instead of printing")
+    sweep.add_argument(
+        "--journal",
+        help="checkpoint journal path (default: sweeps/<id>.journal.jsonl)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip grid points already checkpointed in the journal",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per grid point after a failure (default: 2)",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        help="progress timeout in seconds; hung workers are replaced",
+    )
+    sweep.add_argument(
+        "--keep-journal",
+        action="store_true",
+        help="keep the journal after a fully successful sweep",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     bound = sub.add_parser("bound", help="Theorem 1 lower-bound calculator")
     bound.add_argument("--rows", type=int, required=True)

@@ -1,22 +1,26 @@
-"""Loading real columns from disk (CSV / text / ``.npy``).
+"""Loading and saving columns on disk (CSV / text / ``.npy``).
 
 A downstream user's data lives in files, not generators.  These loaders
 return :class:`~repro.data.Column` objects ready for the samplers and
 estimators; values parse as integers when possible, floats next, and
 fall back to strings (which every sampler and the hashing layer accept).
+Writes go through :func:`save_column`, which is atomic — an interrupted
+``repro generate`` never leaves a truncated column file behind.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 from pathlib import Path
 
 import numpy as np
 
 from repro.data.column import Column
 from repro.errors import DataGenerationError
+from repro.resilience.atomic import atomic_write
 
-__all__ = ["load_column", "load_csv_column", "load_csv_table"]
+__all__ = ["load_column", "load_csv_column", "load_csv_table", "save_column"]
 
 
 def _parse_values(raw: list[str]) -> np.ndarray:
@@ -69,6 +73,23 @@ def load_csv_table(path, name: str | None = None) -> dict[str, np.ndarray]:
     if not next(iter(raw.values()), []):
         raise DataGenerationError(f"{path} has no data rows")
     return {field: _parse_values(values) for field, values in raw.items()}
+
+
+def save_column(values: np.ndarray, path) -> Path:
+    """Write a value array to ``.npy`` (by suffix) or one-per-line text.
+
+    The inverse of :func:`load_column` for the two self-describing
+    formats.  The write is atomic: the payload is serialized in memory
+    and lands via write-temp-then-rename, so a killed ``repro generate``
+    leaves either the previous file or the complete new one.
+    """
+    file_path = Path(path)
+    if file_path.suffix == ".npy":
+        buffer = io.BytesIO()
+        np.save(buffer, values)
+        return atomic_write(file_path, buffer.getvalue())
+    text = "".join(f"{value}\n" for value in values)
+    return atomic_write(file_path, text)
 
 
 def load_column(path, column: str | None = None, name: str | None = None) -> Column:

@@ -15,6 +15,9 @@ __all__ = [
     "SolverError",
     "CatalogError",
     "DataGenerationError",
+    "ResilienceError",
+    "InjectedFaultError",
+    "SweepGapError",
 ]
 
 
@@ -44,3 +47,24 @@ class CatalogError(ReproError, KeyError):
 
 class DataGenerationError(ReproError, ValueError):
     """A synthetic data generator was configured inconsistently."""
+
+
+class ResilienceError(ReproError):
+    """A checkpoint journal or recovery operation could not proceed."""
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic fault fired at an instrumented site (``REPRO_FAULTS``)."""
+
+
+class SweepGapError(ResilienceError):
+    """A supervised sweep exhausted its retry budget on one or more points.
+
+    Carries the :class:`~repro.resilience.supervisor.PartialSweepResult`
+    (as ``partial``) so callers can inspect the completed prefix and the
+    exact missing grid points instead of losing the run.
+    """
+
+    def __init__(self, message: str, partial: object = None) -> None:
+        super().__init__(message)
+        self.partial = partial

@@ -20,6 +20,15 @@ Two more select the sweep execution engine (see ``docs/performance.md``):
 * ``REPRO_SEED_MODE`` — ``auto`` (default; spawned per-point seeds iff
   more than one worker), ``legacy`` (the original sequential shared
   generator, always), or ``spawn`` (per-point seeds even on one worker).
+
+The resilience layer adds four more (read by
+:mod:`repro.resilience`, documented in ``docs/robustness.md``):
+
+* ``REPRO_RETRIES`` / ``REPRO_TASK_TIMEOUT`` — retry budget and
+  progress timeout for supervised sweeps (either one being set makes
+  every sweep supervised);
+* ``REPRO_FAULTS`` / ``REPRO_FAULT_SEED`` — deterministic fault
+  injection spec and its seed (chaos testing only).
 """
 
 from __future__ import annotations

@@ -11,8 +11,10 @@ from __future__ import annotations
 import io
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.errors import InvalidParameterError
+from repro.resilience.atomic import atomic_write
 
 __all__ = ["SeriesTable", "format_value"]
 
@@ -96,6 +98,14 @@ class SeriesTable:
             cells = [str(x)] + [repr(self.series[name][i]) for name in names]
             lines.append(",".join(cells))
         return "\n".join(lines) + "\n"
+
+    def write_csv(self, path: str | Path) -> Path:
+        """Write :meth:`to_csv` to ``path`` atomically (temp-then-rename)."""
+        return atomic_write(path, self.to_csv())
+
+    def write_text(self, path: str | Path, precision: int = 3) -> Path:
+        """Write :meth:`render` to ``path`` atomically (temp-then-rename)."""
+        return atomic_write(path, self.render(precision))
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.render()

@@ -22,6 +22,8 @@ import time
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.resilience.atomic import atomic_write
+
 __all__ = [
     "MANIFEST_SCHEMA",
     "build_manifest",
@@ -73,7 +75,7 @@ def build_manifest(
         import numpy
 
         numpy_version = numpy.__version__
-    except Exception:  # pragma: no cover - numpy is a hard dependency
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
         numpy_version = None
     manifest: dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
@@ -87,6 +89,12 @@ def build_manifest(
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "numpy": numpy_version,
+        "resilience": {
+            "faults": os.environ.get("REPRO_FAULTS") or None,
+            "fault_seed": os.environ.get("REPRO_FAULT_SEED") or None,
+            "retries": os.environ.get("REPRO_RETRIES") or None,
+            "task_timeout": os.environ.get("REPRO_TASK_TIMEOUT") or None,
+        },
     }
     if extra:
         manifest.update(extra)
@@ -94,11 +102,10 @@ def build_manifest(
 
 
 def write_manifest(path: str | Path, manifest: Mapping[str, Any]) -> Path:
-    """Write a manifest as pretty-printed JSON, creating parent dirs."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(dict(manifest), indent=2, sort_keys=True) + "\n")
-    return target
+    """Write a manifest as pretty-printed JSON, atomically."""
+    return atomic_write(
+        path, json.dumps(dict(manifest), indent=2, sort_keys=True) + "\n"
+    )
 
 
 def read_manifest(path: str | Path) -> dict[str, Any]:

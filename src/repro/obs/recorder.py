@@ -278,13 +278,20 @@ class Telemetry:
     def write_run(
         self, path: str | Path, manifest: Mapping[str, Any] | None = None
     ) -> Path:
-        """Write the buffered run as JSON Lines, creating parent dirs."""
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        with open(target, "w", encoding="utf-8") as handle:
-            for record in self.records(manifest=manifest):
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-        return target
+        """Write the buffered run as JSON Lines, atomically.
+
+        The whole run goes through write-temp-then-rename, so a killed
+        flush leaves the previous run file (or nothing), never a torn
+        JSONL.  Imported lazily: this module must stay importable from
+        every layer before the rest of the package initializes.
+        """
+        from repro.resilience.atomic import atomic_write
+
+        lines = "".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in self.records(manifest=manifest)
+        )
+        return atomic_write(path, lines)
 
 
 #: The process-wide recorder.  Enabled at import when ``REPRO_TELEMETRY``

@@ -1,0 +1,65 @@
+"""Atomic file writes: an interrupt never leaves a truncated artifact.
+
+Every final artifact the project produces — exhibit CSVs, rendered
+reports, ``BENCH_perf.json``, telemetry JSONL runs, manifests, generated
+columns — is written through :func:`atomic_write`: the payload goes to a
+temporary file in the *same directory*, is flushed and fsync'd, and is
+then moved over the destination with :func:`os.replace`, which POSIX
+guarantees to be atomic within a filesystem.  A reader (or a resumed
+run) therefore sees either the complete old artifact or the complete new
+one, never a torn prefix.
+
+The append-only checkpoint journal is the one artifact deliberately
+*not* written this way (rewriting the whole file per record would defeat
+its purpose); it instead fsyncs per appended line and tolerates a torn
+tail on recovery — see :mod:`repro.resilience.journal`.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write"]
+
+_log = logging.getLogger(__name__)
+
+
+def atomic_write(
+    path: str | Path,
+    data: str | bytes,
+    *,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+) -> Path:
+    """Write ``data`` to ``path`` via write-temp-then-rename.
+
+    Parent directories are created as needed.  The temporary file lives
+    next to the destination (``os.replace`` must not cross filesystems)
+    and is removed on any failure, so interrupted writes leave the
+    previous artifact intact and no debris behind.  ``fsync=False`` skips
+    the durability sync for callers that only need atomicity (tests,
+    scratch output).
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = data.encode(encoding) if isinstance(data, str) else data
+    descriptor, temp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            _log.debug("could not remove temp file %s", temp_name)
+        raise
+    return target

@@ -1,0 +1,65 @@
+"""R901 fixture: four exception-hygiene violations, four clean patterns."""
+
+import logging
+
+_log = logging.getLogger(__name__)
+
+
+def bad_bare_except(profile):
+    try:
+        return profile.estimate()
+    except:  # noqa: E722 - the violation under test
+        return None
+
+
+def bad_swallowed_exception(values):
+    try:
+        return sum(values)
+    except Exception:
+        pass
+
+
+def bad_swallowed_base_exception(handle):
+    try:
+        handle.close()
+    except BaseException:
+        return False
+
+
+def bad_swallowed_in_tuple(path):
+    try:
+        return open(path)
+    except (OSError, Exception):
+        return None
+
+
+def good_narrow_handler():
+    try:
+        import numpy
+    except ImportError:
+        numpy = None
+    return numpy
+
+
+def good_logged_broad(task):
+    try:
+        return task()
+    except Exception as exc:
+        _log.warning("task failed: %s", exc)
+        return None
+
+
+def good_reraising_broad(task):
+    try:
+        return task()
+    except Exception as exc:
+        raise RuntimeError("task failed") from exc
+
+
+def good_translating_nested(task):
+    try:
+        return task()
+    except Exception:
+        if task is not None:
+            raise
+        return None

@@ -1,0 +1,78 @@
+"""Per-rule tests for R901 (exception-hygiene)."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_fixture, lint_text
+
+
+class TestExceptionHygiene:
+    def test_flags_the_four_violations(self):
+        findings = lint_fixture("fixture_r901.py", ["R901"])
+        assert [f.line for f in findings] == [11, 18, 25, 32]
+        assert all(f.code == "R901" for f in findings)
+
+    def test_bare_except_message_mentions_interrupts(self):
+        findings = lint_fixture("fixture_r901.py", ["R901"])
+        assert "KeyboardInterrupt" in findings[0].message
+
+    def test_outside_repro_is_out_of_scope(self):
+        findings = lint_fixture(
+            "fixture_r901.py", ["R901"], virtual_path="scripts/tool.py"
+        )
+        assert findings == []
+
+    def test_narrow_handler_is_clean(self):
+        text = (
+            "def f():\n"
+            "    try:\n"
+            "        return g()\n"
+            "    except ValueError:\n"
+            "        return None\n"
+        )
+        assert lint_text(text, ["R901"]) == []
+
+    def test_broad_handler_that_logs_is_clean(self):
+        text = (
+            "import logging\n"
+            "_log = logging.getLogger(__name__)\n"
+            "def f():\n"
+            "    try:\n"
+            "        return g()\n"
+            "    except Exception as exc:\n"
+            "        _log.debug('dropped: %s', exc)\n"
+            "        return None\n"
+        )
+        assert lint_text(text, ["R901"]) == []
+
+    def test_broad_handler_that_reraises_is_clean(self):
+        text = (
+            "def f():\n"
+            "    try:\n"
+            "        return g()\n"
+            "    except Exception:\n"
+            "        raise\n"
+        )
+        assert lint_text(text, ["R901"]) == []
+
+    def test_dotted_broad_spelling_is_caught(self):
+        text = (
+            "import builtins\n"
+            "def f():\n"
+            "    try:\n"
+            "        return g()\n"
+            "    except builtins.Exception:\n"
+            "        return None\n"
+        )
+        findings = lint_text(text, ["R901"])
+        assert len(findings) == 1
+        assert findings[0].line == 5
+
+    def test_suppression_pragma_silences(self):
+        text = (
+            "def f():\n"
+            "    try:\n"
+            "        return g()\n"
+            "    except Exception:  # reprolint: disable=R901 - fault shim\n"
+            "        return None\n"
+        )
+        assert lint_text(text, ["R901"]) == []

@@ -1,0 +1,33 @@
+"""Shared fixtures for the resilience suite.
+
+Fault plans are cached process-wide (workers must inherit them), so
+every test that touches ``REPRO_FAULTS`` must drop the cache afterwards
+— the autouse fixture below guarantees no fault plan leaks into later
+tests regardless of how a test exits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.resilience.faults as faults
+
+
+@pytest.fixture(autouse=True)
+def _reset_fault_plan():
+    faults._PLAN = None
+    yield
+    faults._PLAN = None
+
+
+@pytest.fixture
+def set_faults(monkeypatch):
+    """Install a fault spec for this test and return the parsed plan."""
+
+    def _set(spec: str, seed: int | None = None):
+        monkeypatch.setenv(faults.ENV_FAULTS, spec)
+        if seed is not None:
+            monkeypatch.setenv(faults.ENV_FAULT_SEED, str(seed))
+        return faults.reload_faults()
+
+    return _set

@@ -1,0 +1,57 @@
+"""Tests for the write-temp-then-rename helper."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.resilience import atomic_write
+
+
+def _no_debris(directory) -> bool:
+    return not [name for name in os.listdir(directory) if name.endswith(".tmp")]
+
+
+class TestAtomicWrite:
+    def test_writes_text(self, tmp_path):
+        target = atomic_write(tmp_path / "out.txt", "hello\n")
+        assert target.read_text() == "hello\n"
+        assert _no_debris(tmp_path)
+
+    def test_writes_bytes(self, tmp_path):
+        payload = bytes(range(256))
+        target = atomic_write(tmp_path / "out.bin", payload)
+        assert target.read_bytes() == payload
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = atomic_write(tmp_path / "a" / "b" / "out.txt", "x")
+        assert target.read_text() == "x"
+
+    def test_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write(path, "old")
+        atomic_write(path, "new")
+        assert path.read_text() == "new"
+        assert _no_debris(tmp_path)
+
+    def test_failure_leaves_previous_content_and_no_debris(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "out.txt"
+        atomic_write(path, "precious")
+
+        def explode(fd):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(os, "fsync", explode)
+        with pytest.raises(OSError):
+            atomic_write(path, "torn")
+        monkeypatch.undo()
+        assert path.read_text() == "precious"
+        assert _no_debris(tmp_path)
+
+    def test_fsync_false_still_atomic(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write(path, "quick", fsync=False)
+        assert path.read_text() == "quick"
