@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Compile docs/rules.md from the reprolint rule registry.
+
+The rule explanations live as class attributes next to each rule's
+implementation; this script renders them to Markdown so the reference
+cannot drift from the code.  CI runs ``--check`` to fail when the
+committed file is stale; run without flags to regenerate it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.analysis.explain import rules_markdown  # noqa: E402
+
+_TARGET = _ROOT / "docs" / "rules.md"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if docs/rules.md is out of date instead of writing it",
+    )
+    args = parser.parse_args(argv)
+
+    content = rules_markdown()
+    if args.check:
+        current = _TARGET.read_text() if _TARGET.exists() else ""
+        if current != content:
+            print(
+                "docs/rules.md is stale; run "
+                "`python scripts/generate_rules_doc.py` and commit the result",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{_TARGET.relative_to(_ROOT)} is up to date")
+        return 0
+    _TARGET.write_text(content)
+    print(f"wrote {_TARGET.relative_to(_ROOT)} ({len(content.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

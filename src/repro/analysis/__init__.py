@@ -12,20 +12,26 @@ The subsystem is a small AST-based rule framework with an
 intraprocedural dataflow engine behind the numeric rules:
 
 * :mod:`repro.analysis.rules` — the rule base classes, registry, and the
-  project rules (codes ``R101`` … ``R702``);
+  project rules (codes ``R101`` … ``R1201``);
 * :mod:`repro.analysis.dataflow` — CFG construction and sign/interval
-  abstract interpretation; lets ``R101``/``R102`` *prove* denominators
-  nonzero and ``log``/``sqrt`` arguments in-domain instead of relying on
-  suppression pragmas, and discharges ``repro.contracts`` clauses;
+  abstract interpretation (lets ``R101``/``R102`` *prove* denominators
+  nonzero and ``log``/``sqrt`` arguments in-domain, and discharges
+  ``repro.contracts`` clauses), plus the nondeterminism-taint lattice
+  and its interprocedural fixpoint behind ``R1001``/``R1002``;
 * :mod:`repro.analysis.effects` / :mod:`repro.analysis.callgraph` — RNG
-  and purity effect summaries plus a project-wide call graph, powering
-  the transitive rules ``R302``/``R402``;
+  and purity effect summaries, nondeterminism-source classification,
+  artifact-write and global-mutation evidence, plus a project-wide call
+  graph, powering the transitive rules ``R302``/``R402`` and the
+  determinism/process-safety family ``R1001``–``R1201``;
 * :mod:`repro.analysis.source` — parsed source modules and
   ``# reprolint: disable=CODE`` suppression handling;
 * :mod:`repro.analysis.runner` — file collection and rule execution;
 * :mod:`repro.analysis.reporters` — text, JSON, and SARIF output plus
   the ``--prove`` contract-verdict table;
-* :mod:`repro.analysis.baseline` — explicit baselines for accepted debt.
+* :mod:`repro.analysis.baseline` — explicit baselines for accepted debt;
+* :mod:`repro.analysis.explain` — per-rule rationale/example/remediation
+  rendering (``repro lint --explain``) and the ``docs/rules.md``
+  compiler.
 
 Run it as ``repro lint [paths]`` (alias: ``python -m repro lint``); the
 exit status is nonzero whenever unsuppressed, unbaselined findings
@@ -33,6 +39,7 @@ remain, so the command gates CI and the tier-1 test suite.
 """
 
 from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.explain import explain_all, explain_rule, rules_markdown
 from repro.analysis.findings import Finding
 from repro.analysis.reporters import (
     render_json,
@@ -49,8 +56,11 @@ __all__ = [
     "LintReport",
     "SourceModule",
     "all_rules",
+    "explain_all",
+    "explain_rule",
     "get_rule",
     "lint_paths",
+    "rules_markdown",
     "load_baseline",
     "write_baseline",
     "render_json",

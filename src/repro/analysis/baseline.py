@@ -21,6 +21,7 @@ import os
 
 from repro.analysis.runner import LintReport
 from repro.errors import InvalidParameterError
+from repro.resilience import atomic_write
 
 __all__ = ["load_baseline", "write_baseline", "baseline_from_report"]
 
@@ -71,10 +72,12 @@ def baseline_from_report(report: LintReport) -> dict[str, int]:
 
 
 def write_baseline(path: str, report: LintReport) -> int:
-    """Write the report's findings as a baseline; return the entry count."""
+    """Write the report's findings as a baseline; return the entry count.
+
+    The write is atomic — a lint run killed mid-write must not leave a
+    torn baseline that silently admits (or re-reports) findings.
+    """
     entries = baseline_from_report(report)
     payload = {"version": _BASELINE_VERSION, "entries": entries}
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return len(entries)

@@ -32,7 +32,14 @@ from typing import Iterable, Sequence
 from repro.analysis.effects import FunctionEffects, module_effects
 from repro.analysis.source import SourceModule
 
-__all__ = ["CallGraphNode", "ProjectCallGraph", "build_callgraph", "module_name"]
+__all__ = [
+    "CallGraphNode",
+    "CallSiteResolver",
+    "ProjectCallGraph",
+    "build_callgraph",
+    "cached_callgraph",
+    "module_name",
+]
 
 #: Top-level package the graph resolves into; calls outside it are ignored.
 _ROOT_PACKAGE = "repro"
@@ -209,6 +216,55 @@ def build_callgraph(modules: Sequence[SourceModule]) -> ProjectCallGraph:
                 if target is not None:
                     resolved.add(target)
     return graph
+
+
+def cached_callgraph(
+    modules: Sequence[SourceModule], context: object | None = None
+) -> ProjectCallGraph:
+    """The call graph for ``modules``, memoized on the project context.
+
+    Several project rules (R302/R402/R1001/R1002/R1101) each need the
+    graph for the same scanned tree within one lint run; the shared
+    :class:`~repro.analysis.project.ProjectContext` instance outlives
+    them all, so it carries the cache.  Without a context this is just
+    :func:`build_callgraph`.
+    """
+    if context is None:
+        return build_callgraph(modules)
+    token = tuple(id(module) for module in modules)
+    cached = getattr(context, "_callgraph_cache", None)
+    if cached is not None and cached[0] == token:
+        graph: ProjectCallGraph = cached[1]
+        return graph
+    graph = build_callgraph(modules)
+    setattr(context, "_callgraph_cache", (token, graph))
+    return graph
+
+
+class CallSiteResolver:
+    """Resolve textual call keys of one module into graph node keys.
+
+    The graph's edges only say *that* a function calls a target; the
+    taint engine needs to resolve *individual call expressions* while
+    walking a body.  This wraps the same resolution tables the graph
+    builder used (import map, in-module bases), so both agree exactly
+    on what resolves.
+    """
+
+    def __init__(self, graph: ProjectCallGraph, module: SourceModule) -> None:
+        self._modname = module_name(module.path)
+        self._imports = _import_map(
+            module.tree, _package_of(self._modname, module)
+        )
+        self._bases = _in_module_bases(module.tree)
+        self._nodes = graph.nodes
+
+    def resolve(self, call: str, caller_qualname: str = "") -> str | None:
+        """Graph key for a textual call target, or None if unresolved."""
+        return _resolve_call(
+            call, self._modname, caller_qualname, self._imports,
+            self._bases, self._nodes,
+        )
 
 
 def _package_of(modname: str, module: SourceModule) -> str:

@@ -10,7 +10,7 @@ pseudo-variables (with widening at loop heads), and refines intervals
 along branch edges from validation guards like ``if n < 1: raise`` or
 ``assert 0.0 < gamma < 1.0``.
 
-The three layers:
+The layers:
 
 * :mod:`repro.analysis.dataflow.intervals` — the lattice: closed
   intervals over the extended reals plus a ``nonzero`` bit, with the
@@ -20,7 +20,12 @@ The three layers:
 * :mod:`repro.analysis.dataflow.engine` — the worklist fixpoint, guard
   refinement, class-attribute facts, contract-clause seeding, and the
   :class:`~repro.analysis.dataflow.engine.ModuleIntervals` facade the
-  rules query.
+  rules query;
+* :mod:`repro.analysis.dataflow.taint` /
+  :mod:`repro.analysis.dataflow.taintflow` — the second lattice: a
+  finite powerset of nondeterminism labels with an *interprocedural*
+  summary fixpoint over the project call graph, powering the
+  determinism rules R1001/R1002.
 
 Soundness caveats (documented, deliberate): arithmetic is interpreted
 over the reals (float underflow/overflow to zero or inf is ignored, as
@@ -39,13 +44,22 @@ from repro.analysis.dataflow.engine import (
     module_intervals,
 )
 from repro.analysis.dataflow.intervals import Interval
+from repro.analysis.dataflow.taint import CLEAN, Taint
+
+# NOTE: ``taintflow`` is deliberately *not* re-exported here.  It imports
+# :mod:`repro.analysis.effects` (for source classification), and effects
+# imports the taint lattice from this package — re-exporting taintflow
+# from the package ``__init__`` would close that cycle.  Consumers import
+# ``repro.analysis.dataflow.taintflow`` directly.
 
 __all__ = [
+    "CLEAN",
     "ClauseVerdict",
     "ControlFlowGraph",
     "FunctionAnalysis",
     "Interval",
     "ModuleIntervals",
+    "Taint",
     "build_cfg",
     "module_intervals",
 ]

@@ -1,0 +1,166 @@
+"""Taint lattice: which nondeterminism sources may reach a value.
+
+The interval lattice (:mod:`repro.analysis.dataflow.intervals`) answers
+"what numbers can this expression be"; this lattice answers "which
+*nondeterminism sources* may have influenced it".  An abstract value is
+a finite set of labels — the powerset of :data:`ALL_LABELS` ordered by
+inclusion — so joins are unions, bottom is the empty set ("provably
+deterministic data flow"), and every chain is finite, which makes the
+interprocedural fixpoint in :mod:`repro.analysis.dataflow.taintflow`
+terminate unconditionally.
+
+Labels come in two families:
+
+* **value labels** — the bytes of the value itself depend on something
+  outside the program's seeds: an OS-entropy RNG (:data:`RNG`), a clock
+  read (:data:`CLOCK`), an environment variable (:data:`ENV`), or
+  per-process object identity / ``PYTHONHASHSEED`` (:data:`IDENTITY`).
+  These feed rule R1001.
+* **order labels** — the value's *element order* is arbitrary even
+  though its contents are deterministic: anything iterated out of a
+  ``set``/``frozenset`` (:data:`SET_ORDER`).  Order-sensitive reductions
+  (float summation, first-wins dict construction) turn that into a
+  value-level difference, which is rule R1002's business.  Sorting is
+  the canonical sanitizer: ``sorted(s)`` erases :data:`SET_ORDER`
+  because the result no longer depends on iteration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "RNG",
+    "CLOCK",
+    "ENV",
+    "IDENTITY",
+    "SET_ORDER",
+    "ALL_LABELS",
+    "VALUE_LABELS",
+    "ORDER_LABELS",
+    "Taint",
+    "CLEAN",
+    "PARAM_PREFIX",
+    "param_label",
+    "split_params",
+]
+
+#: OS-entropy randomness: ``default_rng()`` / ``SeedSequence()`` without
+#: entropy, ``uuid4()``, ``os.urandom``, the ``secrets`` module.
+RNG = "rng"
+
+#: Wall/monotonic clock reads: ``time.time()``, ``datetime.now()`` ….
+CLOCK = "clock"
+
+#: Environment reads: ``os.environ[...]`` / ``os.getenv(...)``.
+ENV = "env"
+
+#: Per-process identity: ``id()``, builtin ``hash()`` (PYTHONHASHSEED).
+IDENTITY = "identity"
+
+#: Arbitrary element order from ``set``/``frozenset`` iteration.
+SET_ORDER = "set-order"
+
+#: Every label, in severity-then-alphabetical display order.
+ALL_LABELS = frozenset({RNG, CLOCK, ENV, IDENTITY, SET_ORDER})
+
+#: Labels that make the value's *bytes* nondeterministic (R1001).
+VALUE_LABELS = frozenset({RNG, CLOCK, ENV, IDENTITY})
+
+#: Labels that make only the *element order* nondeterministic (R1002).
+ORDER_LABELS = frozenset({SET_ORDER})
+
+
+#: Prefix for the synthetic per-parameter labels the interprocedural
+#: engine threads through a function body to learn which parameters may
+#: flow into the return value.  They never escape a summary.
+PARAM_PREFIX = "param:"
+
+
+def param_label(name: str) -> str:
+    """The synthetic label tracking flow from parameter ``name``."""
+    return PARAM_PREFIX + name
+
+
+def _param_labels(labels: frozenset[str]) -> frozenset[str]:
+    return frozenset(
+        label for label in labels if label.startswith(PARAM_PREFIX)
+    )
+
+
+@dataclass(frozen=True)
+class Taint:
+    """An element of the label-powerset lattice (immutable)."""
+
+    labels: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        unknown = self.labels - ALL_LABELS - _param_labels(self.labels)
+        if unknown:
+            raise ValueError(f"unknown taint labels: {sorted(unknown)!r}")
+
+    # -- lattice operations ------------------------------------------
+    @staticmethod
+    def of(*labels: str) -> "Taint":
+        """The taint carrying exactly ``labels``."""
+        return Taint(frozenset(labels))
+
+    def join(self, other: "Taint") -> "Taint":
+        """Least upper bound: the union of both label sets."""
+        if not other.labels:
+            return self
+        if not self.labels:
+            return other
+        return Taint(self.labels | other.labels)
+
+    def without(self, *labels: str) -> "Taint":
+        """Sanitize: drop ``labels`` (no-op for labels not present)."""
+        dropped = frozenset(labels)
+        if not (self.labels & dropped):
+            return self
+        return Taint(self.labels - dropped)
+
+    def restricted(self, allowed: Iterable[str]) -> "Taint":
+        """Keep only the labels in ``allowed``."""
+        return Taint(self.labels & frozenset(allowed))
+
+    def __le__(self, other: "Taint") -> bool:
+        """Lattice order: subset of labels."""
+        return self.labels <= other.labels
+
+    def __or__(self, other: "Taint") -> "Taint":
+        return self.join(other)
+
+    # -- predicates / rendering --------------------------------------
+    @property
+    def is_clean(self) -> bool:
+        """Bottom: no nondeterminism source may reach this value."""
+        return not self.labels
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.labels
+
+    def describe(self) -> str:
+        """Stable human rendering, e.g. ``"clock+env"``."""
+        return "+".join(sorted(self.labels)) if self.labels else "clean"
+
+    def __bool__(self) -> bool:
+        return bool(self.labels)
+
+
+#: The bottom element, shared (Taint is immutable).
+CLEAN = Taint()
+
+
+def split_params(taint: Taint) -> tuple[Taint, frozenset[str]]:
+    """Separate real labels from synthetic parameter labels.
+
+    Returns ``(real_taint, parameter_names)`` — the building blocks of a
+    function summary: concrete sources that reach the return value, plus
+    the names of parameters whose taint would flow through.
+    """
+    params = _param_labels(taint.labels)
+    real = Taint(taint.labels - params)
+    names = frozenset(label[len(PARAM_PREFIX):] for label in params)
+    return real, names

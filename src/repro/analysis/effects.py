@@ -7,6 +7,23 @@ module touch hidden global state, and whom do they call" — so the
 collector lives here and both consumers share it.  The detection logic
 and message strings are exactly R301's; the rule now delegates to
 :func:`collect_rng_uses`.
+
+The determinism/process-safety rule family (R1001–R1201) extends the
+same summaries with three more observation kinds, all alias-aware and
+purely syntactic:
+
+* :class:`NondetSources` classifies calls/expressions that *introduce*
+  nondeterminism — OS-entropy RNG construction, clock reads,
+  ``os.environ``, ``id()``/``hash()``, set literals — into taint labels
+  (:mod:`repro.analysis.dataflow.taint`).  Seeded construction
+  (``default_rng(seed)``, ``SeedSequence(entropy)``) is deliberately
+  *not* a source: an explicit seed is the sanctioned sanitizer.
+* :func:`collect_artifact_writes` finds raw artifact writes —
+  ``open(..., "w")``, ``Path.write_text`` — that bypass
+  ``repro.resilience.atomic_write`` (rule R1201's evidence).
+* :class:`FunctionEffects.global_mutations` / ``submitted_tasks`` record
+  mutations of module-level mutable state and task submissions to
+  ``run_sweep``/pool ``submit`` (rule R1101's evidence).
 """
 
 from __future__ import annotations
@@ -15,15 +32,29 @@ import ast
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.analysis.dataflow.taint import (
+    CLOCK,
+    ENV,
+    IDENTITY,
+    RNG,
+    SET_ORDER,
+)
 from repro.analysis.guards import walk_within_scope
 from repro.analysis.source import SourceModule
 
 __all__ = [
     "FunctionEffects",
     "RngUse",
+    "TaintSource",
+    "NondetSources",
+    "ArtifactWrite",
+    "GlobalMutation",
+    "SubmittedTask",
     "collect_rng_uses",
+    "collect_artifact_writes",
     "iter_defined_functions",
     "module_effects",
+    "module_mutable_globals",
 ]
 
 #: ``np.random.<name>`` attributes that do *not* touch global state:
@@ -209,6 +240,10 @@ class FunctionEffects:
     declares_global: bool = False
     #: Call targets as written in source (``f``, ``self.f``, ``mod.f``).
     calls: set[str] = field(default_factory=set)
+    #: Mutations of module-level mutable state (R1101 evidence).
+    global_mutations: list["GlobalMutation"] = field(default_factory=list)
+    #: Task functions handed to ``run_sweep``/pool ``submit`` here.
+    submitted_tasks: list["SubmittedTask"] = field(default_factory=list)
 
     @property
     def impure(self) -> bool:
@@ -224,6 +259,7 @@ def module_effects(module: SourceModule) -> dict[str, FunctionEffects]:
     are not attributed to the outer one — the call edge carries them.
     """
     aliases, _import_uses = _collect_aliases(module.tree)
+    mutable_globals = module_mutable_globals(module.tree)
     effects: dict[str, FunctionEffects] = {}
     for qualname, func in iter_defined_functions(module.tree):
         summary = FunctionEffects(qualname=qualname, node=func)
@@ -237,5 +273,561 @@ def module_effects(module: SourceModule) -> dict[str, FunctionEffects]:
                 key = _callee_key(node.func)
                 if key is not None:
                     summary.calls.add(key)
+                task = _submitted_task(node)
+                if task is not None:
+                    summary.submitted_tasks.append(task)
+        summary.global_mutations = _collect_global_mutations(
+            func, mutable_globals
+        )
         effects[qualname] = summary
     return effects
+
+
+# ----------------------------------------------------------------------
+# Nondeterminism sources (taint labels for R1001/R1002)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaintSource:
+    """One syntactic nondeterminism source with its taint label."""
+
+    line: int
+    col: int
+    label: str
+    reason: str
+
+
+#: ``time.<fn>`` reads of some process clock.
+_CLOCK_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+    }
+)
+
+#: ``datetime``/``date`` constructors that read the wall clock.
+_DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+
+#: RNG constructors that fall back to OS entropy when called with no
+#: seed/entropy argument (the *seeded* forms are the sanctioned
+#: sanitizer and are not sources).
+_ENTROPY_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+        "RandomState",
+    }
+)
+
+#: Callables that are OS-entropy sources regardless of arguments.
+_ENTROPY_CALLS = frozenset({"uuid1", "uuid4", "urandom", "token_bytes", "token_hex", "randbits"})
+
+#: Filesystem enumeration whose order the OS does not define.
+_FS_ORDER_CALLS = frozenset({"listdir", "scandir", "iterdir"})
+
+
+class NondetSources:
+    """Alias-aware classifier of nondeterminism sources in one module.
+
+    ``classify_call``/``classify_expr`` return a :class:`TaintSource`
+    when the node *introduces* nondeterminism, and ``None`` otherwise.
+    Recognition is deliberately conservative in the miss direction —
+    an unrecognized call is simply not a source — mirroring the call
+    graph's philosophy: every report traces to a real source site.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._time_aliases: set[str] = set()
+        self._from_time: set[str] = set()
+        self._datetime_aliases: set[str] = set()
+        self._from_datetime: set[str] = set()
+        self._os_aliases: set[str] = set()
+        self._from_os: set[str] = set()
+        self._entropy_module_aliases: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    if alias.name == "time":
+                        self._time_aliases.add(local)
+                    elif alias.name == "datetime":
+                        self._datetime_aliases.add(local)
+                    elif alias.name == "os":
+                        self._os_aliases.add(local)
+                    elif alias.name in ("uuid", "secrets"):
+                        self._entropy_module_aliases.add(local)
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if node.module == "time":
+                        self._from_time.add(local)
+                    elif node.module == "datetime":
+                        self._from_datetime.add(local)
+                    elif node.module == "os":
+                        self._from_os.add(local)
+
+    # -- expressions --------------------------------------------------
+    def classify_expr(self, node: ast.expr) -> TaintSource | None:
+        """Non-call expression sources: ``os.environ`` and set displays."""
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "environ"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self._os_aliases
+        ) or (
+            isinstance(node, ast.Name) and node.id in self._from_os
+            and node.id == "environ"
+        ):
+            return TaintSource(
+                node.lineno, node.col_offset, ENV,
+                "os.environ read (value differs across environments)",
+            )
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return TaintSource(
+                node.lineno, node.col_offset, SET_ORDER,
+                "set display (iteration order is hash-dependent)",
+            )
+        return None
+
+    # -- calls --------------------------------------------------------
+    def classify_call(self, node: ast.Call) -> TaintSource | None:
+        """The taint a call introduces, if any."""
+        func = node.func
+        dotted = _callee_key(func)
+        last = dotted.rsplit(".", 1)[-1] if dotted else None
+        root = dotted.split(".", 1)[0] if dotted else None
+
+        # Clock reads: time.<fn>() or a from-imported clock function.
+        if isinstance(func, ast.Attribute) and func.attr in _CLOCK_FUNCTIONS:
+            if isinstance(func.value, ast.Name) and func.value.id in self._time_aliases:
+                return self._clock(node, f"time.{func.attr}()")
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _CLOCK_FUNCTIONS
+            and func.id in self._from_time
+        ):
+            return self._clock(node, f"{func.id}()")
+
+        # datetime.now()/utcnow()/today() through any recognized spelling.
+        if isinstance(func, ast.Attribute) and func.attr in _DATETIME_NOW:
+            value = func.value
+            if isinstance(value, ast.Name) and (
+                value.id in self._from_datetime
+                or value.id in self._datetime_aliases
+            ):
+                return self._clock(node, f"{value.id}.{func.attr}()")
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id in self._datetime_aliases
+            ):
+                return self._clock(
+                    node, f"{value.value.id}.{value.attr}.{func.attr}()"
+                )
+
+        # Environment reads via os.getenv / getenv.
+        if last == "getenv" and (
+            root in self._os_aliases or "getenv" in self._from_os
+        ):
+            return TaintSource(
+                node.lineno, node.col_offset, ENV,
+                "os.getenv() read (value differs across environments)",
+            )
+
+        # OS-entropy RNG: unseeded constructors and always-entropy calls.
+        if last in _ENTROPY_CONSTRUCTORS and _lacks_seed(node):
+            return TaintSource(
+                node.lineno, node.col_offset, RNG,
+                f"{last}() without entropy seeds from the OS; derive the "
+                "stream from an explicit seed or SeedSequence",
+            )
+        if last in _ENTROPY_CALLS and (
+            root in self._os_aliases
+            or root in self._entropy_module_aliases
+            or root == last
+        ):
+            return TaintSource(
+                node.lineno, node.col_offset, RNG,
+                f"{dotted}() draws OS entropy",
+            )
+
+        # Per-process identity: id() and builtin hash().
+        if isinstance(func, ast.Name) and func.id == "id" and node.args:
+            return TaintSource(
+                node.lineno, node.col_offset, IDENTITY,
+                "id() is a per-process address",
+            )
+        if isinstance(func, ast.Name) and func.id == "hash" and node.args:
+            return TaintSource(
+                node.lineno, node.col_offset, IDENTITY,
+                "builtin hash() is salted by PYTHONHASHSEED for "
+                "str/bytes and varies across processes",
+            )
+
+        # Filesystem enumeration order.
+        if last in _FS_ORDER_CALLS or dotted in ("glob.glob", "glob.iglob"):
+            return TaintSource(
+                node.lineno, node.col_offset, SET_ORDER,
+                f"{last}() enumerates the filesystem in OS-defined order; "
+                "sort the result",
+            )
+        return None
+
+    @staticmethod
+    def _clock(node: ast.Call, spelling: str) -> TaintSource:
+        return TaintSource(
+            node.lineno, node.col_offset, CLOCK,
+            f"{spelling} reads a process clock",
+        )
+
+
+def _lacks_seed(node: ast.Call) -> bool:
+    """True when an RNG constructor call provides no entropy/seed."""
+    meaningful_args = [
+        arg for arg in node.args
+        if not (isinstance(arg, ast.Constant) and arg.value is None)
+    ]
+    if meaningful_args:
+        return False
+    for keyword in node.keywords:
+        if keyword.arg in (None, "entropy", "seed"):
+            if not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None
+            ):
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Raw artifact writes (R1201 evidence)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArtifactWrite:
+    """One raw (non-atomic) artifact write site."""
+
+    line: int
+    col: int
+    description: str
+
+
+#: ``numpy`` savers that truncate-and-write in place.
+_NUMPY_SAVERS = frozenset(
+    {"np.save", "np.savetxt", "np.savez", "numpy.save", "numpy.savetxt", "numpy.savez"}
+)
+
+
+def collect_artifact_writes(tree: ast.AST) -> list[ArtifactWrite]:
+    """Every raw truncating write in a module, in source order.
+
+    Flags ``open(path, "w"/"x"...)`` (truncate/create modes only —
+    append mode is the journal's deliberate, documented contract),
+    ``<path>.write_text(...)`` / ``<path>.write_bytes(...)``, and numpy
+    savers.  All of them leave a torn file behind a mid-write crash;
+    ``repro.resilience.atomic_write`` (tmp + fsync + rename) is the
+    sanctioned replacement.
+
+    Numpy savers targeting a name bound to an in-memory buffer
+    (``BytesIO``/``StringIO``) anywhere in the module are skipped:
+    serializing to memory and landing via ``atomic_write`` is exactly
+    the sanctioned pattern, not a violation of it.
+    """
+    buffers = _buffer_names(tree)
+    writes: list[ArtifactWrite] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _open_mode(node)
+            if mode is not None and mode[:1] in ("w", "x"):
+                writes.append(
+                    ArtifactWrite(
+                        node.lineno, node.col_offset,
+                        f'open(..., "{mode}") truncates in place',
+                    )
+                )
+        elif isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            writes.append(
+                ArtifactWrite(
+                    node.lineno, node.col_offset,
+                    f"Path.{func.attr}() truncates in place",
+                )
+            )
+        elif isinstance(func, ast.Attribute):
+            dotted = _callee_key(func)
+            if dotted in _NUMPY_SAVERS and not (
+                node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id in buffers
+            ):
+                writes.append(
+                    ArtifactWrite(
+                        node.lineno, node.col_offset,
+                        f"{dotted}() truncates in place",
+                    )
+                )
+    writes.sort(key=lambda write: (write.line, write.col))
+    return writes
+
+
+def _buffer_names(tree: ast.AST) -> set[str]:
+    """Names bound to ``BytesIO``/``StringIO`` calls anywhere in a module."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        func = node.value.func
+        constructor = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        if constructor not in ("BytesIO", "StringIO"):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _open_mode(node: ast.Call) -> str | None:
+    """The literal mode string of an ``open()`` call, if present."""
+    mode: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+# ----------------------------------------------------------------------
+# Module-state mutations and task submissions (R1101 evidence)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GlobalMutation:
+    """One mutation of module-level state inside a function body."""
+
+    line: int
+    col: int
+    name: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class SubmittedTask:
+    """One task-function argument handed to ``run_sweep``/``submit``."""
+
+    line: int
+    col: int
+    #: The task-function expression as passed (for picklability checks).
+    node: ast.expr
+    #: Dotted textual form of the task when it is a name/attribute.
+    callee: str | None
+
+
+#: Constructors whose module-level result is shared mutable state.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+#: Method names that mutate a container in place.
+_CONTAINER_MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "clear",
+        "pop",
+        "popitem",
+        "setdefault",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "sort",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+
+def module_mutable_globals(tree: ast.Module) -> set[str]:
+    """Module-level names bound to mutable containers at import time."""
+    names: set[str] = set()
+    for statement in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        if value is None:
+            continue
+        mutable = isinstance(value, (ast.Dict, ast.List, ast.Set)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_CONSTRUCTORS
+        )
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _submitted_task(node: ast.Call) -> SubmittedTask | None:
+    """The task argument of a ``run_sweep``/pool-``submit`` call, if any."""
+    dotted = _callee_key(node.func)
+    if dotted is None or not node.args:
+        return None
+    last = dotted.rsplit(".", 1)[-1]
+    if last not in ("run_sweep", "submit"):
+        return None
+    task = node.args[0]
+    return SubmittedTask(
+        line=task.lineno,
+        col=task.col_offset,
+        node=task,
+        callee=_callee_key(task),
+    )
+
+
+def _root_of(expr: ast.expr) -> ast.expr:
+    """Leftmost node of an attribute/subscript chain."""
+    node = expr
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node
+
+
+def _collect_global_mutations(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    mutable_globals: set[str],
+) -> list[GlobalMutation]:
+    """Mutations of module-level state within one function's own scope."""
+    declared_global: set[str] = set()
+    local_bound: set[str] = set()
+    for node in walk_within_scope(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    local_bound.add(target.id)
+
+    lazy_guarded = _lazy_guarded_names(func)
+    mutations: list[GlobalMutation] = []
+
+    def container_target(name: str) -> bool:
+        if name not in mutable_globals:
+            return False
+        # A plain local rebind shadows the module global (unless the
+        # function *declared* it global, in which case writes go up).
+        return name in declared_global or name not in local_bound
+
+    for node in walk_within_scope(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in declared_global:
+                    detail = (
+                        "lazy-initializes the module global (fork-unsafe: "
+                        "a worker forked mid-init inherits torn state, a "
+                        "spawned worker re-initializes independently)"
+                        if target.id in lazy_guarded
+                        else "rebinds the module global"
+                    )
+                    mutations.append(
+                        GlobalMutation(
+                            node.lineno, node.col_offset, target.id, detail
+                        )
+                    )
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    root = _root_of(target)
+                    if isinstance(root, ast.Name) and container_target(root.id):
+                        mutations.append(
+                            GlobalMutation(
+                                node.lineno,
+                                node.col_offset,
+                                root.id,
+                                "writes into the module-level container",
+                            )
+                        )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                root = _root_of(target)
+                if isinstance(root, ast.Name) and container_target(root.id):
+                    mutations.append(
+                        GlobalMutation(
+                            node.lineno,
+                            node.col_offset,
+                            root.id,
+                            "deletes from the module-level container",
+                        )
+                    )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _CONTAINER_MUTATORS:
+                root = _root_of(node.func.value)
+                if isinstance(root, ast.Name) and container_target(root.id):
+                    mutations.append(
+                        GlobalMutation(
+                            node.lineno,
+                            node.col_offset,
+                            root.id,
+                            f".{node.func.attr}() mutates the module-level "
+                            "container",
+                        )
+                    )
+    mutations.sort(key=lambda mutation: (mutation.line, mutation.col))
+    return mutations
+
+
+def _lazy_guarded_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names assigned under an ``if NAME is None`` guard (lazy init)."""
+    guarded: set[str] = set()
+    for node in walk_within_scope(func):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            guarded.add(test.left.id)
+    return guarded

@@ -5,8 +5,11 @@ grouped by concern: numeric safety (R1xx/R2xx), RNG discipline (R3xx),
 estimator purity (R4xx), registry completeness (R5xx), public-API
 drift (R6xx), analyzer hygiene (R7xx: stale suppressions,
 provably-violated contracts), logging hygiene (R8xx: no print or
-root-logger calls in library code), and exception hygiene (R9xx: no
-bare or silently-swallowed exception handlers).
+root-logger calls in library code), exception hygiene (R9xx: no
+bare or silently-swallowed exception handlers), whole-program
+determinism (R10xx: taint from nondeterminism sources reaching results
+or artifacts), and process safety (R11xx/R12xx: worker-shared module
+state, non-atomic artifact writes).
 """
 
 from __future__ import annotations
@@ -22,11 +25,13 @@ from repro.analysis.rules.base import (
 
 # Importing for side effect: each module registers its rules.
 from repro.analysis.rules import contracts as _contracts
+from repro.analysis.rules import determinism as _determinism
 from repro.analysis.rules import exceptions as _exceptions
 from repro.analysis.rules import exports as _exports
 from repro.analysis.rules import flow as _flow
 from repro.analysis.rules import logging_hygiene as _logging_hygiene
 from repro.analysis.rules import numeric as _numeric
+from repro.analysis.rules import process_safety as _process_safety
 from repro.analysis.rules import purity as _purity
 from repro.analysis.rules import registry_sync as _registry_sync
 from repro.analysis.rules import rng as _rng
@@ -43,11 +48,13 @@ __all__ = [
 
 del (
     _contracts,
+    _determinism,
     _exceptions,
     _exports,
     _flow,
     _logging_hygiene,
     _numeric,
+    _process_safety,
     _purity,
     _registry_sync,
     _rng,

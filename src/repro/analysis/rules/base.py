@@ -43,6 +43,16 @@ class Rule(ABC):
     #: One-line description shown by ``repro lint --list-rules``.
     description: str = ""
 
+    #: Why the rule exists — the failure mode it prevents.  Shown by
+    #: ``repro lint --explain CODE`` and compiled into ``docs/rules.md``.
+    rationale: str = ""
+
+    #: A minimal violating snippet (with the fixed form where useful).
+    example: str = ""
+
+    #: How to make a finding go away legitimately.
+    remediation: str = ""
+
     @abstractmethod
     def check(
         self, module: SourceModule, context: ProjectContext

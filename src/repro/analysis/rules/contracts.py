@@ -47,6 +47,24 @@ class ContractViolation(Rule):
         "@requires/@ensures clause provably violated by the function body"
     )
 
+    rationale = (
+        'Contracts are only checked at runtime under REPRO_CONTRACTS=1,\n'
+        'which CI enables but production callers may not.  When the\n'
+        'interval engine can *prove* a body violates its own declared\n'
+        'clause, waiting for a runtime trip is pointless — either the\n'
+        'contract is wrong or the code is, and both are bugs now.'
+    )
+    example = (
+        '@ensures("result >= 1")\n'
+        'def estimate(self, profile):\n'
+        '    return 0.5 * profile.d_sample   # R702: provably < 1 when\n'
+        '                                    # d_sample == 1\n'
+    )
+    remediation = (
+        'Fix whichever side is wrong: tighten the body (clamp, guard) or\n'
+        'correct the clause to the invariant the code actually keeps.'
+    )
+
     def check(
         self, module: SourceModule, context: ProjectContext
     ) -> Iterator[Finding]:

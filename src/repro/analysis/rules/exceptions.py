@@ -85,6 +85,29 @@ class ExceptionHygiene(Rule):
         "re-raises nor logs; failures in library code must stay visible"
     )
 
+    rationale = (
+        'In an estimation pipeline a swallowed exception does not crash —\n'
+        'it ships a wrong number.  A bare except even catches\n'
+        'KeyboardInterrupt/SystemExit, making runs unkillable.  Broad\n'
+        'handlers that neither re-raise nor log convert every future bug\n'
+        'in the protected block into silent data corruption.'
+    )
+    example = (
+        'try:\n'
+        '    stats = analyze(column)\n'
+        'except Exception:\n'
+        '    stats = None                    # R901: the failure vanishes\n'
+        '\n'
+        'except Exception:\n'
+        '    _LOG.exception("analyze failed for %s", column.name)\n'
+        '    raise                           # visible and attributable\n'
+    )
+    remediation = (
+        'Catch the narrowest exception the block can actually raise, and\n'
+        'either re-raise (possibly wrapped in a project error) or log at\n'
+        'warning+ with context before a *documented* fallback.'
+    )
+
     def check(
         self, module: SourceModule, context: ProjectContext
     ) -> Iterator[Finding]:

@@ -53,6 +53,24 @@ class ExportsDrift(Rule):
         "or is mutated dynamically"
     )
 
+    rationale = (
+        "__all__ is the module's public-API contract: star-imports,\n"
+        'docs, and the API-stability tests all read it.  An omitted\n'
+        'public def is an accidental private; a listed-but-unbound name\n'
+        'breaks import *; dynamic mutation makes the contract unknowable\n'
+        'statically.'
+    )
+    example = (
+        '__all__ = ["hash64"]\n'
+        '\n'
+        'def hash64(values, seed=0): ...\n'
+        'def stable_mix(values): ...        # R601: public but not exported\n'
+    )
+    remediation = (
+        'List every public top-level def/class in a literal __all__\n'
+        '(or prefix genuinely internal names with an underscore).'
+    )
+
     def check(
         self, module: SourceModule, context: ProjectContext
     ) -> Iterator[Finding]:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.analysis.callgraph import ProjectCallGraph, build_callgraph
+from repro.analysis.callgraph import ProjectCallGraph, cached_callgraph
 from repro.analysis.findings import Finding
 from repro.analysis.project import ProjectContext
 from repro.analysis.rules.base import ProjectRule, register
@@ -50,10 +50,33 @@ class TransitiveGlobalRng(ProjectRule):
         "global-RNG user; plumb an explicit Generator through the chain"
     )
 
+    rationale = (
+        "R301's repro/data exemption covers data generators *called by\n"
+        'seed-owning entry points*.  Code elsewhere that calls into an\n'
+        'exempt global-RNG user inherits hidden global state with no\n'
+        'local trace — the violation is only visible on the call graph,\n'
+        'which is exactly where this rule looks.'
+    )
+    example = (
+        '# repro/data/synthetic.py (exempt)\n'
+        'def draw_zipf(n):\n'
+        '    return np.random.zipf(1.2, n)       # allowed here\n'
+        '\n'
+        '# repro/experiments/ad_hoc.py\n'
+        'def quick_check():\n'
+        '    return draw_zipf(100)               # R302: inherits the\n'
+        '                                        # global state transitively\n'
+    )
+    remediation = (
+        'Pass an explicit numpy Generator down the chain (the exempt\n'
+        'callees all accept one), or hoist the call behind a seed-owning\n'
+        'entry point.'
+    )
+
     def check_project(
         self, modules: list[SourceModule], context: ProjectContext
     ) -> Iterator[Finding]:
-        graph = build_callgraph(modules)
+        graph = cached_callgraph(modules, context)
         targets = {
             key
             for key, node in graph.nodes.items()
@@ -99,10 +122,28 @@ class TransitiveImpurity(ProjectRule):
         "uses the global RNG or writes global state"
     )
 
+    rationale = (
+        'The estimator contract makes estimation a pure map from the\n'
+        'frequency profile.  A clean-looking estimate() that calls an\n'
+        'impure project helper is impure by composition: repeated calls\n'
+        'can disagree, and parallel sweeps lose repeatability.  Purity\n'
+        'must hold over the whole call tree, not one body.'
+    )
+    example = (
+        'class Gee(DistinctValueEstimator):\n'
+        '    def _estimate_raw(self, profile):\n'
+        '        return _helper(profile)         # R402 if _helper uses\n'
+        '                                        # random.random() inside\n'
+    )
+    remediation = (
+        'Make the helper pure (thread state through parameters) or move\n'
+        'the impure work out of the estimation path entirely.'
+    )
+
     def check_project(
         self, modules: list[SourceModule], context: ProjectContext
     ) -> Iterator[Finding]:
-        graph = build_callgraph(modules)
+        graph = cached_callgraph(modules, context)
         targets = {
             key for key, node in graph.nodes.items() if node.effects.impure
         }

@@ -95,6 +95,25 @@ class LoggingHygiene(Rule):
         "logging.getLogger(__name__) and let the application attach handlers"
     )
 
+    rationale = (
+        'print() writes to stdout unconditionally — it corrupts\n'
+        'machine-readable CLI output (JSON reports, SARIF) and cannot be\n'
+        'filtered or redirected by the embedding application.  Root-logger\n'
+        'calls (logging.info) implicitly configure the root and double-log\n'
+        'once the CLI attaches handlers.  Library code logs through its\n'
+        'module logger; only the CLI layer owns stdout.'
+    )
+    example = (
+        'print(f"sweep {name} done")             # R801: owns stdout\n'
+        '\n'
+        '_LOG = logging.getLogger(__name__)\n'
+        '_LOG.info("sweep %s done", name)        # app controls routing\n'
+    )
+    remediation = (
+        'Use logging.getLogger(__name__) at module scope.  User-facing\n'
+        'CLI output belongs in the cli module, which is exempt.'
+    )
+
     def check(
         self, module: SourceModule, context: ProjectContext
     ) -> Iterator[Finding]:

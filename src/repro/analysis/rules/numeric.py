@@ -105,6 +105,30 @@ class UnguardedDivision(_ScopedNumericRule):
         "(estimator stack only)"
     )
 
+    rationale = (
+        'The estimators divide by sample quantities — sample sizes, hash\n'
+        'minima, frequency counts — that legitimately hit zero on small or\n'
+        'degenerate inputs.  An unguarded division is a ZeroDivisionError\n'
+        '(or a silent inf under numpy) at sweep point 4173 of 5000.  The\n'
+        'interval engine proves most divisors positive from guards and\n'
+        'contracts; only unprovable sites are reported.'
+    )
+    example = (
+        'def ratio(hits: int, n: int) -> float:\n'
+        '    return hits / n        # R101: n may be zero\n'
+        '\n'
+        'def ratio(hits: int, n: int) -> float:\n'
+        '    if n < 1:\n'
+        '        raise InvalidParameterError("n must be positive")\n'
+        '    return hits / n        # proven: n >= 1\n'
+    )
+    remediation = (
+        'Guard the divisor before dividing (raise or early-return), or\n'
+        'declare the invariant with @requires so the prover sees it.  If\n'
+        'positivity is structurally guaranteed but unprovable, suppress\n'
+        'with a justification.'
+    )
+
     def _check_node(
         self,
         module: SourceModule,
@@ -143,6 +167,26 @@ class UnsafeLogSqrt(_ScopedNumericRule):
     name = "unsafe-log-sqrt"
     description = (
         "math.log/math.sqrt argument may be nonpositive (estimator stack only)"
+    )
+
+    rationale = (
+        "math.log raises on zero and numpy's quietly returns -inf/nan,\n"
+        'which then poisons every downstream statistic without a\n'
+        'traceback.  GEE-style estimators take logs and roots of\n'
+        'frequencies and ratios that degenerate exactly when the data\n'
+        'does, so these sites deserve proofs, not hope.'
+    )
+    example = (
+        'scale = math.log(n / k)    # R102: n/k may be <= 0 when k > n\n'
+        '\n'
+        'if k > n:\n'
+        '    raise InvalidParameterError("k cannot exceed n")\n'
+        'scale = math.log(n / k)    # proven: argument >= 1\n'
+    )
+    remediation = (
+        'Establish positivity with a guard or @requires contract before\n'
+        'the call, or restructure so the argument is structurally\n'
+        'positive (e.g. 1 + x with x >= 0).'
     )
 
     _FUNCTIONS = ("log", "log2", "log10", "sqrt")
@@ -196,6 +240,26 @@ class FloatEquality(Rule):
     code = "R201"
     name = "float-equality"
     description = "equality comparison against a float literal"
+
+    rationale = (
+        'Floating-point equality holds for exactly one bit pattern, and\n'
+        'accumulated rounding differs across platforms, BLAS builds, and\n'
+        'summation orders.  An == against a float literal is a latent\n'
+        'flaky branch: correct today, wrong after any benign numeric\n'
+        'refactor.'
+    )
+    example = (
+        'if coverage == 0.95:       # R201: one exact bit pattern\n'
+        '    ...\n'
+        '\n'
+        'if abs(coverage - 0.95) < 1e-12:\n'
+        '    ...\n'
+    )
+    remediation = (
+        'Compare with an explicit tolerance (abs(x - c) < eps or\n'
+        'math.isclose), or compare integers (counts) instead of derived\n'
+        'floats.'
+    )
 
     def check(
         self, module: SourceModule, context: ProjectContext

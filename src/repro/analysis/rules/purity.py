@@ -90,6 +90,26 @@ class EstimatorPurity(Rule):
         "during estimation, or overrides estimate() without clamping"
     )
 
+    rationale = (
+        'Estimation must be a pure function of the frequency profile:\n'
+        'the same profile asked twice must yield the same estimate, and\n'
+        'estimating one column must not perturb another.  Mutating the\n'
+        'profile, self, or module globals during estimate() breaks\n'
+        'repeat-query invariance; skipping the [d_sample, n] clamp breaks\n'
+        "the paper's error guarantee at the boundaries."
+    )
+    example = (
+        'def _estimate_raw(self, profile):\n'
+        '    self._last = profile          # R401: estimation writes state\n'
+        '    profile.counts.sort()         # R401: mutates the profile\n'
+        '    return d_hat\n'
+    )
+    remediation = (
+        'Compute into locals; anything cached must be write-once outside\n'
+        'the estimation path.  Override _estimate_raw (the clamped\n'
+        'template hook) rather than estimate() itself.'
+    )
+
     def check(
         self, module: SourceModule, context: ProjectContext
     ) -> Iterator[Finding]:

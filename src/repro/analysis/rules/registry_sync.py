@@ -37,6 +37,27 @@ class RegistryCompleteness(ProjectRule):
         "ESTIMATOR_FACTORIES"
     )
 
+    rationale = (
+        "Sweeps, the CLI, and the paper's figure harness enumerate\n"
+        'estimators through ESTIMATOR_FACTORIES.  A concrete subclass\n'
+        'missing from the registry silently vanishes from every\n'
+        'experiment — results ship without it and nothing fails.  The\n'
+        'registry is the single source of truth, so drift is a lint\n'
+        'error, not a runtime surprise.'
+    )
+    example = (
+        'class ShloHybrid(DistinctValueEstimator):   # R501: defined but\n'
+        '    ...                                     # never registered\n'
+        '\n'
+        'ESTIMATOR_FACTORIES = {\n'
+        '    "gee": lambda: Gee(),                   # ShloHybrid absent\n'
+        '}\n'
+    )
+    remediation = (
+        'Add a factory entry for the new estimator (or mark the class\n'
+        'abstract if it is a base).'
+    )
+
     def check_project(
         self, modules: list[SourceModule], context: ProjectContext
     ) -> Iterator[Finding]:

@@ -44,6 +44,27 @@ class GlobalRandomState(Rule):
         "explicit numpy Generator instead"
     )
 
+    rationale = (
+        'random.random() and np.random.rand() draw from hidden\n'
+        'process-global state: any import or library call that also\n'
+        'touches it silently reorders every later draw, so runs are only\n'
+        "reproducible by accident.  The paper's experiments demand that\n"
+        "each trial's randomness be a pure function of its seed, which\n"
+        'only explicitly-passed Generators deliver.'
+    )
+    example = (
+        'noise = np.random.normal(size=n)        # R301: global state\n'
+        '\n'
+        'def trial(rng: np.random.Generator) -> np.ndarray:\n'
+        '    return rng.normal(size=n)           # caller owns the seed\n'
+    )
+    remediation = (
+        'Construct a Generator at the experiment boundary\n'
+        '(default_rng(seed) or SeedSequence.spawn) and pass it through\n'
+        'every function that needs randomness.  repro/data generators are\n'
+        'exempt only when driven by seed-owning entry points.'
+    )
+
     def check(
         self, module: SourceModule, context: ProjectContext
     ) -> Iterator[Finding]:

@@ -47,6 +47,22 @@ class StaleSuppression(Rule):
         "(delete it; the prover or a fix made it redundant)"
     )
 
+    rationale = (
+        'A pragma that suppresses nothing is debt with a fuse: the code\n'
+        'it excused has been fixed (or the analyzer got smarter), and the\n'
+        'stale marker now silently pre-excuses the *next* regression on\n'
+        'that line.  Keeping the suppression set minimal is what makes\n'
+        'each remaining pragma a reviewed, justified exception.'
+    )
+    example = (
+        'x = n / max(n, 1)   # reprolint: disable=R101 - R701: the rewrite\n'
+        '                    # made this safe; the pragma now masks nothing\n'
+    )
+    remediation = (
+        'Delete the pragma.  If the rule starts firing again, that is a\n'
+        'new finding deserving a fresh look, not an old excuse.'
+    )
+
     def check(
         self, module: SourceModule, context: ProjectContext
     ) -> Iterator[Finding]:

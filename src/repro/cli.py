@@ -403,8 +403,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         render_text,
     )
     from repro.analysis.baseline import write_baseline
+    from repro.analysis.explain import explain_all, explain_rule
     from repro.analysis.rules.suppressions import STALE_SUPPRESSION_CODE
 
+    if args.explain:
+        if args.explain.lower() == "all":
+            print(explain_all())
+        else:
+            print(explain_rule(args.explain))
+        return 0
     if args.list_rules:
         for code, rule_class in all_rules().items():
             print(f"{code}  {rule_class.name:24s} {rule_class.description}")
@@ -629,6 +636,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="list rule codes and exit"
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print a rule's rationale, example, and fix, then exit "
+        "('all' prints every rule)",
     )
     lint.set_defaults(func=_cmd_lint)
 

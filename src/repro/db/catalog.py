@@ -23,6 +23,7 @@ from pathlib import Path
 from repro.core.base import ConfidenceInterval
 from repro.db.table import Table
 from repro.errors import CatalogError
+from repro.resilience import atomic_write
 
 __all__ = ["ColumnStatistics", "Catalog"]
 
@@ -123,7 +124,7 @@ class Catalog:
     # Persistence
     # ------------------------------------------------------------------
     def save_statistics(self, path) -> None:
-        """Write all stored statistics to a JSON file."""
+        """Write all stored statistics to a JSON file (atomically)."""
         records = []
         for stats in self.statistics.values():
             record = {
@@ -137,7 +138,7 @@ class Catalog:
             if stats.interval is not None:
                 record["interval"] = [stats.interval.lower, stats.interval.upper]
             records.append(record)
-        Path(path).write_text(json.dumps(records, indent=1))
+        atomic_write(Path(path), json.dumps(records, indent=1))
 
     def load_statistics(self, path, strict: bool = True) -> int:
         """Load statistics from JSON written by :meth:`save_statistics`.

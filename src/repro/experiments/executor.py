@@ -577,7 +577,7 @@ class MemoStats(NamedTuple):
     size: int
 
 
-def memoized(key: Hashable, build: Callable[[], _ResultT]) -> _ResultT:
+def memoized(key: Hashable, build: Callable[[], _ResultT]) -> _ResultT:  # reprolint: disable=R1101 - per-process cache by contract: build is deterministic per key, so workers rebuilding independently is correct; hit/miss tallies are documented as per-process
     """Build-at-most-once cache, scoped to the current process.
 
     Sweep tasks use this so a worker that evaluates several grid points

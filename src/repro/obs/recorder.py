@@ -95,7 +95,9 @@ class _Span:
 
     __slots__ = ("_recorder", "name", "attrs", "id", "parent", "_start")
 
-    def __init__(self, recorder: "Telemetry", name: str, attrs: dict[str, Any]):
+    def __init__(
+        self, recorder: "Telemetry", name: str, attrs: dict[str, Any]
+    ) -> None:
         self._recorder = recorder
         self.name = name
         self.attrs = attrs

@@ -207,7 +207,7 @@ def parse_faults(spec: str, seed: int = 0) -> FaultPlan:
 _PLAN: FaultPlan | None = None
 
 
-def fault_plan() -> FaultPlan:
+def fault_plan() -> FaultPlan:  # reprolint: disable=R1101 - lazy init is the documented contract: spawned workers re-parse REPRO_FAULTS from the inherited environment, so every process converges on the same plan
     """The process-wide plan parsed from ``REPRO_FAULTS`` (cached).
 
     Pool workers forked from a parent inherit the parsed plan; spawned

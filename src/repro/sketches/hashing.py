@@ -2,12 +2,17 @@
 
 All sketches hash values to uniform 64-bit integers.  Numeric numpy
 arrays are hashed vectorially with the SplitMix64 finalizer (a
-well-tested bijective mixer); other dtypes fall back to Python's
-``hash`` per element.  A ``seed`` parameter decorrelates independent
-sketch instances.
+well-tested bijective mixer); other dtypes fall back to a per-element
+``blake2b`` digest of the value's ``repr``.  Builtin ``hash`` is
+deliberately avoided there: it is salted by ``PYTHONHASHSEED`` for
+str/bytes, so sketch contents — and therefore estimates — would differ
+across processes of the same experiment (rule R1001).  A ``seed``
+parameter decorrelates independent sketch instances.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
@@ -28,12 +33,27 @@ def _splitmix64(values: np.ndarray) -> np.ndarray:
         return z ^ (z >> np.uint64(31))
 
 
+def _stable_hash(item: object) -> int:
+    """Process-independent 64-bit hash of one Python value.
+
+    Digests the value's ``repr`` with blake2b, so equal values hash
+    equally in every process regardless of ``PYTHONHASHSEED``.  The
+    value must have a deterministic ``repr`` — true for the str/bytes/
+    numeric data columns hold; objects whose repr embeds ``id()`` were
+    never soundly hashable across processes to begin with.
+    """
+    payload = repr(item).encode("utf-8", "backslashreplace")
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=8).digest(), "little"
+    )
+
+
 def hash64(values, seed: int = 0) -> np.ndarray:
     """Hash a 1-D array of values to uniform uint64.
 
     Integer and floating dtypes are reinterpreted as uint64 and mixed
-    vectorially; object/string arrays use Python's ``hash`` per element
-    (slower, but correct for arbitrary hashables).
+    vectorially; object/string arrays digest each element's ``repr``
+    with blake2b (slower, but stable across processes and runs).
     """
     data = as_column(values)
     # Every sketch's ``add`` funnels through this hash, so one guarded
@@ -46,7 +66,7 @@ def hash64(values, seed: int = 0) -> np.ndarray:
         raw = data.astype(np.float64, copy=False).view(np.uint64)
     else:
         raw = np.fromiter(
-            (hash(item) & 0xFFFFFFFFFFFFFFFF for item in data.tolist()),
+            (_stable_hash(item) for item in data.tolist()),
             dtype=np.uint64,
             count=data.size,
         )

@@ -1,0 +1,28 @@
+"""R1002 fixture: three order-taint violations, three sanitized forms."""
+
+import os
+
+
+def bad_sum_over_set(values):
+    unique = set(values)
+    return sum(unique)
+
+
+def bad_listing_order(path):
+    return os.listdir(path)
+
+
+def bad_set_comp(values):
+    return list({value * 2 for value in values})
+
+
+def good_sorted_reduction(values):
+    return sum(sorted(set(values)))
+
+
+def good_count(values):
+    return len(set(values))
+
+
+def good_membership(values, probe):
+    return probe in set(values)

@@ -1,0 +1,38 @@
+"""R1101 fixture: worker-reachable module-state mutations, one lambda.
+
+``run_all`` submits three resolvable tasks plus a lambda; ``task_bad``
+mutates a module container directly, ``task_via_helper`` reaches a
+global rebind through a call, and ``task_good`` stays worker-local.
+"""
+
+_CACHE = {}
+_TOTAL = 0.0
+
+
+def task_bad(point):
+    if point not in _CACHE:
+        _CACHE[point] = point * 2
+    return _CACHE[point]
+
+
+def helper_bad():
+    global _TOTAL
+    _TOTAL += 1.0
+    return _TOTAL
+
+
+def task_via_helper(point):
+    return helper_bad() + point
+
+
+def task_good(point):
+    local = {}
+    local[point] = point * 2
+    return local[point]
+
+
+def run_all(pool, run_sweep):
+    run_sweep(task_bad, [1, 2])
+    pool.submit(task_via_helper, 3)
+    run_sweep(task_good, [4])
+    pool.submit(lambda point: point + 1, 5)

@@ -1,0 +1,38 @@
+"""R1201 fixture: three raw truncating writes, three sanctioned forms."""
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.resilience import atomic_write
+
+
+def bad_open(path, payload):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def bad_write_text(path, payload):
+    Path(path).write_text(json.dumps(payload))
+
+
+def bad_numpy(path, values):
+    np.save(path, values)
+
+
+def good_append_journal(path, line):
+    with open(path, "a") as handle:
+        handle.write(line)
+
+
+def good_buffer_then_atomic(path, values):
+    buffer = io.BytesIO()
+    np.save(buffer, values)
+    return atomic_write(path, buffer.getvalue())
+
+
+def good_read(path):
+    with open(path) as handle:
+        return handle.read()

@@ -1,0 +1,90 @@
+"""Tests for rule explanations and the compiled docs/rules.md reference."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.explain import (
+    explain_all,
+    explain_rule,
+    rule_scope,
+    rules_markdown,
+)
+from repro.analysis.rules import ProjectRule, all_rules
+from repro.cli import main
+from repro.errors import InvalidParameterError
+
+DOCS = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "docs", "rules.md"
+)
+
+
+class TestRuleMetadata:
+    def test_every_rule_documents_itself(self):
+        for code, rule_class in all_rules().items():
+            assert rule_class.rationale.strip(), f"{code} lacks a rationale"
+            assert rule_class.example.strip(), f"{code} lacks an example"
+            assert rule_class.remediation.strip(), f"{code} lacks a remediation"
+
+    def test_scope_distinguishes_project_rules(self):
+        rules = all_rules()
+        assert rule_scope(rules["R1001"]) == "project"
+        assert rule_scope(rules["R1201"]) == "module"
+        assert all(
+            rule_scope(cls)
+            == ("project" if issubclass(cls, ProjectRule) else "module")
+            for cls in rules.values()
+        )
+
+
+class TestExplainRendering:
+    def test_sections_present(self):
+        text = explain_rule("R1002")
+        assert text.startswith("R1002  order-sensitivity")
+        for section in ("Why", "Example", "Fix"):
+            assert section in text
+
+    def test_lookup_is_case_insensitive(self):
+        assert explain_rule("r1101") == explain_rule("R1101")
+
+    def test_unknown_code_is_an_input_error(self):
+        with pytest.raises(InvalidParameterError, match="R9999"):
+            explain_rule("R9999")
+
+    def test_explain_all_covers_every_code(self):
+        text = explain_all()
+        for code in all_rules():
+            assert f"{code}  " in text
+
+
+class TestDocsSync:
+    def test_rules_md_matches_the_registry(self):
+        with open(DOCS, encoding="utf-8") as handle:
+            on_disk = handle.read()
+        assert on_disk == rules_markdown(), (
+            "docs/rules.md is stale; run scripts/generate_rules_doc.py"
+        )
+
+    def test_markdown_has_one_section_per_rule(self):
+        text = rules_markdown()
+        for code, rule_class in all_rules().items():
+            assert f"## {code} — {rule_class.name}" in text
+
+
+class TestExplainCli:
+    def test_explain_one_rule(self, capsys):
+        assert main(["lint", "--explain", "R1001"]) == 0
+        out = capsys.readouterr().out
+        assert "nondeterminism-taint" in out
+        assert "Why" in out
+
+    def test_explain_all(self, capsys):
+        assert main(["lint", "--explain", "all"]) == 0
+        out = capsys.readouterr().out
+        for code in all_rules():
+            assert f"{code}  " in out
+
+    def test_explain_unknown_code_exits_2(self):
+        assert main(["lint", "--explain", "R9999"]) == 2

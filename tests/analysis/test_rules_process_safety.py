@@ -1,0 +1,105 @@
+"""Fixture tests for the process-safety rules (R1101, R1201)."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import lint_fixture, lint_text
+
+
+class TestWorkerSharedState:
+    def findings(self):
+        return lint_fixture(
+            "fixture_r1101.py",
+            ["R1101"],
+            virtual_path="repro/experiments/fixture.py",
+        )
+
+    def test_flags_each_mutating_function_and_the_lambda(self):
+        lines = [finding.line for finding in self.findings()]
+        # def lines of task_bad and helper_bad, plus the lambda itself.
+        assert lines == [12, 18, 38]
+
+    def test_direct_mutation_names_the_container(self):
+        direct = self.findings()[0]
+        assert direct.code == "R1101"
+        assert "task_bad" in direct.message
+        assert "'_CACHE'" in direct.message
+        assert "writes into the module-level container" in direct.message
+
+    def test_transitive_mutation_reports_the_chain(self):
+        transitive = self.findings()[1]
+        assert "helper_bad" in transitive.message
+        assert "'_TOTAL'" in transitive.message
+        assert "rebinds the module global" in transitive.message
+        assert "task_via_helper -> " in transitive.message
+
+    def test_lambda_submission_is_unpicklable(self):
+        assert "cannot be pickled" in self.findings()[2].message
+
+    def test_worker_local_state_is_clean(self):
+        messages = " ".join(finding.message for finding in self.findings())
+        assert "task_good" not in messages
+
+    def test_unsubmitted_mutation_is_not_flagged(self):
+        # Mutation without any run_sweep/submit root stays out of scope
+        # (it is single-process code; R303 covers estimator caching).
+        assert not lint_text(
+            "_CACHE = {}\n"
+            "def remember(key, value):\n"
+            "    _CACHE[key] = value\n",
+            ["R1101"],
+            virtual_path="repro/experiments/fixture.py",
+        )
+
+    def test_suppression_on_def_line_is_honored(self):
+        assert not lint_text(
+            "_CACHE = {}\n"
+            "def task(point):  # reprolint: disable=R1101 - test pragma\n"
+            "    _CACHE[point] = point\n"
+            "def run(pool):\n"
+            "    pool.submit(task, 1)\n",
+            ["R1101"],
+            virtual_path="repro/experiments/fixture.py",
+        )
+
+
+class TestRawArtifactWrite:
+    def findings(self):
+        return lint_fixture(
+            "fixture_r1201.py",
+            ["R1201"],
+            virtual_path="repro/db/fixture.py",
+        )
+
+    def test_flags_each_raw_write(self):
+        lines = [finding.line for finding in self.findings()]
+        # open(..., "w"), Path.write_text, np.save to a real path.
+        assert lines == [13, 18, 22]
+
+    def test_messages_route_to_atomic_write(self):
+        for finding in self.findings():
+            assert finding.code == "R1201"
+            assert "atomic_write" in finding.message
+
+    def test_append_read_and_buffered_writes_are_clean(self):
+        # good_append_journal, good_buffer_then_atomic, good_read
+        # contribute no findings: lines 25+ stay silent.
+        assert all(finding.line < 25 for finding in self.findings())
+
+    def test_resilience_package_is_exempt(self):
+        assert not lint_text(
+            "def land(path, data):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write(data)\n",
+            ["R1201"],
+            virtual_path="repro/resilience/fixture.py",
+        )
+
+    def test_exclusive_create_mode_is_flagged(self):
+        findings = lint_text(
+            "def claim(path):\n"
+            "    with open(path, 'x') as handle:\n"
+            "        handle.write('token')\n",
+            ["R1201"],
+            virtual_path="repro/db/fixture.py",
+        )
+        assert [finding.line for finding in findings] == [2]
