@@ -17,7 +17,7 @@ prove:
 
 typecheck:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		$(PYTHON) -m mypy src/repro/core src/repro/frequency src/repro/estimators src/repro/sampling src/repro/obs src/repro/resilience src/repro/experiments/executor.py; \
+		$(PYTHON) -m mypy src/repro/core src/repro/frequency src/repro/estimators src/repro/sampling src/repro/obs src/repro/resilience src/repro/experiments; \
 	else \
 		echo "mypy not installed; skipping typecheck (pip install -e .[typecheck])"; \
 	fi

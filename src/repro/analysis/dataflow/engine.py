@@ -30,6 +30,8 @@ documented real-arithmetic and encapsulation caveats.
 from __future__ import annotations
 
 import ast
+import copy
+import math
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -42,6 +44,7 @@ __all__ = [
     "FunctionAnalysis",
     "FunctionContract",
     "ModuleIntervals",
+    "RemoteCallee",
     "key_of",
     "module_intervals",
 ]
@@ -143,6 +146,27 @@ class ClauseVerdict:
     lineno: int
     #: ``assumed`` (requires), ``proved``, ``runtime``, or ``violated``.
     verdict: str
+    #: Provenance of a ``proved`` verdict: ``contract`` when only explicit
+    #: contracts and local reasoning were needed, ``summary`` when an
+    #: inferred interprocedural summary contributed to the proof.
+    via: str = "contract"
+
+
+@dataclass(frozen=True)
+class RemoteCallee:
+    """A cross-module callee handed to the engine by a summary oracle.
+
+    ``contract`` carries the callee's explicit ``@requires``/``@ensures``
+    clauses (these always win); ``summary``/``summary_elements`` carry the
+    inferred return interval for uncontracted functions.
+    """
+
+    qualname: str
+    param_names: tuple[str, ...]
+    contract: FunctionContract
+    self_attrs: dict[str, Interval] = field(default_factory=dict)
+    summary: Interval | None = None
+    summary_elements: dict[int, Interval] = field(default_factory=dict)
 
 
 @dataclass
@@ -162,6 +186,17 @@ class FunctionAnalysis:
     assigned_names: set[str] = field(default_factory=set)
     poisoned: set[str] = field(default_factory=set)
     abandoned: bool = False
+    #: Store-site counts per name (function scope, nested scopes excluded).
+    store_counts: dict[str, int] = field(default_factory=dict)
+    #: Single-assignment definitions: ``name`` (and ``name.field`` for
+    #: constructor keyword arguments) -> defining expression.
+    defs: dict[str, ast.expr] = field(default_factory=dict)
+    #: Relational ``@requires`` facts: ``(left_key, op, right_key)``.
+    relational_facts: list[tuple[str, type[ast.cmpop], str]] = field(
+        default_factory=list
+    )
+    #: True when an inferred (non-contract) summary fed this analysis.
+    used_summary: bool = False
 
     @property
     def locals(self) -> set[str]:
@@ -206,6 +241,96 @@ def _parse_clause(clause: str) -> ast.expr | None:
         return None
 
 
+def _peel_cast(expr: ast.expr) -> ast.expr:
+    """Strip ``float(...)`` / ``int(...)`` wrappers for symbolic reasoning.
+
+    ``float`` is value-preserving; ``int`` is treated as such too, which is
+    exact whenever the operand is integral (every size-like quantity in
+    this codebase) — the residual truncation caveat is documented in
+    ``docs/static_analysis.md``.
+    """
+    while (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in ("float", "int")
+        and len(expr.args) == 1
+        and not expr.keywords
+        and not isinstance(expr.args[0], ast.Starred)
+    ):
+        expr = expr.args[0]
+    return expr
+
+
+def _scoped_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Every node of ``func``'s body, excluding nested scopes' bodies."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+_RELATIONAL_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq)
+
+
+def _collect_defs(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, analysis: FunctionAnalysis
+) -> None:
+    """Populate store counts, single-assignment defs, and relational facts."""
+    scoped = list(_scoped_nodes(func))
+    for node in scoped:
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            analysis.store_counts[node.id] = analysis.store_counts.get(node.id, 0) + 1
+    # A single textual store site inside a loop still means many dynamic
+    # bindings; such names are not usable as single-assignment defs.
+    loop_nested: set[int] = set()
+    for node in scoped:
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            for inner in ast.walk(node):
+                loop_nested.add(id(inner))
+    for node in scoped:
+        if (
+            isinstance(node, ast.Assign)
+            and id(node) not in loop_nested
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            name = node.targets[0].id
+            if (
+                analysis.store_counts.get(name) != 1
+                or name in analysis.poisoned
+                or name in analysis.param_names
+            ):
+                continue
+            analysis.defs[name] = node.value
+            value = _peel_cast(node.value)
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id[:1].isupper()
+            ):
+                # Constructor keyword fields: dataclass-style classes store
+                # keyword arguments verbatim, so ``name.field`` is defined
+                # by the keyword's expression.
+                for keyword in value.keywords:
+                    if keyword.arg is not None:
+                        analysis.defs[f"{name}.{keyword.arg}"] = keyword.value
+    for clause in analysis.contract.requires:
+        clause_ast = _parse_clause(clause)
+        if not isinstance(clause_ast, ast.Compare):
+            continue
+        operands = [clause_ast.left, *clause_ast.comparators]
+        for position, op in enumerate(clause_ast.ops):
+            if not isinstance(op, _RELATIONAL_OPS):
+                continue
+            left_key = key_of(operands[position])
+            right_key = key_of(operands[position + 1])
+            if left_key is not None and right_key is not None:
+                analysis.relational_facts.append((left_key, type(op), right_key))
+
+
 def _walrus_names(stmt: ast.stmt) -> set[str]:
     """Names bound by ``:=`` anywhere in the statement (dropped to TOP)."""
     names: set[str] = set()
@@ -242,8 +367,13 @@ def _widen_envs(old: Env, new: Env) -> Env:
 class ModuleIntervals:
     """Interval facts for every function of one source module."""
 
-    def __init__(self, module: SourceModule) -> None:
+    def __init__(self, module: SourceModule, oracle: object | None = None) -> None:
         self.module = module
+        #: Optional interprocedural summary oracle (duck-typed): an object
+        #: with ``lookup(module, call) -> RemoteCallee | None`` resolving
+        #: calls the local module cannot.  Installed by
+        #: ``repro.analysis.dataflow.boundsflow.ProjectBounds``.
+        self.oracle = oracle
         self.module_env: Env = dict(_WELL_KNOWN)
         self._functions: list[FunctionAnalysis] = []
         self._by_name: dict[str, FunctionAnalysis] = {}
@@ -289,6 +419,52 @@ class ModuleIntervals:
         """True when the engine proved ``expr >= 0`` at its use site."""
         return self.interval_of(expr).is_nonnegative
 
+    def function_analyses(self) -> list[FunctionAnalysis]:
+        """Every function analysis of this module, in definition order."""
+        return list(self._functions)
+
+    def class_attr_facts(self, class_name: str) -> dict[str, Interval]:
+        """``self.<attr>`` intervals derived for one class (or empty)."""
+        return dict(self._attr_facts.get(class_name, {}))
+
+    def return_bounds(
+        self, analysis: FunctionAnalysis
+    ) -> tuple[Interval, dict[int, Interval]]:
+        """Join of the return-value interval over all reachable returns.
+
+        The scalar side runs through the symbolic evaluator (definition
+        chasing, quotient rules, callee ``@ensures``), so a summary can
+        be sharper than a plain interval walk; tuple elements keep only
+        the positions every return site agrees on.
+        """
+        if analysis.abandoned:
+            return TOP, {}
+        result: Interval | None = None
+        elements: dict[int, Interval] | None = None
+        for return_stmt, env in analysis.returns:
+            if return_stmt.value is None:
+                return TOP, {}
+            value = self._sym_eval(return_stmt.value, env, analysis, 0)
+            _plain, parts = self._eval_with_elements(
+                return_stmt.value, env, analysis
+            )
+            result = value if result is None else result.join(value)
+            if elements is None:
+                elements = dict(parts)
+            else:
+                elements = {
+                    position: interval.join(parts[position])
+                    for position, interval in elements.items()
+                    if position in parts
+                }
+        if result is None:
+            return TOP, {}
+        return result, {
+            position: interval
+            for position, interval in (elements or {}).items()
+            if not interval.is_top
+        }
+
     def contract_verdicts(self) -> list[ClauseVerdict]:
         """Static status of every contract clause declared in this module."""
         verdicts: list[ClauseVerdict] = []
@@ -302,13 +478,15 @@ class ModuleIntervals:
                     ClauseVerdict(analysis.qualname, "requires", clause, lineno, "assumed")
                 )
             for clause in contract.ensures:
+                verdict = self._ensures_verdict(analysis, clause)
+                via = (
+                    "summary"
+                    if verdict == "proved" and analysis.used_summary
+                    else "contract"
+                )
                 verdicts.append(
                     ClauseVerdict(
-                        analysis.qualname,
-                        "ensures",
-                        clause,
-                        lineno,
-                        self._ensures_verdict(analysis, clause),
+                        analysis.qualname, "ensures", clause, lineno, verdict, via
                     )
                 )
         return verdicts
@@ -539,6 +717,7 @@ class ModuleIntervals:
                 analysis.assigned_names.add(node.id)
             elif isinstance(node, (ast.Global, ast.Nonlocal)):
                 analysis.poisoned.update(node.names)
+        _collect_defs(func, analysis)
         cfg = build_cfg(func)
         analysis.cfg = cfg
 
@@ -893,6 +1072,19 @@ class ModuleIntervals:
                     )
                 return Interval(lo, hi, nonzero), {}
             if name == "float" and has_args:
+                literal = call.args[0]
+                if isinstance(literal, ast.Constant) and isinstance(
+                    literal.value, str
+                ):
+                    # Fold float("inf") / float("-inf"): extended-real
+                    # endpoints the sanity-bound clauses compare against.
+                    try:
+                        folded = float(literal.value)
+                    except ValueError:
+                        return TOP, {}
+                    if math.isnan(folded):
+                        return TOP, {}
+                    return Interval.const(folded), {}
                 return arg(0), {}
             if name == "int" and has_args:
                 return arg(0).to_int(), {}
@@ -905,6 +1097,28 @@ class ModuleIntervals:
             transferred = self._math_call(name, call, env, analysis, scope_locals)
             if transferred is not None:
                 return transferred, {}
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "astype"
+            and len(call.args) == 1
+        ):
+            dtype = call.args[0]
+            dtype_name = (
+                dtype.attr
+                if isinstance(dtype, ast.Attribute)
+                else getattr(dtype, "id", None)
+            )
+            value = self._eval(func.value, env, analysis, scope_locals)
+            # Casts to signed/float dtypes preserve numeric bounds;
+            # unsigned targets wrap negative values around, so only a
+            # nonnegative source survives the cast with its bounds.
+            if isinstance(dtype_name, str) and (
+                not dtype_name.startswith("u") or value.is_nonnegative
+            ):
+                # join with to_int() so integer targets' truncation
+                # stays covered; exact for float targets.
+                return value.to_int().join(value), {}
+            return TOP, {}
         return self._project_call(call, env, analysis, scope_locals)
 
     def _math_call(
@@ -941,13 +1155,25 @@ class ModuleIntervals:
             return value.pow(exponent)
         if name in ("maximum", "fmax") and len(call.args) >= 2:
             other = self._eval(call.args[1], env, analysis, scope_locals)
-            lo = max(value.lo, other.lo)
-            hi = max(value.hi, other.hi)
-            nonzero = lo > 0.0 or hi < 0.0 or value.is_positive or other.is_positive
-            return Interval(lo, hi, nonzero)
+            return value.maximum(other)
         if name in ("minimum", "fmin") and len(call.args) >= 2:
             other = self._eval(call.args[1], env, analysis, scope_locals)
-            return Interval(min(value.lo, other.lo), min(value.hi, other.hi))
+            return value.minimum(other)
+        if name == "clip" and len(call.args) >= 3:
+
+            def clip_bound(index: int) -> Interval | None:
+                node = call.args[index]
+                if isinstance(node, ast.Constant) and node.value is None:
+                    return None  # open side: np.clip(x, 0, None)
+                return self._eval(node, env, analysis, scope_locals)
+
+            return value.clip(clip_bound(1), clip_bound(2))
+        if name == "where" and len(call.args) >= 3:
+            branches = [
+                self._eval(call.args[index], env, analysis, scope_locals)
+                for index in (1, 2)
+            ]
+            return branches[0].join(branches[1])
         if name == "count_nonzero":
             return Interval.nonnegative()
         if name in ("int8", "int16", "int32", "int64", "uint8", "uint16", "uint32", "uint64"):
@@ -979,6 +1205,29 @@ class ModuleIntervals:
                     return found
         return None
 
+    def _resolve_call_view(
+        self, call: ast.Call, analysis: FunctionAnalysis | None
+    ) -> RemoteCallee | None:
+        """Local callee (contract-bearing) or oracle-resolved remote callee."""
+        callee = self._resolve_callee(call.func, analysis)
+        if callee is not None and callee.contract.ensures:
+            attrs: dict[str, Interval] = {}
+            if callee.class_name is not None:
+                attrs = dict(self._attr_facts.get(callee.class_name, {}))
+            return RemoteCallee(
+                qualname=callee.qualname,
+                param_names=tuple(_param_names(callee.node)),
+                contract=callee.contract,
+                self_attrs=attrs,
+            )
+        if self.oracle is not None:
+            lookup = getattr(self.oracle, "lookup", None)
+            if lookup is not None:
+                remote = lookup(self.module, call)
+                if remote is not None:
+                    return remote
+        return None
+
     def _project_call(
         self,
         call: ast.Call,
@@ -986,59 +1235,67 @@ class ModuleIntervals:
         analysis: FunctionAnalysis | None,
         scope_locals: set[str] | None,
     ) -> tuple[Interval, dict[int, Interval]]:
-        callee = self._resolve_callee(call.func, analysis)
-        if callee is None or not callee.contract.ensures:
+        view = self._resolve_call_view(call, analysis)
+        if view is None:
             return TOP, {}
-        if callee.qualname in self._ensures_stack:
-            return TOP, {}
-        self._ensures_stack.add(callee.qualname)
-        try:
-            argenv = self._bind_arguments(call, callee, env, analysis, scope_locals)
-            result, elements = TOP, {}
-            for clause in callee.contract.ensures:
-                clause_ast = _parse_clause(clause)
-                if not isinstance(clause_ast, ast.Compare) or len(clause_ast.ops) != 1:
-                    continue
-                left_key = key_of(clause_ast.left)
-                if left_key is None or not left_key.startswith("result"):
-                    continue
-                op = type(clause_ast.ops[0])
-                assume = _ASSUME.get(op)
-                if assume is None:
-                    continue
-                bound = self._eval(
-                    clause_ast.comparators[0], argenv, None, set(callee.param_names)
-                )
-                if left_key == "result":
-                    refined = assume(result, bound)
-                    if refined is not None:
-                        result = refined
-                else:
-                    position = int(left_key[len("result[") : -1])
-                    refined = assume(elements.get(position, TOP), bound)
-                    if refined is not None:
-                        elements[position] = refined
-            return result, elements
-        finally:
-            self._ensures_stack.discard(callee.qualname)
+        if view.contract.ensures:
+            # Explicit contracts always win over inferred summaries.
+            if view.qualname in self._ensures_stack:
+                return TOP, {}
+            self._ensures_stack.add(view.qualname)
+            try:
+                argenv = self._bind_arguments(call, view, env, analysis, scope_locals)
+                result, elements = TOP, {}
+                for clause in view.contract.ensures:
+                    clause_ast = _parse_clause(clause)
+                    if not isinstance(clause_ast, ast.Compare) or len(clause_ast.ops) != 1:
+                        continue
+                    left_key = key_of(clause_ast.left)
+                    if left_key is None or not left_key.startswith("result"):
+                        continue
+                    op = type(clause_ast.ops[0])
+                    assume = _ASSUME.get(op)
+                    if assume is None:
+                        continue
+                    bound = self._eval(
+                        clause_ast.comparators[0], argenv, None, set(view.param_names)
+                    )
+                    if left_key == "result":
+                        refined = assume(result, bound)
+                        if refined is not None:
+                            result = refined
+                    elif left_key.startswith("result["):
+                        position = int(left_key[len("result[") : -1])
+                        refined = assume(elements.get(position, TOP), bound)
+                        if refined is not None:
+                            elements[position] = refined
+                return result, elements
+            finally:
+                self._ensures_stack.discard(view.qualname)
+        if view.summary is not None:
+            if analysis is not None and not (
+                view.summary.is_top and not view.summary_elements
+            ):
+                analysis.used_summary = True
+            return view.summary, dict(view.summary_elements)
+        return TOP, {}
 
     def _bind_arguments(
         self,
         call: ast.Call,
-        callee: FunctionAnalysis,
+        callee: RemoteCallee,
         env: Env,
         analysis: FunctionAnalysis | None,
         scope_locals: set[str] | None,
     ) -> Env:
-        params = _param_names(callee.node)
-        if callee.class_name is not None and params and params[0] in ("self", "cls"):
+        params = list(callee.param_names)
+        if params and params[0] in ("self", "cls"):
             # ``self.<attr>`` facts of the callee's class hold for the
             # receiver, so clauses over ``self.x`` stay evaluable.
             params = params[1:]
         argenv: Env = {}
-        if callee.class_name is not None:
-            for attr, interval in self._attr_facts.get(callee.class_name, {}).items():
-                argenv[f"self.{attr}"] = interval
+        for attr, interval in callee.self_attrs.items():
+            argenv[f"self.{attr}"] = interval
         for position, arg_node in enumerate(call.args):
             if isinstance(arg_node, ast.Starred) or position >= len(params):
                 break
@@ -1061,7 +1318,7 @@ class ModuleIntervals:
                     argenv[keyword.arg] = value
         # Preconditions refine the frame: calls are assumed to satisfy
         # @requires (violations surface at runtime under REPRO_CONTRACTS).
-        callee_locals = set(_param_names(callee.node))
+        callee_locals = set(callee.param_names)
         for clause in callee.contract.requires:
             clause_ast = _parse_clause(clause)
             if clause_ast is None:
@@ -1070,6 +1327,557 @@ class ModuleIntervals:
             if refined is not None:
                 argenv = refined
         return argenv
+
+    # ------------------------------------------------------------------
+    # Relational (symbolic-difference) reasoning
+    # ------------------------------------------------------------------
+    #: Recursion budget for the symbolic rules; contract clauses and
+    #: estimator return expressions are small, so this is generous.
+    _SYM_DEPTH = 12
+
+    @staticmethod
+    def _meet_best(current: Interval, candidate: Interval) -> Interval:
+        """Tighten ``current`` by ``candidate``; both over-approximate the
+        same value, so intersection is sound (kept as-is if the documented
+        int-cast caveat ever makes them disagree)."""
+        met = current.meet(candidate)
+        return met if met is not None else current
+
+    def _stable_root(self, key: str, analysis: FunctionAnalysis | None) -> bool:
+        """A key whose value cannot differ between its binding and any use:
+        the root name is never stored in this function (parameter, global)
+        or is a non-parameter local with exactly one recorded definition."""
+        if analysis is None:
+            return False
+        root = key.split(".", 1)[0]
+        if root in analysis.poisoned:
+            return False
+        count = analysis.store_counts.get(root, 0)
+        if count == 0:
+            return True
+        return (
+            count == 1 and root not in analysis.param_names and root in analysis.defs
+        )
+
+    def _expr_stable(self, expr: ast.expr, analysis: FunctionAnalysis | None) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if not self._stable_root(node.id, analysis):
+                    return False
+        return True
+
+    def _canon(self, key: str, analysis: FunctionAnalysis | None) -> str:
+        """Canonical form of a key under single-assignment copy chasing:
+        ``d = profile.distinct`` makes ``d`` canonically ``profile.distinct``."""
+        if analysis is None:
+            return key
+        seen: set[str] = set()
+        while key not in seen:
+            seen.add(key)
+            replaced = self._canon_step(key, analysis)
+            if replaced is None:
+                return key
+            key = replaced
+        return key
+
+    def _canon_step(self, key: str, analysis: FunctionAnalysis) -> str | None:
+        expr = analysis.defs.get(key)
+        if expr is not None:
+            target = key_of(_peel_cast(expr))
+            if target is not None and self._stable_root(target, analysis):
+                return target
+        root, sep, rest = key.partition(".")
+        if sep:
+            expr = analysis.defs.get(root)
+            if expr is not None:
+                target = key_of(_peel_cast(expr))
+                if target is not None and self._stable_root(target, analysis):
+                    return f"{target}.{rest}"
+        return None
+
+    def _sym_norm(self, expr: ast.expr, analysis: FunctionAnalysis | None) -> ast.expr:
+        """Structural normalization: peel casts, project constructor
+        keyword fields (``Estimate(value=X, ...).value`` -> ``X``), and
+        index literal tuples."""
+        expr = _peel_cast(expr)
+        if isinstance(expr, ast.Attribute):
+            base = _peel_cast(expr.value)
+            if (
+                isinstance(base, ast.Call)
+                and isinstance(base.func, ast.Name)
+                and base.func.id[:1].isupper()
+            ):
+                for keyword in base.keywords:
+                    if keyword.arg == expr.attr:
+                        return self._sym_norm(keyword.value, analysis)
+        if (
+            isinstance(expr, ast.Subscript)
+            and isinstance(expr.slice, ast.Constant)
+            and isinstance(expr.slice.value, int)
+        ):
+            base = _peel_cast(expr.value)
+            index = expr.slice.value
+            if isinstance(base, ast.Tuple) and 0 <= index < len(base.elts):
+                return self._sym_norm(base.elts[index], analysis)
+        return expr
+
+    def _fact_diff(
+        self, ca: str, cb: str, analysis: FunctionAnalysis | None
+    ) -> Interval:
+        """Interval of ``ca - cb`` implied by relational ``@requires`` facts."""
+        if analysis is None:
+            return TOP
+        best = TOP
+        for left_key, op, right_key in analysis.relational_facts:
+            cl = self._canon(left_key, analysis)
+            cr = self._canon(right_key, analysis)
+            if not (
+                self._stable_root(cl, analysis) and self._stable_root(cr, analysis)
+            ):
+                continue
+            if (cl, cr) == (ca, cb):
+                direct = True
+            elif (cl, cr) == (cb, ca):
+                direct = False
+            else:
+                continue
+            if op is ast.Eq:
+                candidate = Interval.const(0.0)
+            elif (op is ast.GtE and direct) or (op is ast.LtE and not direct):
+                candidate = Interval.nonnegative()
+            elif (op is ast.Gt and direct) or (op is ast.Lt and not direct):
+                candidate = Interval.positive()
+            elif (op is ast.LtE and direct) or (op is ast.GtE and not direct):
+                candidate = Interval.at_most(0.0)
+            else:  # Lt direct / Gt mirrored
+                candidate = Interval.at_most(0.0, nonzero=True)
+            best = self._meet_best(best, candidate)
+        return best
+
+    def _sym_diff(
+        self,
+        a: ast.expr,
+        b: ast.expr,
+        env: Env,
+        analysis: FunctionAnalysis | None,
+        depth: int,
+    ) -> Interval:
+        """Interval of ``a - b``, sharpened by structural rules."""
+        if depth > self._SYM_DEPTH:
+            return TOP
+        a = self._sym_norm(a, analysis)
+        b = self._sym_norm(b, analysis)
+        best = self._sym_eval(a, env, analysis, depth + 1).sub(
+            self._sym_eval(b, env, analysis, depth + 1)
+        )
+        key_a = key_of(a)
+        key_b = key_of(b)
+        if key_a is not None and key_b is not None:
+            canon_a = self._canon(key_a, analysis)
+            canon_b = self._canon(key_b, analysis)
+            if canon_a == canon_b and self._stable_root(canon_a, analysis):
+                return Interval.const(0.0)
+            best = self._meet_best(best, self._fact_diff(canon_a, canon_b, analysis))
+        # Single-assignment definition chasing on either side.
+        if key_a is not None and analysis is not None:
+            defined = analysis.defs.get(key_a)
+            if defined is not None and self._expr_stable(defined, analysis):
+                best = self._meet_best(
+                    best, self._sym_diff(defined, b, env, analysis, depth + 1)
+                )
+        if key_b is not None and analysis is not None:
+            defined = analysis.defs.get(key_b)
+            if defined is not None and self._expr_stable(defined, analysis):
+                best = self._meet_best(
+                    best, self._sym_diff(a, defined, env, analysis, depth + 1)
+                )
+        best = self._meet_best(best, self._sym_diff_binop(a, b, env, analysis, depth))
+        best = self._meet_best(best, self._sym_diff_minmax(a, b, env, analysis, depth))
+        bounds = self._sym_call_bounds(a, b, env, analysis, depth)
+        best = self._meet_best(best, bounds)
+        mirrored = self._sym_call_bounds(b, a, env, analysis, depth)
+        best = self._meet_best(best, mirrored.neg())
+        if isinstance(a, ast.IfExp):
+            best = self._meet_best(
+                best, self._sym_diff_ifexp(a, b, env, analysis, depth)
+            )
+        return best
+
+    def _sym_diff_binop(
+        self,
+        a: ast.expr,
+        b: ast.expr,
+        env: Env,
+        analysis: FunctionAnalysis | None,
+        depth: int,
+    ) -> Interval:
+        best = TOP
+        if isinstance(a, ast.BinOp) and isinstance(a.op, ast.Add):
+            # (x + y) - b  =  (x - b) + y  =  (y - b) + x
+            for part, other in ((a.left, a.right), (a.right, a.left)):
+                candidate = self._sym_diff(part, b, env, analysis, depth + 1).add(
+                    self._sym_eval(other, env, analysis, depth + 1)
+                )
+                best = self._meet_best(best, candidate)
+        if isinstance(a, ast.BinOp) and isinstance(a.op, ast.Sub):
+            # (x - y) - b  =  (x - b) - y
+            candidate = self._sym_diff(a.left, b, env, analysis, depth + 1).sub(
+                self._sym_eval(a.right, env, analysis, depth + 1)
+            )
+            best = self._meet_best(best, candidate)
+        if isinstance(b, ast.BinOp) and isinstance(b.op, ast.Add):
+            # a - (x + y)  =  (a - x) - y  =  (a - y) - x
+            for part, other in ((b.left, b.right), (b.right, b.left)):
+                candidate = self._sym_diff(a, part, env, analysis, depth + 1).sub(
+                    self._sym_eval(other, env, analysis, depth + 1)
+                )
+                best = self._meet_best(best, candidate)
+        if isinstance(b, ast.BinOp) and isinstance(b.op, ast.Sub):
+            # a - (x - y)  =  (a - x) + y
+            candidate = self._sym_diff(a, b.left, env, analysis, depth + 1).add(
+                self._sym_eval(b.right, env, analysis, depth + 1)
+            )
+            best = self._meet_best(best, candidate)
+        best = self._meet_best(best, self._sym_diff_div(a, b, env, analysis, depth))
+        best = self._meet_best(best, self._sym_diff_mult(a, b, env, analysis, depth))
+        return best
+
+    def _sym_diff_div(
+        self,
+        a: ast.expr,
+        b: ast.expr,
+        env: Env,
+        analysis: FunctionAnalysis | None,
+        depth: int,
+    ) -> Interval:
+        best = TOP
+        if isinstance(a, ast.BinOp) and isinstance(a.op, ast.Div):
+            divisor = self._sym_eval(a.right, env, analysis, depth + 1)
+            if divisor.is_positive:
+                # N/D - b = (N - b*D) / D for D > 0.
+                if isinstance(b, ast.Constant) and b.value in (1, 1.0):
+                    numerator = self._sym_diff(a.left, a.right, env, analysis, depth + 1)
+                else:
+                    scaled = ast.BinOp(left=b, op=ast.Mult(), right=a.right)
+                    numerator = self._sym_diff(a.left, scaled, env, analysis, depth + 1)
+                best = self._meet_best(best, numerator.div(divisor))
+        if isinstance(b, ast.BinOp) and isinstance(b.op, ast.Div):
+            divisor = self._sym_eval(b.right, env, analysis, depth + 1)
+            if divisor.is_positive:
+                # a - N/D = (a*D - N) / D for D > 0.
+                if isinstance(a, ast.Constant) and a.value in (1, 1.0):
+                    numerator = self._sym_diff(b.right, b.left, env, analysis, depth + 1)
+                else:
+                    scaled = ast.BinOp(left=a, op=ast.Mult(), right=b.right)
+                    numerator = self._sym_diff(scaled, b.left, env, analysis, depth + 1)
+                best = self._meet_best(best, numerator.div(divisor))
+        return best
+
+    def _sym_diff_mult(
+        self,
+        a: ast.expr,
+        b: ast.expr,
+        env: Env,
+        analysis: FunctionAnalysis | None,
+        depth: int,
+    ) -> Interval:
+        """Common-factor products: ``X*A - X*B = X * (A - B)``."""
+
+        def factors(expr: ast.expr) -> list[tuple[ast.expr, ast.expr | None]]:
+            # (factor, cofactor); cofactor None means an implicit 1.
+            pairs: list[tuple[ast.expr, ast.expr | None]] = [(expr, None)]
+            if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Mult):
+                pairs.append((expr.left, expr.right))
+                pairs.append((expr.right, expr.left))
+            return pairs
+
+        best = TOP
+        one = ast.Constant(value=1.0)
+        for factor_a, cofactor_a in factors(a):
+            key_fa = key_of(self._sym_norm(factor_a, analysis))
+            if key_fa is None:
+                continue
+            canon_fa = self._canon(key_fa, analysis)
+            if not self._stable_root(canon_fa, analysis):
+                continue
+            for factor_b, cofactor_b in factors(b):
+                if cofactor_a is None and cofactor_b is None:
+                    continue  # plain key-vs-key is handled upstream
+                key_fb = key_of(self._sym_norm(factor_b, analysis))
+                if key_fb is None or self._canon(key_fb, analysis) != canon_fa:
+                    continue
+                factor_iv = self._sym_eval(factor_a, env, analysis, depth + 1)
+                inner = self._sym_diff(
+                    cofactor_a if cofactor_a is not None else one,
+                    cofactor_b if cofactor_b is not None else one,
+                    env,
+                    analysis,
+                    depth + 1,
+                )
+                best = self._meet_best(best, factor_iv.mul(inner))
+        return best
+
+    def _sym_diff_minmax(
+        self,
+        a: ast.expr,
+        b: ast.expr,
+        env: Env,
+        analysis: FunctionAnalysis | None,
+        depth: int,
+    ) -> Interval:
+        """``min``/``max`` distribute over subtraction of a common term."""
+
+        def minmax_args(expr: ast.expr) -> tuple[str, list[ast.expr]] | None:
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id in ("min", "max")
+                and len(expr.args) >= 2
+                and not expr.keywords
+                and not any(isinstance(arg, ast.Starred) for arg in expr.args)
+            ):
+                return expr.func.id, list(expr.args)
+            return None
+
+        best = TOP
+        left_form = minmax_args(a)
+        if left_form is not None:
+            name, args = left_form
+            diffs = [self._sym_diff(arg, b, env, analysis, depth + 1) for arg in args]
+            if name == "max":
+                candidate = Interval(max(d.lo for d in diffs), max(d.hi for d in diffs))
+            else:
+                candidate = Interval(min(d.lo for d in diffs), min(d.hi for d in diffs))
+            best = self._meet_best(best, candidate)
+        right_form = minmax_args(b)
+        if right_form is not None:
+            name, args = right_form
+            diffs = [self._sym_diff(a, arg, env, analysis, depth + 1) for arg in args]
+            if name == "max":
+                # a - max(xs) = min(a - x)
+                candidate = Interval(min(d.lo for d in diffs), min(d.hi for d in diffs))
+            else:
+                candidate = Interval(max(d.lo for d in diffs), max(d.hi for d in diffs))
+            best = self._meet_best(best, candidate)
+        return best
+
+    def _sym_diff_ifexp(
+        self,
+        a: ast.IfExp,
+        b: ast.expr,
+        env: Env,
+        analysis: FunctionAnalysis | None,
+        depth: int,
+    ) -> Interval:
+        env_true = self._refine(dict(env), a.test, True, analysis, None)
+        env_false = self._refine(dict(env), a.test, False, analysis, None)
+        branches: list[Interval] = []
+        if env_true is not None:
+            branches.append(self._sym_diff(a.body, b, env_true, analysis, depth + 1))
+        if env_false is not None:
+            branches.append(self._sym_diff(a.orelse, b, env_false, analysis, depth + 1))
+        if not branches:
+            return TOP
+        joined = branches[0]
+        for branch in branches[1:]:
+            joined = joined.join(branch)
+        return joined
+
+    def _sym_eval(
+        self,
+        expr: ast.expr,
+        env: Env,
+        analysis: FunctionAnalysis | None,
+        depth: int,
+    ) -> Interval:
+        """Interval of ``expr``, sharpened beyond plain ``_eval`` by
+        definition chasing, symbolic differences (``x - y`` and the
+        ``N/D >= 1`` quotient rule), and callee ``@ensures`` bounds."""
+        expr = self._sym_norm(expr, analysis)
+        best = self._eval(expr, env, analysis, {"result"})
+        if depth > self._SYM_DEPTH:
+            return best
+        key = key_of(expr)
+        if key is not None and analysis is not None:
+            defined = analysis.defs.get(key)
+            if defined is not None and self._expr_stable(defined, analysis):
+                best = self._meet_best(
+                    best, self._sym_eval(defined, env, analysis, depth + 1)
+                )
+        if isinstance(expr, ast.BinOp):
+            if isinstance(expr.op, ast.Sub):
+                best = self._meet_best(
+                    best,
+                    self._sym_diff(expr.left, expr.right, env, analysis, depth + 1),
+                )
+            elif isinstance(expr.op, (ast.Add, ast.Mult, ast.Div, ast.Pow)):
+                left = self._sym_eval(expr.left, env, analysis, depth + 1)
+                right = self._sym_eval(expr.right, env, analysis, depth + 1)
+                best = self._meet_best(best, self._binop(type(expr.op), left, right))
+                if isinstance(expr.op, ast.Div) and right.is_positive:
+                    # N/D sits on the same side of 1 as N - D when D > 0.
+                    numdiff = self._sym_diff(
+                        expr.left, expr.right, env, analysis, depth + 1
+                    )
+                    if numdiff.is_nonnegative:
+                        best = self._meet_best(best, Interval.at_least(1.0))
+                    if numdiff.hi <= 0.0 and left.is_nonnegative:
+                        best = self._meet_best(best, Interval(0.0, 1.0))
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+            best = self._meet_best(
+                best, self._sym_eval(expr.operand, env, analysis, depth + 1).neg()
+            )
+        bounds = self._sym_call_bounds(
+            expr, ast.Constant(value=0.0), env, analysis, depth
+        )
+        return self._meet_best(best, bounds)
+
+    def _sym_call_bounds(
+        self,
+        expr: ast.expr,
+        other: ast.expr,
+        env: Env,
+        analysis: FunctionAnalysis | None,
+        depth: int,
+    ) -> Interval:
+        """Interval of ``expr - other`` from a callee's ``@ensures`` bounds
+        with caller argument expressions substituted for parameters.
+
+        Handles both plain calls (clauses over ``result``) and attribute
+        projections of a call result (``inner.value`` where ``inner`` is
+        single-assigned from a call: clauses over ``result.value``)."""
+        attr: str | None = None
+        target = _peel_cast(expr)
+        if isinstance(target, ast.Attribute):
+            attr = target.attr
+            base = _peel_cast(target.value)
+            base_key = key_of(base)
+            if (
+                base_key is not None
+                and analysis is not None
+                and base_key in analysis.defs
+                and self._stable_root(base_key, analysis)
+            ):
+                base = _peel_cast(analysis.defs[base_key])
+            target = base
+        if not isinstance(target, ast.Call):
+            return TOP
+        view = self._resolve_call_view(target, analysis)
+        if view is None or not view.contract.ensures:
+            return TOP
+        if view.qualname in self._ensures_stack:
+            return TOP
+        want_key = "result" if attr is None else f"result.{attr}"
+        lo, hi = -float("inf"), float("inf")
+        strict_lo = strict_hi = False
+        self._ensures_stack.add(view.qualname)
+        try:
+            for clause in view.contract.ensures:
+                clause_ast = _parse_clause(clause)
+                if not isinstance(clause_ast, ast.Compare) or len(clause_ast.ops) != 1:
+                    continue
+                if key_of(clause_ast.left) != want_key:
+                    continue
+                op = type(clause_ast.ops[0])
+                substituted = self._substitute_args(
+                    clause_ast.comparators[0], target, view
+                )
+                if substituted is None:
+                    continue
+                diff = self._sym_diff(substituted, other, env, analysis, depth + 1)
+                if op in (ast.GtE, ast.Gt):
+                    if diff.lo > lo:
+                        lo = diff.lo
+                        strict_lo = op is ast.Gt
+                elif op in (ast.LtE, ast.Lt):
+                    if diff.hi < hi:
+                        hi = diff.hi
+                        strict_hi = op is ast.Lt
+                elif op is ast.Eq:
+                    lo, hi = max(lo, diff.lo), min(hi, diff.hi)
+        finally:
+            self._ensures_stack.discard(view.qualname)
+        if lo > hi:
+            return TOP  # inconsistent approximations: trust neither
+        nonzero = (strict_lo and lo >= 0.0) or (strict_hi and hi <= 0.0)
+        return Interval(lo, hi, nonzero)
+
+    def _substitute_args(
+        self, bound: ast.expr, call: ast.Call, view: RemoteCallee
+    ) -> ast.expr | None:
+        """Rewrite a callee ensures bound into the caller's frame; ``None``
+        when any referenced parameter has no caller expression."""
+        params = list(view.param_names)
+        mapping: dict[str, ast.expr] = {}
+        if params and params[0] in ("self", "cls"):
+            receiver_name = params[0]
+            params = params[1:]
+            if isinstance(call.func, ast.Attribute):
+                mapping[receiver_name] = call.func.value
+                if receiver_name == "cls":
+                    mapping.setdefault("self", call.func.value)
+        for position, arg_node in enumerate(call.args):
+            if isinstance(arg_node, ast.Starred) or position >= len(params):
+                break
+            mapping[params[position]] = arg_node
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in params:
+                mapping[keyword.arg] = keyword.value
+        referenced = {
+            node.id
+            for node in ast.walk(bound)
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+        }
+        needed = referenced & (set(view.param_names) | {"self", "cls"})
+        if not needed <= set(mapping):
+            return None
+        if referenced - needed:
+            # The clause references callee-module globals we cannot carry
+            # into the caller's frame soundly.
+            return None
+
+        class _ParamSub(ast.NodeTransformer):
+            def visit_Name(self, node: ast.Name) -> ast.AST:
+                replacement = mapping.get(node.id)
+                return replacement if replacement is not None else node
+
+        return _ParamSub().visit(copy.deepcopy(bound))
+
+    def _subst_result(
+        self, clause_side: ast.expr, return_expr: ast.expr
+    ) -> ast.expr | None:
+        """Replace ``result`` / ``result[i]`` in a clause side with the
+        actual return expression (or its tuple element)."""
+        failed = False
+
+        class _ResultSub(ast.NodeTransformer):
+            def visit_Subscript(self, node: ast.Subscript) -> ast.AST:
+                nonlocal failed
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == "result"
+                    and isinstance(node.slice, ast.Constant)
+                    and isinstance(node.slice.value, int)
+                ):
+                    unwrapped = _peel_cast(return_expr)
+                    index = node.slice.value
+                    if isinstance(unwrapped, ast.Tuple) and 0 <= index < len(
+                        unwrapped.elts
+                    ):
+                        return unwrapped.elts[index]
+                    failed = True
+                    return node
+                return self.generic_visit(node)
+
+            def visit_Name(self, node: ast.Name) -> ast.AST:
+                if node.id == "result":
+                    return return_expr
+                return node
+
+        substituted = _ResultSub().visit(copy.deepcopy(clause_side))
+        if failed:
+            return None
+        return substituted
 
     # ------------------------------------------------------------------
     # Branch refinement
@@ -1171,7 +1979,9 @@ class ModuleIntervals:
             for position, interval in elements.items():
                 if not interval.is_top:
                     cenv[f"result[{position}]"] = interval
-            statuses.append(self._prove(clause_ast, cenv, analysis))
+            statuses.append(
+                self._prove(clause_ast, cenv, analysis, return_stmt.value)
+            )
         if any(status == "violated" for status in statuses):
             return "violated"
         if statuses and all(status == "proved" for status in statuses):
@@ -1179,11 +1989,18 @@ class ModuleIntervals:
         return "runtime"
 
     def _prove(
-        self, clause: ast.expr, env: Env, analysis: FunctionAnalysis | None
+        self,
+        clause: ast.expr,
+        env: Env,
+        analysis: FunctionAnalysis | None,
+        return_expr: ast.expr | None = None,
     ) -> str:
         """``proved`` / ``violated`` / ``unknown`` for a clause in ``env``."""
         if isinstance(clause, ast.BoolOp) and isinstance(clause.op, ast.And):
-            parts = [self._prove(value, env, analysis) for value in clause.values]
+            parts = [
+                self._prove(value, env, analysis, return_expr)
+                for value in clause.values
+            ]
             if any(part == "violated" for part in parts):
                 return "violated"
             if all(part == "proved" for part in parts):
@@ -1201,7 +2018,47 @@ class ModuleIntervals:
             return "proved"
         if _compare_proved(_NEGATE[op], left, right):
             return "violated"
+        if return_expr is not None and self._prove_relational(
+            clause, env, analysis, return_expr
+        ):
+            return "proved"
         return "unknown"
+
+    def _prove_relational(
+        self,
+        clause: ast.Compare,
+        env: Env,
+        analysis: FunctionAnalysis | None,
+        return_expr: ast.expr,
+    ) -> bool:
+        """Symbolic-difference proof of ``left OP right`` at a return site.
+
+        Interval comparison fails on clauses like ``result >= d`` when both
+        sides are unbounded; proving the *difference* nonnegative instead
+        only needs structural facts (shared subterms, ``@requires``
+        relations, callee ``@ensures`` bounds substituted with caller
+        argument expressions).
+        """
+        lexpr = self._subst_result(clause.left, return_expr)
+        rexpr = self._subst_result(clause.comparators[0], return_expr)
+        if lexpr is None or rexpr is None:
+            return False
+        diff = self._sym_diff(lexpr, rexpr, env, analysis, 0)
+        op = type(clause.ops[0])
+        if op is ast.GtE:
+            return diff.is_nonnegative
+        if op is ast.Gt:
+            return diff.is_positive
+        if op is ast.LtE:
+            return diff.hi <= 0.0
+        if op is ast.Lt:
+            return diff.is_negative
+        if op is ast.Eq:
+            # lo >= 0 >= hi with lo <= hi pins the difference to exactly 0.
+            return diff.lo >= 0.0 >= diff.hi and not diff.nonzero
+        if op is ast.NotEq:
+            return diff.is_nonzero
+        return False
 
     # ------------------------------------------------------------------
     # Node-to-statement mapping (query support)

@@ -201,10 +201,22 @@ class Interval:
         return TOP
 
     def pow(self, exponent: "Interval") -> "Interval":
-        """``self ** exponent``; precise only for constant exponents."""
+        """``self ** exponent``; precise for constant exponents and for
+        nonnegative bases with nonnegative exponents (monotone regime)."""
         if exponent.lo == exponent.hi and float(exponent.lo).is_integer():
             k = int(exponent.lo)
             return self._pow_const_int(k)
+        if exponent.lo == exponent.hi and exponent.lo > 0.0 and self.is_nonnegative:
+            # Constant fractional exponent (e.g. ``x ** 0.5``): monotone
+            # on the nonnegative reals.
+            e = exponent.lo
+            return Interval(_ext_pow(self.lo, e), _ext_pow(self.hi, e), self.is_nonzero)
+        if self.lo >= 1.0 and exponent.is_nonnegative:
+            # base >= 1 with a nonnegative exponent: monotone in both,
+            # so the extremes are attained at the corner points.
+            return Interval(
+                _ext_pow(self.lo, exponent.lo), _ext_pow(self.hi, exponent.hi), True
+            )
         if self.is_positive:
             return Interval.positive()
         if self.is_nonnegative:
@@ -259,14 +271,20 @@ class Interval:
         return Interval(lo, hi, self.is_nonzero)
 
     def exp(self) -> "Interval":
-        """``exp(self)`` — always positive."""
-        lo = math.exp(self.lo) if self.lo not in (-_INF, _INF) else (
-            0.0 if self.lo == -_INF else _INF
-        )
-        hi = math.exp(self.hi) if self.hi not in (-_INF, _INF) else (
-            0.0 if self.hi == -_INF else _INF
-        )
-        return Interval(lo, hi, True)
+        """``exp(self)`` — always positive; finite bounds past ~709
+        saturate to ``inf`` (``math.exp`` raises where IEEE would)."""
+
+        def _exp(bound: float) -> float:
+            if bound == -_INF:
+                return 0.0
+            if bound == _INF:
+                return _INF
+            try:
+                return math.exp(bound)
+            except OverflowError:
+                return _INF
+
+        return Interval(_exp(self.lo), _exp(self.hi), True)
 
     def log(self, base: float = math.e) -> "Interval":
         """``log(self)``; only informative when provably positive."""
@@ -295,6 +313,35 @@ class Interval:
         if self.is_positive:
             lo = max(lo, 1.0)
         return Interval(lo, hi, self.is_positive or lo > 0.0 or hi < 0.0)
+
+    def maximum(self, other: "Interval") -> "Interval":
+        """Pointwise ``max(self, other)`` (``np.maximum`` / binary ``max``)."""
+        lo = max(self.lo, other.lo)
+        hi = max(self.hi, other.hi)
+        nonzero = lo > 0.0 or hi < 0.0 or self.is_positive or other.is_positive
+        return Interval(lo, hi, nonzero)
+
+    def minimum(self, other: "Interval") -> "Interval":
+        """Pointwise ``min(self, other)`` (``np.minimum`` / binary ``min``)."""
+        lo = min(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        nonzero = (
+            lo > 0.0
+            or hi < 0.0
+            or (self.is_positive and other.is_positive)
+            or self.is_negative
+            or other.is_negative
+        )
+        return Interval(lo, hi, nonzero)
+
+    def clip(self, lower: "Interval | None", upper: "Interval | None") -> "Interval":
+        """``np.clip(self, lower, upper)``; ``None`` means that side is open."""
+        clipped = self
+        if lower is not None:
+            clipped = clipped.maximum(lower)
+        if upper is not None:
+            clipped = clipped.minimum(upper)
+        return clipped
 
     # ------------------------------------------------------------------
     # Comparison refinement

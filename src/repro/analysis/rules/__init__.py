@@ -8,8 +8,10 @@ provably-violated contracts), logging hygiene (R8xx: no print or
 root-logger calls in library code), exception hygiene (R9xx: no
 bare or silently-swallowed exception handlers), whole-program
 determinism (R10xx: taint from nondeterminism sources reaching results
-or artifacts), and process safety (R11xx/R12xx: worker-shared module
-state, non-atomic artifact writes).
+or artifacts), process safety (R11xx/R12xx: worker-shared module
+state, non-atomic artifact writes), and float-domain hazards (R13xx:
+unproven divisions in contracted functions, silent nan/inf domains,
+exp overflow, NaN flow to sinks).
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from repro.analysis.rules import contracts as _contracts
 from repro.analysis.rules import determinism as _determinism
 from repro.analysis.rules import exceptions as _exceptions
 from repro.analysis.rules import exports as _exports
+from repro.analysis.rules import float_domain as _float_domain
 from repro.analysis.rules import flow as _flow
 from repro.analysis.rules import logging_hygiene as _logging_hygiene
 from repro.analysis.rules import numeric as _numeric
@@ -51,6 +54,7 @@ del (
     _determinism,
     _exceptions,
     _exports,
+    _float_domain,
     _flow,
     _logging_hygiene,
     _numeric,

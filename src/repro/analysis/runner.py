@@ -28,6 +28,12 @@ from repro.errors import InvalidParameterError
 
 __all__ = ["LintReport", "collect_files", "lint_paths"]
 
+#: Rules whose findings depend on the interval engine; a run selecting
+#: any of them builds the whole-program bounds summaries first.
+_INTERVAL_RULES = frozenset(
+    {"R101", "R102", "R702", "R1301", "R1302", "R1303", "R1304"}
+)
+
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset(
     {
@@ -153,6 +159,17 @@ def lint_paths(
     modules, parse_findings = _parse_modules(files)
     context: ProjectContext = build_context(modules)
     rules: list[Rule] = resolve_rules(select, ignore)
+
+    if modules and (
+        prove or any(rule.code in _INTERVAL_RULES for rule in rules)
+    ):
+        # Converge the interprocedural bounds summaries *before* any rule
+        # queries intervals: project_bounds installs its oracle-equipped
+        # analyses into the per-module cache, so R101/R102/R13xx and
+        # --prove all resolve cross-module calls.
+        from repro.analysis.dataflow.boundsflow import project_bounds
+
+        project_bounds(modules, context)
 
     raw: list[Finding] = list(parse_findings)
     for module in modules:

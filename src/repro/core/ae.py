@@ -97,7 +97,9 @@ def _high_frequency_sums_approx(
     for i, count in profile.counts.items():
         if i <= rare_cutoff:
             continue
-        weight = math.exp(-float(i))
+        # i >= 1 (frequencies), so the clamp is exact; it bounds the
+        # exp argument for the prover (R1303).
+        weight = math.exp(min(0.0, -float(i)))
         a0 += weight * count
         b0 += i * weight * count
     return a0, b0

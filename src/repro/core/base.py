@@ -20,7 +20,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.contracts import ensures
+from repro.contracts import ensures, requires
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
 from repro.obs.recorder import OBS
@@ -35,6 +35,8 @@ __all__ = [
 ]
 
 
+@requires("sample_distinct >= 0", "sample_distinct <= population_size")
+@ensures("result >= sample_distinct", "result <= population_size")
 def clamp_estimate(raw: float, sample_distinct: int, population_size: int) -> float:
     """Apply the paper's sanity bounds: ``d <= D_hat <= n``.
 
@@ -190,10 +192,11 @@ class DistinctValueEstimator(ABC):
                 f"population only has {n} rows"
             )
         outcome = self._estimate_raw(profile, n)
-        if isinstance(outcome, tuple):
-            raw, details = outcome
-        else:
-            raw, details = outcome, {}
+        # Single-assignment bindings (no re-bound branch locals): the
+        # static prover chases one definition per name when discharging
+        # the sanity-bound clauses below.
+        raw = float(outcome[0]) if isinstance(outcome, tuple) else float(outcome)
+        details = outcome[1] if isinstance(outcome, tuple) else {}
         result = Estimate(
             value=clamp_estimate(raw, d, n),
             raw_value=float(raw),

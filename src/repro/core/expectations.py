@@ -94,7 +94,9 @@ def _log_prob_count(
     """``log P[count_j = i]`` for every class ``j``."""
     if scheme == "with":
         p = sizes / n
-        log_p = np.log(p)
+        # sizes >= 1 and n >= 1, so p >= 1/n > 0; the clamp is an exact
+        # no-op that makes the log domain machine-checkable (R1302).
+        log_p = np.log(np.maximum(p, 1e-300))
         with np.errstate(divide="ignore"):  # p = 1 -> log(0) = -inf, handled below
             log_q = np.log1p(-p)
         log_choose = (
@@ -116,8 +118,10 @@ def expected_distinct(class_sizes: npt.ArrayLike, sample_size: int, scheme: str 
     """``E[d]``: expected number of distinct values in the sample."""
     sizes, n, r = _validated(class_sizes, sample_size, scheme)
     log_unseen = _log_prob_count(sizes, n, r, 0, scheme)
-    # 1 - exp(log_unseen), stably.
-    return float(np.sum(-np.expm1(log_unseen)))
+    # 1 - exp(log_unseen), stably.  Log-probabilities are <= 0, so the
+    # min-clamps here and below are exact no-ops that bound the exp
+    # arguments away from overflow (R1303).
+    return float(np.sum(-np.expm1(np.minimum(0.0, log_unseen))))
 
 
 def expected_frequency_count(
@@ -128,7 +132,9 @@ def expected_frequency_count(
     i = int(frequency)
     if not 0 <= i <= r:
         raise InvalidParameterError(f"frequency must be in [0, r], got {frequency}")
-    return float(np.sum(np.exp(_log_prob_count(sizes, n, r, i, scheme))))
+    return float(
+        np.sum(np.exp(np.minimum(0.0, _log_prob_count(sizes, n, r, i, scheme))))
+    )
 
 
 def expected_profile(
@@ -146,7 +152,9 @@ def expected_profile(
     limit = min(r, 64) if max_frequency is None else min(int(max_frequency), r)
     profile: dict[int, float] = {}
     for i in range(1, limit + 1):
-        value = float(np.sum(np.exp(_log_prob_count(sizes, n, r, i, scheme))))
+        value = float(
+            np.sum(np.exp(np.minimum(0.0, _log_prob_count(sizes, n, r, i, scheme))))
+        )
         if value > 1e-12:
             profile[i] = value
     return profile
@@ -182,23 +190,30 @@ def variance_distinct(
     sizes, n, r = _validated(class_sizes, sample_size, scheme)
     d_count = sizes.size
     log_unseen = _log_prob_count(sizes, n, r, 0, scheme)
-    unseen = np.exp(log_unseen)
+    unseen = np.exp(np.minimum(0.0, log_unseen))
     variance = float(np.sum(unseen * (1.0 - unseen)))
     if d_count > 1:
         if scheme == "with":
             p = sizes / n
             pair_base = 1.0 - (p[:, None] + p[None, :])
             with np.errstate(invalid="ignore", divide="ignore"):
+                # pair_base <= 1, so r * log(pair_base) <= 0: exact clamp.
                 both_unseen = np.where(
                     pair_base > 0.0,
-                    np.exp(r * np.log(np.maximum(pair_base, 1e-300))),
+                    np.exp(
+                        np.minimum(
+                            0.0, r * np.log(np.maximum(pair_base, 1e-300))
+                        )
+                    ),
                     0.0,
                 )
         else:
             remaining = n - (sizes[:, None] + sizes[None, :])
             log_total = _log_binomial(np.array([n]), float(r))[0]
             log_both = _log_binomial(remaining, float(r)) - log_total
-            both_unseen = np.where(remaining >= r, np.exp(log_both), 0.0)
+            both_unseen = np.where(
+                remaining >= r, np.exp(np.minimum(0.0, log_both)), 0.0
+            )
         off_diagonal = both_unseen - unseen[:, None] * unseen[None, :]
         np.fill_diagonal(off_diagonal, 0.0)
         variance += float(off_diagonal.sum())

@@ -68,7 +68,14 @@ class GEE(DistinctValueEstimator):
         if not math.isclose(exponent, 0.5):
             self.name = f"GEE(a={exponent:g})"
 
-    @requires("profile.sample_size >= 1", "population_size >= 1")
+    @requires(
+        "profile.sample_size >= 1",
+        "population_size >= 1",
+        "profile.sample_size <= population_size",
+        "profile.distinct >= 0",
+        "profile.f1 >= 0",
+    )
+    @ensures("result >= profile.distinct")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         r = profile.sample_size
         coefficient = (population_size / r) ** self.exponent

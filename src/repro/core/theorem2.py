@@ -61,9 +61,15 @@ def per_class_contribution(
         raise InvalidParameterError(
             f"class probability must be in [1/n, 1], got {p}"
         )
+    # log_q <= 0 and r >= 1, so both min-clamps are exact no-ops that
+    # bound the exp arguments away from overflow (R1303).
     log_q = math.log1p(-p) if p < 1.0 else -math.inf
-    x = -math.expm1(r * log_q)  # 1 - (1-p)^r
-    y = r * p * math.exp((r - 1) * log_q) if p < 1.0 else (1.0 if r == 1 else 0.0)
+    x = -math.expm1(min(0.0, r * log_q))  # 1 - (1-p)^r
+    y = (
+        r * p * math.exp(min(0.0, (r - 1) * log_q))
+        if p < 1.0
+        else (1.0 if r == 1 else 0.0)
+    )
     return x + (math.sqrt(n / r) - 1.0) * y
 
 

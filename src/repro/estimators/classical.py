@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from typing import Mapping
 
-from repro.contracts import requires
+from repro.contracts import ensures, requires
 from repro.core.base import DistinctValueEstimator
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
@@ -31,6 +31,10 @@ __all__ = [
     "SampleDistinct",
 ]
 
+#: ~ log(1e280): Goodman's alternating sum is abandoned (returning inf)
+#: once a term's log-magnitude passes this.
+_LOG_TERM_LIMIT = 280.0 * math.log(10.0)
+
 
 class Chao(DistinctValueEstimator):
     """Chao's 1984 lower-bound estimator, ``d + f_1^2 / (2 f_2)``.
@@ -43,14 +47,23 @@ class Chao(DistinctValueEstimator):
 
     name = "Chao84"
 
-    @requires("profile.sample_size >= 1", "population_size >= 1")
+    @requires(
+        "profile.sample_size >= 1",
+        "population_size >= 1",
+        "profile.distinct >= 0",
+        "profile.f1 >= 0",
+    )
+    @ensures("result >= profile.distinct")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         d = profile.distinct
         f1 = profile.f1
         f2 = profile.f2
         if f2 > 0:
             return d + f1 * f1 / (2.0 * f2)
-        return d + f1 * (f1 - 1) / 2.0
+        # max(f1 - 1, 0) == f1 - 1 whenever the product is nonzero, so
+        # this equals the classic f1 (f1 - 1) / 2 correction while making
+        # the lower-bound clause above machine-checkable.
+        return d + f1 * max(f1 - 1, 0) / 2.0
 
 
 class ChaoLee(DistinctValueEstimator):
@@ -65,7 +78,12 @@ class ChaoLee(DistinctValueEstimator):
 
     name = "ChaoLee"
 
-    @requires("profile.sample_size >= 1", "population_size >= 1")
+    @requires(
+        "profile.sample_size >= 1",
+        "population_size >= 1",
+        "profile.distinct >= 0",
+    )
+    @ensures("result[0] >= profile.distinct")
     def _estimate_raw(
         self, profile: FrequencyProfile, population_size: int
     ) -> tuple[float, Mapping[str, object]]:
@@ -99,8 +117,6 @@ class Goodman(DistinctValueEstimator):
 
     name = "Goodman"
 
-    _LOG_TERM_LIMIT = 280.0 * math.log(10.0)
-
     @requires("profile.sample_size >= 1", "population_size >= 1")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         n = population_size
@@ -115,7 +131,10 @@ class Goodman(DistinctValueEstimator):
             log_coeff = (
                 math.lgamma(n - r + i + 1) + math.lgamma(r - i + 1) - log_base
             )
-            if log_coeff > self._LOG_TERM_LIMIT:
+            # Abandon once terms pass ~1e280.  A module-level constant
+            # (not a class attribute) so the guard also bounds the exp
+            # argument for the interval prover (R1303).
+            if log_coeff > _LOG_TERM_LIMIT:
                 return float("inf")
             sign = 1.0 if i % 2 == 1 else -1.0
             total += sign * math.exp(log_coeff) * count
@@ -171,7 +190,9 @@ class HorvitzThompson(DistinctValueEstimator):
         for i, count in profile.counts.items():
             # inclusion = 1 - (1-q)^{i/q} lies in (0, 1] for 0 < q < 1;
             # the branch only guards expm1 rounding to exactly zero.
-            inclusion = -math.expm1(i / q * log_one_minus_q)
+            # i/q >= 0 and log(1-q) <= 0, so the min-clamp is exact and
+            # bounds the expm1 argument for the prover (R1303).
+            inclusion = -math.expm1(min(0.0, i / q * log_one_minus_q))
             if inclusion > 0.0:
                 total += count / inclusion
         return total
@@ -186,7 +207,14 @@ class NaiveScaleUp(DistinctValueEstimator):
 
     name = "Scale"
 
-    @requires("profile.sample_size >= 1", "population_size >= 1")
+    @requires(
+        "profile.sample_size >= 1",
+        "population_size >= 1",
+        "profile.distinct >= 0",
+        "profile.distinct <= profile.sample_size",
+        "profile.sample_size <= population_size",
+    )
+    @ensures("result >= profile.distinct", "result <= population_size")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         return profile.distinct * population_size / profile.sample_size
 
@@ -196,6 +224,12 @@ class SampleDistinct(DistinctValueEstimator):
 
     name = "d"
 
-    @requires("profile.sample_size >= 1", "population_size >= 1")
+    @requires(
+        "profile.sample_size >= 1",
+        "population_size >= 1",
+        "profile.distinct >= 0",
+        "profile.distinct <= population_size",
+    )
+    @ensures("result >= profile.distinct", "result <= population_size")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         return float(profile.distinct)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 
-from repro.contracts import requires
+from repro.contracts import ensures, requires
 from repro.core.base import DistinctValueEstimator
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
@@ -44,7 +44,12 @@ class GoodTuring(DistinctValueEstimator):
 
     name = "GT"
 
-    @requires("profile.sample_size >= 1", "population_size >= 1")
+    @requires(
+        "profile.sample_size >= 1",
+        "population_size >= 1",
+        "profile.distinct >= 0",
+    )
+    @ensures("result >= profile.distinct")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         return coverage_estimate_distinct(profile)
 
@@ -128,7 +133,8 @@ def good_toulmin_extrapolation(
                 + j * log_theta
                 + (k - j) * log_one_minus
             )
-            tail += math.exp(log_term)
+            # log of a binomial pmf term, <= 0: exact clamp (R1303).
+            tail += math.exp(min(0.0, log_term))
         return min(tail, 1.0)
 
     for i, count in profile.counts.items():

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from repro.contracts import requires
+from repro.contracts import ensures, requires
 from repro.core.base import DistinctValueEstimator
 from repro.errors import InvalidParameterError
 from repro.estimators.jackknife import (
@@ -76,7 +76,13 @@ class HybridVariance(DistinctValueEstimator):
         self.moderate_estimator = moderate_estimator or DUJ2A()
         self.skewed_estimator = skewed_estimator or ModifiedShlosser()
 
-    @requires("profile.sample_size >= 1", "population_size >= 1")
+    @requires(
+        "profile.sample_size >= 1",
+        "population_size >= 1",
+        "profile.distinct >= 0",
+        "profile.distinct <= population_size",
+    )
+    @ensures("result[0] >= profile.distinct", "result[0] <= population_size")
     def _estimate_raw(
         self, profile: FrequencyProfile, population_size: int
     ) -> tuple[float, Mapping[str, object]]:

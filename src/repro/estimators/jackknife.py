@@ -26,8 +26,8 @@ from typing import Mapping
 
 from scipy import optimize
 
-from repro.contracts import requires
-from repro.core.base import DistinctValueEstimator
+from repro.contracts import ensures, requires
+from repro.core.base import DistinctValueEstimator, clamp_estimate
 from repro.errors import InvalidParameterError
 from repro.frequency.profile import FrequencyProfile
 
@@ -55,7 +55,13 @@ class FirstOrderJackknife(DistinctValueEstimator):
 
     name = "JK1"
 
-    @requires("profile.sample_size >= 1", "population_size >= 1")
+    @requires(
+        "profile.sample_size >= 1",
+        "population_size >= 1",
+        "profile.distinct >= 0",
+        "profile.f1 >= 0",
+    )
+    @ensures("result >= profile.distinct")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         r = profile.sample_size
         return profile.distinct + (r - 1) / r * profile.f1
@@ -112,7 +118,15 @@ class SmoothedJackknife(DistinctValueEstimator):
 
     name = "SJ"
 
-    @requires("profile.sample_size >= 1", "population_size >= 1")
+    @requires(
+        "profile.sample_size >= 1",
+        "population_size >= 1",
+        "profile.distinct >= 0",
+        "profile.distinct <= population_size",
+        "profile.f1 >= 0",
+        "profile.sample_size <= population_size",
+    )
+    @ensures("result >= profile.distinct")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         r = profile.sample_size
         q = r / population_size
@@ -140,7 +154,13 @@ class MethodOfMoments(DistinctValueEstimator):
 
     name = "MM"
 
-    @requires("profile.sample_size >= 1", "population_size >= 1")
+    @requires(
+        "profile.sample_size >= 1",
+        "population_size >= 1",
+        "profile.distinct >= 0",
+        "profile.distinct <= population_size",
+    )
+    @ensures("result >= profile.distinct", "result <= population_size")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         d = profile.distinct
         r = profile.sample_size
@@ -151,7 +171,9 @@ class MethodOfMoments(DistinctValueEstimator):
         log_one_minus_q = math.log1p(-q) if q < 1.0 else -math.inf
 
         def moment_gap(candidate: float) -> float:
-            expected = candidate * -math.expm1(n / candidate * log_one_minus_q)  # reprolint: disable=R101 - bracketing keeps candidate in [d, n], d >= 1
+            # n/candidate >= 0 and log(1-q) <= 0: the min-clamp is exact
+            # and bounds the expm1 argument for the prover (R1303).
+            expected = candidate * -math.expm1(min(0.0, n / candidate * log_one_minus_q))  # reprolint: disable=R101 - bracketing keeps candidate in [d, n], d >= 1
             return expected - d
 
         # E[d](D) is increasing in D; bracket between d (gap <= 0 there)
@@ -159,9 +181,15 @@ class MethodOfMoments(DistinctValueEstimator):
         lo, hi = float(d), float(n)
         if moment_gap(hi) <= 0.0:
             return float(n)
-        return float(optimize.brentq(moment_gap, lo, hi, xtol=1e-9, rtol=1e-12))
+        root = float(optimize.brentq(moment_gap, lo, hi, xtol=1e-9, rtol=1e-12))
+        # brentq guarantees the root lies inside the [d, n] bracket;
+        # restating it through clamp_estimate (an exact no-op here) makes
+        # the bound clauses above machine-checkable.
+        return clamp_estimate(root, d, n)
 
 
+@requires("population_size >= 1")
+@ensures("result >= 0.0")
 def haas_stokes_cv_squared(
     profile: FrequencyProfile,
     population_size: int,

@@ -81,8 +81,12 @@ def shlosser_ratio(profile: FrequencyProfile, q: float) -> float:
     numerator = 0.0
     denominator = 0.0
     for i, count in profile.counts.items():
-        numerator += math.exp(i * log_one_minus_q) * count
-        denominator += i * q * math.exp((i - 1) * log_one_minus_q) * count
+        # i >= 1 and log(1-q) <= 0, so the min-clamps are exact no-ops
+        # that bound the exp arguments away from overflow (R1303).
+        numerator += math.exp(min(0.0, i * log_one_minus_q)) * count
+        denominator += (
+            i * q * math.exp(min(0.0, (i - 1) * log_one_minus_q)) * count
+        )
     if denominator <= 0.0:
         return 0.0
     return numerator / denominator
@@ -93,7 +97,13 @@ class Shlosser(DistinctValueEstimator):
 
     name = "Shlosser"
 
-    @requires("profile.sample_size >= 1", "population_size >= 1")
+    @requires(
+        "profile.sample_size >= 1",
+        "population_size >= 1",
+        "profile.distinct >= 0",
+        "profile.f1 >= 0",
+    )
+    @ensures("result >= profile.distinct")
     def _estimate_raw(self, profile: FrequencyProfile, population_size: int) -> float:
         q = min(profile.sample_size / population_size, 1.0)
         return profile.distinct + profile.f1 * shlosser_ratio(profile, q)
@@ -137,7 +147,8 @@ class ModifiedShlosser(DistinctValueEstimator):
         log_one_minus_q = math.log1p(-q)
         missed_mass = 0.0
         for i, count in profile.counts.items():
-            missed_mass += math.exp(i * log_one_minus_q) * count
+            # exact clamp: i >= 1 and log(1-q) <= 0 (R1303).
+            missed_mass += math.exp(min(0.0, i * log_one_minus_q)) * count
         unseen_probability = missed_mass / d
         seen_mass = d - missed_mass
         details = {"unseen_probability": unseen_probability}
@@ -158,11 +169,24 @@ class ModifiedShlosser(DistinctValueEstimator):
         numerator = 0.0
         denominator = 0.0
         for i, count in profile.counts.items():
-            numerator += i * q * q * math.exp((i - 1) * log_decay_sq) * count
-            # (1-q)^i ((1+q)^i - 1), with expm1 keeping small-q precision.
-            denominator += (
-                math.exp(i * log_decay) * math.expm1(i * log_growth) * count
+            numerator += (
+                i * q * q * math.exp(min(0.0, (i - 1) * log_decay_sq)) * count
             )
+            # (1-q)^i ((1+q)^i - 1), with expm1 keeping small-q precision
+            # for small i*log(1+q).  For larger arguments expm1 would
+            # overflow (it raises past ~710 even when the full product is
+            # tiny), so switch to the cancellation-free difference form
+            # (1-q^2)^i - (1-q)^i, whose exp arguments are <= 0.
+            growth = i * log_growth
+            if growth > 1.0:
+                term = math.exp(min(0.0, i * log_decay_sq)) - math.exp(
+                    min(0.0, i * log_decay)
+                )
+            else:
+                term = math.exp(min(0.0, i * log_decay)) * math.expm1(
+                    min(1.0, growth)
+                )
+            denominator += term * count
         if denominator <= 0.0:
             return float(profile.distinct), {"correction": 0.0}
         correction = numerator / denominator

@@ -27,8 +27,9 @@ Grid sweeps run under either of two seeding protocols (selected by
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -42,7 +43,11 @@ from repro.data.synthetic import bounded_scaleup_column, unbounded_scaleup_colum
 from repro.data.zipf import zipf_column
 from repro.errors import InvalidParameterError
 from repro.experiments import config, executor
-from repro.experiments.harness import EvaluationResult, evaluate_column
+from repro.experiments.harness import (
+    EstimatorSummary,
+    EvaluationResult,
+    evaluate_column,
+)
 from repro.experiments.report import SeriesTable
 from repro.obs.recorder import OBS
 from repro.sampling.schemes import UniformWithoutReplacement
@@ -65,7 +70,7 @@ __all__ = [
 _METRICS = ("error", "stddev")
 
 
-def _metric_value(summary, metric: str) -> float:
+def _metric_value(summary: EstimatorSummary, metric: str) -> float:
     if metric == "error":
         return summary.mean_ratio_error
     if metric == "stddev":
@@ -279,7 +284,9 @@ def error_vs_sampling_rate(
     return table
 
 
-def variance_vs_sampling_rate(z: float, duplication: int, **kwargs) -> SeriesTable:
+def variance_vs_sampling_rate(
+    z: float, duplication: int, **kwargs: Any
+) -> SeriesTable:
     """Figures 3/4: estimator stddev (as a fraction of D) vs sampling rate."""
     return error_vs_sampling_rate(z, duplication, metric="stddev", **kwargs)
 
@@ -755,7 +762,7 @@ def stability_comparison(
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
-EXPERIMENTS = {
+EXPERIMENTS: dict[str, Callable[..., SeriesTable]] = {
     "fig1": lambda **kw: error_vs_sampling_rate(z=0.0, duplication=100, **kw),
     "fig2": lambda **kw: error_vs_sampling_rate(z=2.0, duplication=100, **kw),
     "fig3": lambda **kw: variance_vs_sampling_rate(z=0.0, duplication=100, **kw),
@@ -779,7 +786,7 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(exhibit_id: str, **kwargs) -> SeriesTable:
+def run_experiment(exhibit_id: str, **kwargs: Any) -> SeriesTable:
     """Run one registered exhibit by id (``"fig1"`` ... ``"theorem1"``)."""
     try:
         runner = EXPERIMENTS[exhibit_id]

@@ -39,7 +39,7 @@ class SeriesTable:
 
     title: str
     x_name: str
-    x_values: list = field(default_factory=list)
+    x_values: list[str] = field(default_factory=list)
     series: dict[str, list[float]] = field(default_factory=dict)
     notes: str = ""
 
@@ -53,7 +53,7 @@ class SeriesTable:
             )
         self.series[name] = values
 
-    def value(self, series_name: str, x) -> float:
+    def value(self, series_name: str, x: str) -> float:
         """Look up one cell by series name and x value."""
         try:
             index = self.x_values.index(x)

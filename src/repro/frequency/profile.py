@@ -22,6 +22,7 @@ from typing import Any
 import numpy as np
 import numpy.typing as npt
 
+from repro.contracts import ensures, requires
 from repro.errors import InvalidSampleError
 
 __all__ = ["FrequencyProfile"]
@@ -186,6 +187,10 @@ class FrequencyProfile:
                 total += term * c
         return total
 
+    # f_1 <= r = sum_i i f_i holds for every valid profile; stating it as
+    # a contract lets the prover bound the coverage for callers.
+    @requires("self.f1 >= 0", "self.f1 <= self.sample_size", "self.sample_size >= 0")
+    @ensures("result >= 0.0", "result <= 1.0")
     def sample_coverage(self) -> float:
         """Good–Turing estimate of sample coverage, ``1 - f_1 / r``.
 

@@ -57,10 +57,13 @@ class FlajoletMartin(DistinctSketch):
         # Rank of the lowest set bit; all-zero payloads (prob 2^-56) get
         # the maximum rank.
         low_bit = payload & (~payload + np.uint64(1))
+        # The maximum-clamp only touches the payload == 0 lanes that the
+        # where() discards; it keeps np.log2's domain provably positive
+        # instead of emitting -inf there (R1302).
         ranks = np.where(
             payload == 0,
             _BITMAP_WIDTH,
-            np.log2(low_bit.astype(np.float64)).astype(np.int64),
+            np.log2(np.maximum(low_bit, 1).astype(np.float64)).astype(np.int64),
         )
         ranks = np.minimum(ranks, _BITMAP_WIDTH - 1)
         marks = np.left_shift(np.uint64(1), ranks.astype(np.uint64))
@@ -70,7 +73,15 @@ class FlajoletMartin(DistinctSketch):
         """Position of the lowest zero bit of each bitmap (vectorized)."""
         inverted = ~self._sketch
         low_zero = inverted & (~inverted + np.uint64(1))
-        return np.log2(low_zero.astype(np.float64)).astype(np.int64)
+        # A saturated bitmap has no zero bit (low_zero == 0); log2(0)
+        # would cast -inf to int64 garbage, skewing the mean rank.  Its
+        # lowest unset position is the full width; the maximum-clamp
+        # keeps np.log2's domain provably positive on the lanes the
+        # where() keeps (R1302).
+        positions = np.log2(
+            np.maximum(low_zero, 1).astype(np.float64)
+        ).astype(np.int64)
+        return np.where(inverted == 0, _BITMAP_WIDTH, positions)
 
     def estimate(self) -> float:
         mean_rank = float(self._lowest_unset_bits().mean())
@@ -81,7 +92,11 @@ class FlajoletMartin(DistinctSketch):
         if raw <= 2.5 * self.bitmaps:
             empty = int(np.count_nonzero(self._sketch == 0))
             if empty > 0:
-                return self.bitmaps * float(np.log(self.bitmaps / empty))
+                # empty <= bitmaps, so the ratio is >= 1 and the clamp
+                # is an exact no-op proving np.log's domain (R1302).
+                return self.bitmaps * float(
+                    np.log(np.maximum(self.bitmaps / empty, 1.0))
+                )
         return raw
 
     def merge(self, other: DistinctSketch) -> None:

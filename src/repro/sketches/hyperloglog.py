@@ -62,18 +62,23 @@ class HyperLogLog(DistinctSketch):
         payload = hashes & np.uint64((1 << payload_bits) - 1)
         # rho = position (1-based) of the leftmost set bit of the payload
         # within payload_bits, i.e. payload_bits - floor(log2(payload)).
-        with np.errstate(divide="ignore"):
-            ranks = np.where(
-                payload == 0,
-                payload_bits + 1,
-                payload_bits - np.floor(np.log2(payload.astype(np.float64))),
-            ).astype(np.uint8)
+        # The maximum-clamp only touches the payload == 0 lanes that the
+        # where() discards; it keeps np.log2's domain provably positive
+        # (R1302) and makes the errstate shield unnecessary.
+        ranks = np.where(
+            payload == 0,
+            payload_bits + 1,
+            payload_bits
+            - np.floor(np.log2(np.maximum(payload, 1).astype(np.float64))),
+        ).astype(np.uint8)
         np.maximum.at(self._registers, buckets, ranks)
 
     def estimate(self) -> float:
         m = self.registers_count
         registers = self._registers.astype(np.float64)
-        raw = _alpha(m) * m * m / np.sum(np.exp2(-registers))  # reprolint: disable=R101 - sum of 2^-register over m >= 16 registers is positive
+        # registers >= 0, so the min-clamp is an exact no-op bounding the
+        # exp2 argument for the prover (R1303).
+        raw = _alpha(m) * m * m / np.sum(np.exp2(np.minimum(0.0, -registers)))  # reprolint: disable=R101 - sum of 2^-register over m >= 16 registers is positive
         if raw <= 2.5 * m:
             zeros = int(np.count_nonzero(self._registers == 0))
             if zeros:

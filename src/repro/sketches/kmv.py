@@ -52,8 +52,11 @@ class KMinimumValues(DistinctSketch):
         seen = self._minima.size
         if seen < self.k:
             return float(seen)
-        kth = float(self._minima[-1]) + 1.0  # avoid zero for tiny hashes
-        return (self.k - 1) / (kth / _HASH_SPACE)  # reprolint: disable=R101 - kth >= 1: a uint64 hash plus one
+        # The +1 avoids zero for tiny hashes; the max-clamp is an exact
+        # no-op (a uint64 hash is >= 0) that lets the interval prover
+        # discharge the division instead of a pragma.
+        kth = max(float(self._minima[-1]) + 1.0, 1.0)
+        return (self.k - 1) / (kth / _HASH_SPACE)
 
     def merge(self, other: DistinctSketch) -> None:
         self._require_compatible(other, k=self.k, seed=self.seed)

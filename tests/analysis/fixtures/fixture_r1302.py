@@ -1,0 +1,37 @@
+"""R1302 fixture: numpy log/sqrt domains and fractional powers."""
+
+import math
+
+import numpy as np
+
+
+def bad_log(p):
+    return np.log(p)
+
+
+def bad_sqrt(x):
+    return np.sqrt(x)
+
+
+def bad_pow(x):
+    return x**0.5
+
+
+def good_clamped_log(p):
+    return np.log(np.maximum(p, 1e-300))
+
+
+def good_clamped_sqrt(x):
+    return np.sqrt(np.maximum(x, 0.0))
+
+
+def good_abs_pow(x):
+    return abs(x) ** 0.5
+
+
+def good_integer_pow(x):
+    return x**2.0
+
+
+def math_is_r102_territory(x):
+    return math.log(abs(x) + 1.0)

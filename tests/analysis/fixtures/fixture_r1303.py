@@ -1,0 +1,27 @@
+"""R1303 fixture: exp-family overflow hazards."""
+
+import math
+
+import numpy as np
+
+
+def bad_exp(x):
+    return math.exp(x)
+
+
+def bad_np_expm1(x):
+    return np.expm1(2.0 * x)
+
+
+def good_clamped(x):
+    return math.exp(min(0.0, x))
+
+
+def good_guarded(x):
+    if x > 100.0:
+        return 0.0
+    return math.exp(x)
+
+
+def good_np_minimum(x):
+    return np.exp(np.minimum(0.0, x))

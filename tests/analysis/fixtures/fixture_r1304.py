@@ -1,0 +1,41 @@
+"""R1304 fixture: NaN producers reaching result and artifact sinks."""
+
+import numpy as np
+
+from repro.core.base import DistinctValueEstimator
+from repro.db.artifacts import atomic_write
+
+
+class BadNanEstimator(DistinctValueEstimator):
+    name = "BadNan"
+
+    def _estimate_raw(self, profile, population_size):
+        if profile.sample_size == 0:
+            return float("nan")
+        return float(profile.distinct)
+
+
+class GoodInfEstimator(DistinctValueEstimator):
+    name = "GoodInf"
+
+    def _estimate_raw(self, profile, population_size):
+        if profile.sample_size == 0:
+            return float("inf")
+        return float(profile.distinct)
+
+
+def bad_payload(path, values):
+    data = np.where(values > 0, values, float("nan"))
+    atomic_write(path, data)
+
+
+def good_sanitized_payload(path, values):
+    data = np.where(values > 0, values, float("nan"))
+    atomic_write(path, np.nan_to_num(data))
+
+
+def good_checked_payload(path, values):
+    data = np.where(values > 0, values, float("nan"))
+    if np.isnan(data).any():
+        raise ValueError("refusing to persist NaN")
+    atomic_write(path, data)

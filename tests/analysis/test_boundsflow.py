@@ -1,0 +1,249 @@
+"""Tests for the interprocedural bounds engine (`boundsflow`).
+
+Each test builds small virtual modules (never imported) and checks the
+function summaries and the oracle behaviour: summaries compose across
+resolved project calls, explicit contracts always beat inferred
+summaries, recursion and cross-module cycles terminate through
+widening, and NaN evidence names the call chain.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import module_intervals
+from repro.analysis.dataflow.boundsflow import ProjectBounds, project_bounds
+from repro.analysis.project import build_context
+from repro.analysis.source import SourceModule
+
+
+def _module(text: str, path: str = "repro/core/demo.py") -> SourceModule:
+    return SourceModule.from_source(text, path=path)
+
+
+def _bounds(*modules: SourceModule) -> ProjectBounds:
+    return ProjectBounds(list(modules))
+
+
+class TestSummaries:
+    def test_return_interval_joins_all_returns(self):
+        engine = _bounds(
+            _module(
+                "def f(x):\n"
+                "    if x > 0:\n"
+                "        return 1.0\n"
+                "    return max(x, 2.0)\n"
+            )
+        )
+        summary = engine.bounds_of("repro.core.demo.f")
+        assert summary is not None
+        assert summary.interval.lo == 1.0
+        assert not summary.may_nan
+
+    def test_tuple_returns_get_element_intervals(self):
+        engine = _bounds(
+            _module(
+                "def f(x):\n"
+                "    return max(x, 0.0), abs(x) + 1.0\n"
+            )
+        )
+        summary = engine.bounds_of("repro.core.demo.f")
+        assert summary is not None
+        assert summary.elements[0].lo == 0.0
+        assert summary.elements[1].lo == 1.0
+
+    def test_nan_flag_from_literal_and_through_callees(self):
+        engine = _bounds(
+            _module(
+                "def degenerate():\n"
+                "    return float('nan')\n"
+                "def relay():\n"
+                "    return degenerate()\n"
+                "def sanitized():\n"
+                "    import numpy as np\n"
+                "    return np.nan_to_num(degenerate())\n"
+            )
+        )
+        assert engine.bounds_of("repro.core.demo.degenerate").may_nan
+        assert engine.bounds_of("repro.core.demo.relay").may_nan
+        assert not engine.bounds_of("repro.core.demo.sanitized").may_nan
+
+    def test_evidence_names_the_call_chain(self):
+        engine = _bounds(
+            _module(
+                "def degenerate():\n"
+                "    return float('nan')\n"
+                "def relay():\n"
+                "    return degenerate()\n"
+            )
+        )
+        chain = engine.evidence("repro.core.demo.relay")
+        assert any("repro.core.demo.degenerate" in entry for entry in chain)
+        direct = engine.evidence("repro.core.demo.degenerate")
+        assert any('float("nan") literal' in entry for entry in direct)
+
+
+class TestCrossModule:
+    def test_inferred_summary_resolves_an_imported_call(self):
+        helper = _module(
+            "def clamp(x):\n"
+            "    return max(x, 0.0)\n",
+            path="repro/core/helper.py",
+        )
+        caller = _module(
+            "from repro.core.helper import clamp\n"
+            "from repro.contracts import ensures\n"
+            "@ensures('result >= 0.0')\n"
+            "def f(x):\n"
+            "    return clamp(x)\n",
+            path="repro/core/caller.py",
+        )
+        engine = _bounds(helper, caller)
+        analysis = engine.module_analysis(caller)
+        verdicts = {v.clause: v for v in analysis.contract_verdicts()}
+        verdict = verdicts["result >= 0.0"]
+        assert verdict.verdict == "proved"
+        assert verdict.via == "summary"
+
+    def test_explicit_contract_wins_over_inferred_summary(self):
+        # The callee's body would justify result >= 5.0, but its
+        # declared contract only promises >= 0.0 — and contracts win,
+        # so the caller's tighter clause must NOT be proved.
+        helper = _module(
+            "from repro.contracts import ensures\n"
+            "@ensures('result >= 0.0')\n"
+            "def floor5(x):\n"
+            "    return max(x, 5.0)\n",
+            path="repro/core/helper.py",
+        )
+        caller = _module(
+            "from repro.core.helper import floor5\n"
+            "from repro.contracts import ensures\n"
+            "@ensures('result >= 5.0', 'result >= 0.0')\n"
+            "def f(x):\n"
+            "    return floor5(x)\n",
+            path="repro/core/caller.py",
+        )
+        engine = _bounds(helper, caller)
+        analysis = engine.module_analysis(caller)
+        verdicts = {v.clause: v for v in analysis.contract_verdicts()}
+        assert verdicts["result >= 5.0"].verdict == "runtime"
+        proved = verdicts["result >= 0.0"]
+        assert proved.verdict == "proved"
+        assert proved.via == "contract"
+
+    def test_unique_method_name_devirtualizes_with_arity_filter(self):
+        library = _module(
+            "class Widget:\n"
+            "    def measure(self, x):\n"
+            "        return max(x, 1.0)\n"
+            "    def measure_nothing(self):\n"
+            "        return -1.0\n",
+            path="repro/core/widgets.py",
+        )
+        caller = _module(
+            "from repro.contracts import ensures\n"
+            "@ensures('result >= 1.0')\n"
+            "def f(widget, x):\n"
+            "    return widget.measure(x)\n",
+            path="repro/core/caller.py",
+        )
+        engine = _bounds(library, caller)
+        analysis = engine.module_analysis(caller)
+        verdict = analysis.contract_verdicts()[0]
+        assert verdict.verdict == "proved"
+        assert verdict.via == "summary"
+
+    def test_ambiguous_method_names_stay_unresolved(self):
+        library = _module(
+            "class A:\n"
+            "    def measure(self, x):\n"
+            "        return max(x, 1.0)\n"
+            "class B:\n"
+            "    def measure(self, x):\n"
+            "        return min(x, -1.0)\n",
+            path="repro/core/widgets.py",
+        )
+        caller = _module(
+            "from repro.contracts import ensures\n"
+            "@ensures('result >= 1.0')\n"
+            "def f(widget, x):\n"
+            "    return widget.measure(x)\n",
+            path="repro/core/caller.py",
+        )
+        engine = _bounds(library, caller)
+        analysis = engine.module_analysis(caller)
+        # Two same-shape candidates: the sound answer is "don't know".
+        assert analysis.contract_verdicts()[0].verdict == "runtime"
+
+
+class TestTermination:
+    def test_direct_recursion_terminates(self):
+        # Construction runs the fixpoint; the promise for recursive
+        # functions is termination and soundness (TOP is acceptable —
+        # summaries are context-insensitive), never a wrong bound.
+        engine = _bounds(
+            _module(
+                "def count_down(n):\n"
+                "    if n <= 0:\n"
+                "        return 0.0\n"
+                "    return 1.0 + count_down(n - 1)\n"
+            )
+        )
+        summary = engine.bounds_of("repro.core.demo.count_down")
+        assert summary is not None
+        # Every reachable value (0.0, 1.0, 2.0, ...) is inside the bound.
+        assert summary.interval.lo <= 0.0
+        assert summary.interval.hi >= 3.0
+
+    def test_cross_module_cycle_converges(self):
+        ping = _module(
+            "from repro.core.pong import pong\n"
+            "def ping(n):\n"
+            "    if n <= 0:\n"
+            "        return 1.0\n"
+            "    return pong(n - 1) + 1.0\n",
+            path="repro/core/ping.py",
+        )
+        pong = _module(
+            "from repro.core.ping import ping\n"
+            "def pong(n):\n"
+            "    if n <= 0:\n"
+            "        return 2.0\n"
+            "    return ping(n - 1) + 1.0\n",
+            path="repro/core/pong.py",
+        )
+        engine = _bounds(ping, pong)
+        ping_summary = engine.bounds_of("repro.core.ping.ping")
+        pong_summary = engine.bounds_of("repro.core.pong.pong")
+        assert ping_summary is not None and pong_summary is not None
+        # Sound over every reachable value (1.0, 2.0, 3.0, ...); the
+        # widened fixpoint must terminate without losing containment.
+        assert ping_summary.interval.lo <= 1.0
+        assert ping_summary.interval.hi >= 3.0
+        assert pong_summary.interval.lo <= 2.0
+        assert pong_summary.interval.hi >= 3.0
+
+
+class TestInstallAndCache:
+    def test_project_bounds_installs_into_module_intervals(self):
+        helper = _module(
+            "def clamp(x):\n"
+            "    return max(x, 0.0)\n",
+            path="repro/core/helper.py",
+        )
+        caller = _module(
+            "from repro.core.helper import clamp\n"
+            "from repro.contracts import ensures\n"
+            "@ensures('result >= 0.0')\n"
+            "def f(x):\n"
+            "    return clamp(x)\n",
+            path="repro/core/caller.py",
+        )
+        modules = [helper, caller]
+        context = build_context(modules)
+        engine = project_bounds(modules, context)
+        # module_intervals now serves the oracle-equipped analysis ...
+        analysis = module_intervals(caller)
+        assert analysis is engine.module_analysis(caller)
+        assert analysis.contract_verdicts()[0].verdict == "proved"
+        # ... and a second call is a cache hit on the context.
+        assert project_bounds(modules, context) is engine

@@ -9,6 +9,7 @@ contract clause verdicts.
 from __future__ import annotations
 
 import ast
+import math
 
 from repro.analysis.dataflow import build_cfg, module_intervals
 from repro.analysis.source import SourceModule
@@ -246,6 +247,133 @@ class TestCfg:
             block for block in cfg.blocks if len(block.edges) == 2
         ]
         assert branching, "expected a two-way branch block"
+
+
+class TestNumpyTransfers:
+    """Interval transfers for the np ufunc vocabulary the estimators use.
+
+    Each fixture returns a single expression; the test reads the interval
+    the engine assigns to it, including the infinite endpoints the
+    extended-real lattice has to keep exact.
+    """
+
+    def test_exp_of_clamped_log_term_is_a_probability(self):
+        interval = _return_interval(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.exp(np.minimum(0.0, x))\n"
+        )
+        assert (interval.lo, interval.hi) == (0.0, 1.0)
+        assert interval.is_nonnegative
+
+    def test_exp_saturates_instead_of_crashing_past_709(self):
+        # math.exp raises OverflowError where IEEE doubles give inf; the
+        # transfer must saturate, not take the linter down.
+        interval = _return_interval(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.exp(np.minimum(1000.0, x))\n"
+        )
+        assert interval.lo == 0.0
+        assert interval.hi == math.inf
+
+    def test_expm1_of_clamped_term(self):
+        interval = _return_interval(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.expm1(np.minimum(0.0, x))\n"
+        )
+        assert (interval.lo, interval.hi) == (-1.0, 0.0)
+
+    def test_log_of_clamped_probability_has_finite_floor(self):
+        interval = _return_interval(
+            "import numpy as np\n"
+            "def f(p):\n"
+            "    return np.log(np.maximum(p, 1e-300))\n"
+        )
+        assert interval.lo == math.log(1e-300)
+        assert interval.hi == math.inf
+
+    def test_log_of_maybe_zero_is_top(self):
+        interval = _return_interval(
+            "import numpy as np\n"
+            "def f(p):\n"
+            "    return np.log(np.maximum(p, 0.0))\n"
+        )
+        assert interval.is_top
+
+    def test_where_joins_both_branches(self):
+        interval = _return_interval(
+            "import numpy as np\n"
+            "def f(c):\n"
+            "    return np.where(c, 1.0, 4.0)\n"
+        )
+        assert (interval.lo, interval.hi) == (1.0, 4.0)
+        assert interval.is_nonzero
+
+    def test_clip_with_open_upper_side(self):
+        interval = _return_interval(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.clip(x, 0.0, None)\n"
+        )
+        assert interval.lo == 0.0
+        assert interval.hi == math.inf
+
+    def test_astype_float_preserves_bounds(self):
+        interval = _return_interval(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.maximum(x, 1.0).astype(np.float64)\n"
+        )
+        assert interval.lo == 1.0
+        assert interval.is_positive
+
+    def test_astype_int_covers_truncation(self):
+        # [1.5, inf] cast to int64 can truncate down to 1, so the result
+        # interval must widen to include it.
+        interval = _return_interval(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.maximum(x, 1.5).astype(np.int64)\n"
+        )
+        assert interval.lo == 1.0
+        assert interval.is_positive
+
+    def test_astype_unsigned_of_maybe_negative_is_top(self):
+        # Unsigned casts wrap negatives around to huge values: no bound
+        # survives unless the source is provably nonnegative.
+        interval = _return_interval(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return x.astype(np.uint64)\n"
+        )
+        assert interval.is_top
+
+    def test_astype_unsigned_of_nonnegative_keeps_the_floor(self):
+        interval = _return_interval(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.abs(x).astype(np.uint32)\n"
+        )
+        assert interval.is_nonnegative
+
+    def test_count_nonzero_is_nonnegative(self):
+        interval = _return_interval(
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    return np.count_nonzero(x)\n"
+        )
+        assert interval.is_nonnegative
+
+
+def _return_interval(text: str):
+    """The engine's interval for the first ``return`` expression in *text*."""
+    analysis = _analysis(text)
+    for node in ast.walk(analysis.module.tree):
+        if isinstance(node, ast.Return) and node.value is not None:
+            return analysis.interval_of(node.value)
+    raise AssertionError("no return in fixture")
 
 
 def _find_divisor(analysis) -> ast.expr:

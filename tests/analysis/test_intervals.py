@@ -123,6 +123,24 @@ class TestTransferFunctions:
     def test_exp_is_positive(self):
         assert TOP.exp().is_positive
 
+    def test_exp_handles_infinite_endpoints(self):
+        full = Interval(-math.inf, math.inf).exp()
+        assert (full.lo, full.hi) == (0.0, math.inf)
+        vanishing = Interval(-math.inf, 0.0).exp()
+        assert (vanishing.lo, vanishing.hi) == (0.0, 1.0)
+
+    def test_exp_saturates_past_the_double_range(self):
+        # math.exp raises OverflowError above ~709.78 where IEEE doubles
+        # quietly give inf; the transfer must saturate, not raise.
+        huge = Interval(710.0, 1000.0).exp()
+        assert huge.lo == math.inf
+        assert huge.hi == math.inf
+
+    def test_to_int_keeps_infinite_endpoints(self):
+        cast = Interval(1.5, math.inf).to_int()
+        assert (cast.lo, cast.hi) == (1.0, math.inf)
+        assert cast.is_nonzero
+
 
 class TestBranchRefinement:
     def test_assume_gt_zero_sets_nonzero(self):
