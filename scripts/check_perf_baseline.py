@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Gate the kernel-tier speedups in BENCH_perf.json against the baseline.
+
+``benchmarks/bench_perf_kernels.py`` times each tracked kernel twice in
+the same process — legacy path, then fast path — and records the ratio
+under the report's ``"kernels"`` key.  Ratios measured back-to-back on
+one machine are robust to runner speed, so the committed
+``BENCH_perf.baseline.json`` pins them directly: this script fails when
+any tracked speedup falls more than ``tolerance`` (default 25%) below
+its baseline, which is how a silent scalar-path regression or a kernel
+that quietly stopped vectorizing shows up in CI.
+
+Run after a benchmark pass::
+
+    python -m pytest benchmarks/ --benchmark-only -q
+    python scripts/check_perf_baseline.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=_ROOT / "BENCH_perf.json",
+        help="benchmark report to check (default: BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=_ROOT / "BENCH_perf.baseline.json",
+        help="committed baseline (default: BENCH_perf.baseline.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional regression (default: the baseline's own value)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.report.exists():
+        print(
+            f"{args.report} not found; run "
+            "`python -m pytest benchmarks/ --benchmark-only -q` first",
+            file=sys.stderr,
+        )
+        return 1
+    report = json.loads(args.report.read_text(encoding="utf-8"))
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    tolerance = (
+        args.tolerance if args.tolerance is not None else baseline.get("tolerance", 0.25)
+    )
+
+    measured = report.get("kernels", {})
+    failures: list[str] = []
+    rows: list[tuple[str, str, str, str, str]] = []
+    for name, entry in sorted(baseline["kernels"].items()):
+        floor = entry["speedup"] * (1.0 - tolerance)
+        current = measured.get(name, {}).get("speedup")
+        if current is None:
+            rows.append((name, f"{entry['speedup']:.2f}x", f"{floor:.2f}x", "—", "MISSING"))
+            failures.append(f"{name}: not measured (missing from {args.report.name})")
+            continue
+        ok = current >= floor
+        rows.append(
+            (
+                name,
+                f"{entry['speedup']:.2f}x",
+                f"{floor:.2f}x",
+                f"{current:.2f}x",
+                "ok" if ok else "REGRESSED",
+            )
+        )
+        if not ok:
+            failures.append(
+                f"{name}: speedup {current:.2f}x is below the floor {floor:.2f}x "
+                f"(baseline {entry['speedup']:.2f}x - {tolerance:.0%})"
+            )
+
+    widths = [max(len(r[i]) for r in rows + [("kernel", "baseline", "floor", "now", "")]) for i in range(5)]
+    header = ("kernel", "baseline", "floor", "now", "")
+    for row in [header] + rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+
+    if failures:
+        print(file=sys.stderr)
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        print(
+            "\nIf the regression is intentional, refresh "
+            f"{args.baseline.name} in the same commit (round the new "
+            "ratios down, per the file's comment).",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(rows)} tracked kernel speedups within {tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

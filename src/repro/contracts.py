@@ -45,6 +45,7 @@ from repro.errors import InvalidParameterError
 
 __all__ = [
     "ContractViolationError",
+    "check_contracts",
     "contract_clauses",
     "ensures",
     "requires",
@@ -107,6 +108,42 @@ def contract_clauses(func: Callable[..., Any]) -> dict[str, list[str]]:
             }
         current = getattr(current, "__wrapped__", None)
     return {"requires": [], "ensures": []}
+
+
+def _contract_meta(
+    func: Callable[..., Any],
+) -> dict[str, list[tuple[str, CodeType]]] | None:
+    current: Any = func
+    while current is not None:
+        meta = getattr(current, "__repro_contracts__", None)
+        if meta is not None:
+            return meta  # type: ignore[no-any-return]
+        current = getattr(current, "__wrapped__", None)
+    return None
+
+
+def check_contracts(
+    func: Callable[..., Any], namespace: dict[str, Any], kind: str = "ensures"
+) -> None:
+    """Evaluate a contracted callable's clauses against an explicit namespace.
+
+    Batched evaluation paths (``estimate_batch``) compute many results in
+    one call but must enforce the *same* per-result contracts the scalar
+    path does; this helper re-runs a function's compiled ``requires`` or
+    ``ensures`` clauses with caller-supplied bindings (parameter names,
+    plus ``result`` for ``ensures``).  No-op for uncontracted callables.
+    Raises :class:`ContractViolationError` exactly as the scalar wrapper
+    would.
+    """
+    if kind not in ("requires", "ensures"):
+        raise InvalidParameterError(
+            f"kind must be 'requires' or 'ensures', got {kind!r}"
+        )
+    meta = _contract_meta(func)
+    if meta is None:
+        return
+    for compiled in meta[kind]:
+        _check(compiled, namespace, func, kind)
 
 
 def _compile_clause(clause: str, kind: str) -> tuple[str, CodeType]:

@@ -25,6 +25,7 @@ class Column:
     values: np.ndarray
     _distinct: int | None = field(default=None, repr=False)
     _class_sizes: np.ndarray | None = field(default=None, repr=False)
+    _population_profile: FrequencyProfile | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values)
@@ -56,8 +57,26 @@ class Column:
         return self._distinct
 
     def population_profile(self) -> FrequencyProfile:
-        """Frequency profile of the *entire* column (ground truth spectrum)."""
-        return FrequencyProfile.from_multiplicities(self.class_sizes.tolist())
+        """Frequency profile of the *entire* column (ground truth spectrum).
+
+        Computed once and cached; the single ``np.unique`` over
+        :attr:`class_sizes` replaces the historical per-multiplicity
+        Python loop.  Frequencies enter the profile in first-encounter
+        order of the class sizes — exactly the insertion order
+        ``from_multiplicities`` would produce — so the cached profile is
+        indistinguishable from the loop-built one.
+        """
+        if self._population_profile is None:
+            freqs, first, counts = np.unique(
+                self.class_sizes, return_index=True, return_counts=True
+            )
+            order = np.argsort(first)
+            self._population_profile = FrequencyProfile(
+                dict(
+                    zip(freqs[order].tolist(), counts[order].tolist())
+                )
+            )
+        return self._population_profile
 
     def __len__(self) -> int:
         return self.n_rows

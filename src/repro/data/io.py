@@ -92,16 +92,26 @@ def save_column(values: np.ndarray, path) -> Path:
     return atomic_write(file_path, text)
 
 
-def load_column(path, column: str | None = None, name: str | None = None) -> Column:
+def load_column(
+    path,
+    column: str | None = None,
+    name: str | None = None,
+    mmap: bool = False,
+) -> Column:
     """Load a column from ``.npy``, ``.csv`` (requires ``column=``), or text.
 
-    Text files hold one value per line; blank lines are skipped.
+    Text files hold one value per line; blank lines are skipped.  With
+    ``mmap=True`` an ``.npy`` file is opened as a read-only memory map
+    (``np.load(mmap_mode="r")``): nothing is read until sliced, so scans
+    and samplers touch only the rows they select.  The flag is ignored
+    for the text formats, which must be parsed row by row regardless.
     """
     file_path = Path(path)
     if not file_path.exists():
         raise DataGenerationError(f"no such file: {path}")
     if file_path.suffix == ".npy":
-        return Column(name=name or file_path.stem, values=np.load(file_path))
+        values = np.load(file_path, mmap_mode="r" if mmap else None)
+        return Column(name=name or file_path.stem, values=values)
     if file_path.suffix == ".csv":
         if column is None:
             raise DataGenerationError("CSV files need a column= name")

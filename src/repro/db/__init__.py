@@ -48,6 +48,7 @@ from repro.db.selectivity import (
     stored_histogram,
 )
 from repro.db.sql import QueryResult, execute_sql
+from repro.db.storage import load_table, save_table
 from repro.db.optimizer import (
     JoinPlan,
     JoinPredicate,
@@ -104,4 +105,6 @@ __all__ = [
     "join_cardinality",
     "DEFAULT_PAGE_SIZE",
     "Table",
+    "load_table",
+    "save_table",
 ]

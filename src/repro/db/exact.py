@@ -34,17 +34,34 @@ def exact_distinct_sort(column) -> int:
 
 
 def exact_distinct_hash(column, chunk_size: int = 65_536) -> int:
-    """Exact distinct count via a streaming hash table.
+    """Exact distinct count via streaming chunk deduplication.
 
-    Processes the column in ``chunk_size`` batches, deduplicating each
-    batch before inserting into the running set — the access pattern of
-    a hash-aggregate operator.
+    Processes the column in ``chunk_size`` batches — the access pattern
+    of a hash-aggregate operator.  Each chunk is deduplicated on arrival
+    and the per-chunk unique *arrays* are accumulated (no per-element
+    Python hashing); whenever the accumulated uniques outgrow a bound
+    they are compacted with one merge, so peak memory stays proportional
+    to the number of *distinct* values rather than rows, and the final
+    answer is one ``np.unique`` over arrays that were never larger than
+    that.  The count is exact: merging unique sets loses nothing.
     """
     if chunk_size < 1:
         raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
     data = as_column(column)
-    seen: set = set()
+    pending: list[np.ndarray] = []
+    pending_size = 0
     for start in range(0, data.size, chunk_size):
-        chunk = data[start : start + chunk_size]
-        seen.update(np.unique(chunk).tolist())
-    return len(seen)
+        chunk_unique = np.unique(data[start : start + chunk_size])
+        pending.append(chunk_unique)
+        pending_size += chunk_unique.size
+        # Compact when the staged uniques exceed a few chunks' worth:
+        # the merge collapses duplicates across chunks, so the staging
+        # area is bounded by O(distinct + chunk_size).
+        if len(pending) > 1 and pending_size >= pending[0].size + 4 * chunk_size:
+            pending = [np.unique(np.concatenate(pending))]
+            pending_size = pending[0].size
+    if not pending:
+        return 0
+    if len(pending) == 1:
+        return int(pending[0].size)
+    return int(np.unique(np.concatenate(pending)).size)

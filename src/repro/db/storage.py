@@ -1,0 +1,130 @@
+"""Zero-copy table persistence: ``.npy`` columns behind a JSON manifest.
+
+A saved table is a directory::
+
+    people/
+        table.json      # name, page size, row count, column -> file map
+        col_000.npy     # one .npy per column, manifest order
+        col_001.npy
+
+Columns load through ``np.load(mmap_mode="r")``, so opening a table
+costs a few page faults regardless of its size: scans slice views of the
+mapped file, and row sampling gathers only the selected rows into
+memory.  Object-dtype columns (mixed/string data that numpy stores via
+pickle) cannot be mapped and load eagerly — the manifest records which,
+so readers know what they are getting.
+
+Writes follow the project's crash-safety discipline: every column lands
+via :func:`~repro.resilience.atomic.atomic_write` (serialize to memory,
+write-temp-then-rename) and the manifest is written *last*, so a killed
+``save_table`` leaves either the previous complete table or no manifest
+at all — never a directory that claims columns it does not have.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.errors import CatalogError
+from repro.resilience.atomic import atomic_write
+
+__all__ = ["MANIFEST_NAME", "load_table", "save_table"]
+
+#: Manifest file name inside a table directory.
+MANIFEST_NAME = "table.json"
+
+#: Manifest schema version, bumped on incompatible layout changes.
+_FORMAT_VERSION = 1
+
+
+def _column_file(index: int) -> str:
+    return f"col_{index:03d}.npy"
+
+
+def save_table(table: Table, directory: str | Path) -> Path:
+    """Persist ``table`` as a directory of ``.npy`` columns plus manifest.
+
+    Returns the manifest path.  Each column is serialized in memory and
+    written atomically; the manifest goes last so concurrent readers and
+    crash recovery always see a consistent table.
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    manifest_columns: list[dict[str, Any]] = []
+    for index, (name, values) in enumerate(table.columns.items()):
+        file_name = _column_file(index)
+        buffer = io.BytesIO()
+        np.save(buffer, values)
+        atomic_write(target / file_name, buffer.getvalue())
+        manifest_columns.append(
+            {
+                "name": name,
+                "file": file_name,
+                "dtype": str(values.dtype),
+                "mappable": values.dtype.hasobject is False,
+            }
+        )
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "name": table.name,
+        "page_size": table.page_size,
+        "n_rows": table.n_rows,
+        "columns": manifest_columns,
+    }
+    return atomic_write(
+        target / MANIFEST_NAME, json.dumps(manifest, indent=2) + "\n"
+    )
+
+
+def _load_column_file(path: Path, mappable: bool, mmap: bool) -> np.ndarray:
+    if mappable and mmap:
+        return np.load(path, mmap_mode="r")
+    # Object-dtype columns are stored via pickle and cannot be mapped;
+    # they load eagerly.  allow_pickle is scoped to exactly this case.
+    if not mappable:
+        return np.load(path, allow_pickle=True)
+    return np.load(path)
+
+
+def load_table(directory: str | Path, mmap: bool = True) -> Table:
+    """Open a saved table, mapping columns read-only by default.
+
+    With ``mmap=True`` (the default) every non-object column is an
+    ``np.memmap`` view: nothing is read until sliced, and page scans /
+    row gathers touch only the pages they need.  ``mmap=False`` loads
+    everything into memory (use for tiny tables or read-write scratch
+    copies).
+    """
+    target = Path(directory)
+    manifest_path = target / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise CatalogError(f"no table manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise CatalogError(
+            f"unsupported table format_version {version!r} in {manifest_path} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    columns: dict[str, np.ndarray] = {}
+    for entry in manifest["columns"]:
+        column_path = target / entry["file"]
+        if not column_path.exists():
+            raise CatalogError(
+                f"table manifest {manifest_path} names missing column file "
+                f"{entry['file']!r}"
+            )
+        columns[entry["name"]] = _load_column_file(
+            column_path, bool(entry.get("mappable", True)), mmap
+        )
+    return Table(
+        name=manifest["name"],
+        columns=columns,
+        page_size=int(manifest["page_size"]),
+    )

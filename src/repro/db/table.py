@@ -11,6 +11,7 @@ that page-level sampling and scan costing are meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -84,6 +85,22 @@ class Table:
             columns={column.name: column.values for column in columns},
             page_size=page_size,
         )
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.db.storage for the on-disk layout)
+    # ------------------------------------------------------------------
+    def save(self, directory) -> Path:
+        """Persist to a directory of ``.npy`` columns plus a manifest."""
+        from repro.db.storage import save_table
+
+        return save_table(self, directory)
+
+    @classmethod
+    def load(cls, directory, mmap: bool = True) -> "Table":
+        """Open a saved table; columns are read-only memmap views by default."""
+        from repro.db.storage import load_table
+
+        return load_table(directory, mmap=mmap)
 
     # ------------------------------------------------------------------
     # Shape

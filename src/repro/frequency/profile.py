@@ -64,11 +64,20 @@ class FrequencyProfile:
 
     counts: Mapping[int, int]
     _sorted_freqs: tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _distinct: int = field(init=False, repr=False, compare=False)
+    _sample_size: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         clean = _validated_counts(self.counts)
         object.__setattr__(self, "counts", clean)
         object.__setattr__(self, "_sorted_freqs", tuple(sorted(clean)))
+        # The summary statistics are pure functions of the (now
+        # immutable) counts; estimators read them many times per call,
+        # so they are computed once here.
+        object.__setattr__(self, "_distinct", sum(clean.values()))
+        object.__setattr__(
+            self, "_sample_size", sum(i * c for i, c in clean.items())
+        )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -134,12 +143,12 @@ class FrequencyProfile:
     @property
     def distinct(self) -> int:
         """``d``: number of distinct values observed in the sample."""
-        return sum(self.counts.values())
+        return self._distinct
 
     @property
     def sample_size(self) -> int:
         """``r``: total number of sampled rows, ``sum_i i * f_i``."""
-        return sum(i * c for i, c in self.counts.items())
+        return self._sample_size
 
     @property
     def max_frequency(self) -> int:

@@ -3,17 +3,18 @@
 The measurement harness draws ``T`` independent samples per
 configuration and needs one :class:`~repro.frequency.profile.FrequencyProfile`
 per trial.  Reducing each sample separately costs ``T`` sorts plus ``T``
-rounds of Python dict handling; this module does the whole batch in two
-``np.unique`` passes over ``(trial, value)`` pairs:
-
-1. factorize the concatenated samples once and count the multiplicity of
-   every ``(trial, value)`` pair — one sort over all trials' rows;
-2. count, per trial, how many values hit each multiplicity — one sort
-   over the (much smaller) set of occupied pairs.
+rounds of Python dict handling; this module validates the batch once and
+hands the actual counting to a reduction kernel from
+:mod:`repro.sampling.kernels` — the historical two-``np.unique``
+reduction (``legacy``), the single-pass bincount kernel (``numpy``, the
+default), or the optional compiled variant (``numba``), selected by the
+``REPRO_KERNEL`` environment knob.
 
 The result is exactly ``[FrequencyProfile.from_sample(s) for s in
-samples]``: both passes are integer-exact, so the batched reduction is
-interchangeable with the serial one bit for bit.
+samples]`` under *every* kernel: all counting is integer-exact and every
+kernel emits histogram keys in the same ascending ``(trial, frequency)``
+order, so the batched reduction is interchangeable with the serial one —
+and the kernels with each other — bit for bit.
 """
 
 from __future__ import annotations
@@ -26,19 +27,23 @@ import numpy.typing as npt
 
 from repro.errors import InvalidSampleError
 from repro.frequency.profile import FrequencyProfile
+from repro.sampling.kernels import reduce_samples
 
 __all__ = ["profiles_from_samples"]
 
 
 def profiles_from_samples(
     samples: Sequence[npt.NDArray[Any]],
+    kernel: str | None = None,
 ) -> list[FrequencyProfile]:
     """Reduce a batch of sample arrays to one profile per trial.
 
     ``samples`` holds one 1-D array of sampled values per trial; the
     arrays may differ in length (Bernoulli trials do).  Returns the
     trials' profiles in order, equal to calling
-    :meth:`FrequencyProfile.from_sample` on each array.
+    :meth:`FrequencyProfile.from_sample` on each array.  ``kernel``
+    overrides the ``REPRO_KERNEL`` knob for this call (identity tests
+    compare kernels through it).
     """
     arrays: list[npt.NDArray[Any]] = []
     for sample in samples:
@@ -50,36 +55,6 @@ def profiles_from_samples(
         arrays.append(array)
     if not arrays:
         return []
-
-    lengths = np.array([a.size for a in arrays], dtype=np.int64)
-    total = int(lengths.sum())
-    if total == 0:
+    if sum(a.size for a in arrays) == 0:
         return [FrequencyProfile.empty() for _ in arrays]
-
-    flat = np.concatenate(arrays)
-    trial_ids = np.repeat(np.arange(len(arrays), dtype=np.int64), lengths)
-
-    # Pass 1: multiplicity of every (trial, value) pair.  Values are
-    # factorized to dense codes so the pair collapses into a single
-    # int64 key regardless of the column's dtype.
-    _, codes = np.unique(flat, return_inverse=True)
-    # ``max(..., 1)`` states the >= 1 invariant (codes are dense and
-    # non-negative) in a form the interval prover can discharge.
-    n_codes = max(int(codes.max()) + 1, 1)
-    pair_keys, multiplicities = np.unique(
-        trial_ids * n_codes + codes.astype(np.int64), return_counts=True
-    )
-    pair_trials = pair_keys // n_codes
-
-    # Pass 2: per trial, how many values occur with each multiplicity.
-    stride = max(int(multiplicities.max()) + 1, 1)
-    freq_keys, value_counts = np.unique(
-        pair_trials * stride + multiplicities, return_counts=True
-    )
-    key_trials = (freq_keys // stride).tolist()
-    key_freqs = (freq_keys % stride).tolist()
-
-    counts: list[dict[int, int]] = [{} for _ in arrays]
-    for trial, frequency, count in zip(key_trials, key_freqs, value_counts.tolist()):
-        counts[trial][frequency] = count
-    return [FrequencyProfile(c) for c in counts]
+    return [FrequencyProfile(c) for c in reduce_samples(arrays, kernel)]

@@ -1,0 +1,127 @@
+"""Tests for zero-copy table persistence (``repro.db.storage``)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.db import Table, load_table, save_table
+from repro.db.storage import MANIFEST_NAME
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def table() -> Table:
+    rng = np.random.default_rng(4)
+    return Table(
+        name="people",
+        columns={
+            "id": np.arange(1000, dtype=np.int64),
+            "score": rng.normal(size=1000),
+            "city": np.array([f"c{i % 37}" for i in range(1000)], dtype=object),
+        },
+        page_size=64,
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, table, tmp_path):
+        manifest_path = save_table(table, tmp_path / "people")
+        assert manifest_path.name == MANIFEST_NAME
+        loaded = load_table(tmp_path / "people")
+        assert loaded.name == table.name
+        assert loaded.page_size == table.page_size
+        assert loaded.column_names == table.column_names
+        for name in table.column_names:
+            np.testing.assert_array_equal(loaded.column(name), table.column(name))
+            assert loaded.column(name).dtype == table.column(name).dtype
+
+    def test_methods_delegate(self, table, tmp_path):
+        table.save(tmp_path / "t")
+        loaded = Table.load(tmp_path / "t")
+        assert loaded.n_rows == table.n_rows
+
+    def test_mapped_columns_are_views_not_copies(self, table, tmp_path):
+        save_table(table, tmp_path / "t")
+        loaded = load_table(tmp_path / "t")
+        # Numeric columns sit on a read-only memory map; slicing pages
+        # yields views of the mapped file, not materialized copies.
+        mapped = loaded.column("id")
+        assert isinstance(mapped.base, np.memmap) or isinstance(mapped, np.memmap)
+        page = loaded.page("id", 3)
+        assert page.base is not None
+        with pytest.raises((ValueError, RuntimeError)):
+            mapped[0] = 999
+        # Object columns cannot map; they load eagerly but correctly.
+        assert loaded.column("city").dtype == object
+
+    def test_mmap_false_loads_writable_copies(self, table, tmp_path):
+        save_table(table, tmp_path / "t")
+        eager = load_table(tmp_path / "t", mmap=False)
+        eager.column("id")[0] = 123
+        assert eager.column("id")[0] == 123
+
+    def test_empty_table(self, tmp_path):
+        empty = Table(name="void", columns={})
+        save_table(empty, tmp_path / "void")
+        loaded = load_table(tmp_path / "void")
+        assert loaded.n_rows == 0
+        assert loaded.column_names == []
+
+
+class TestFailureModes:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(CatalogError, match="manifest"):
+            load_table(tmp_path / "nope")
+
+    def test_missing_column_file(self, table, tmp_path):
+        save_table(table, tmp_path / "t")
+        (tmp_path / "t" / "col_001.npy").unlink()
+        with pytest.raises(CatalogError, match="missing column file"):
+            load_table(tmp_path / "t")
+
+    def test_unsupported_format_version(self, table, tmp_path):
+        save_table(table, tmp_path / "t")
+        manifest_path = tmp_path / "t" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CatalogError, match="format_version"):
+            load_table(tmp_path / "t")
+
+    def test_resave_over_existing_is_atomic_replacement(self, table, tmp_path):
+        save_table(table, tmp_path / "t")
+        # Overwrite with different content; readers never see a mix.
+        smaller = Table(name="people", columns={"id": np.arange(5)}, page_size=2)
+        save_table(smaller, tmp_path / "t")
+        loaded = load_table(tmp_path / "t")
+        assert loaded.n_rows == 5
+        assert loaded.column_names == ["id"]
+
+
+class TestSamplingOverMappedColumns:
+    def test_harness_numbers_identical_on_mapped_storage(self, table, tmp_path):
+        from repro.core.registry import make_estimators
+        from repro.data.column import Column
+        from repro.experiments.harness import evaluate_column
+
+        save_table(table, tmp_path / "t")
+        loaded = load_table(tmp_path / "t")
+        estimators = make_estimators(["GEE", "Shlosser"])
+        in_memory = evaluate_column(
+            Column(name="id", values=table.column("id")),
+            estimators,
+            np.random.default_rng(7),
+            size=100,
+            trials=4,
+        )
+        mapped = evaluate_column(
+            Column(name="id", values=loaded.column("id")),
+            estimators,
+            np.random.default_rng(7),
+            size=100,
+            trials=4,
+        )
+        assert in_memory == mapped

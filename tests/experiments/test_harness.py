@@ -86,3 +86,42 @@ class TestRealizedSampleSize:
         column = uniform_column(10_000, 100, rng=rng)
         result = evaluate_column(column, [GEE()], rng, size=500, trials=5)
         assert result.sample_size == 500
+
+
+class TestKernelTierIdentity:
+    """REPRO_KERNEL=legacy (historical loops) vs the batched fast path."""
+
+    ESTIMATORS = [
+        "GEE", "AE", "Shlosser", "ModShlosser", "SJ", "UJ2", "JK1",
+        "JK2", "Chao84", "Scale", "HYBGEE", "HYBSKEW", "HYBVAR", "DUJ2A",
+    ]
+
+    def _evaluate(self, monkeypatch, kernel, zipf_exponent=1.2):
+        import numpy as np
+
+        from repro.data import zipf_column
+
+        monkeypatch.setenv("REPRO_KERNEL", kernel)
+        column = zipf_column(20_000, zipf_exponent, rng=np.random.default_rng(31))
+        return evaluate_column(
+            column,
+            make_estimators(self.ESTIMATORS),
+            np.random.default_rng(97),
+            fraction=0.05,
+            trials=6,
+        )
+
+    def test_legacy_and_fast_paths_bit_identical(self, monkeypatch):
+        legacy = self._evaluate(monkeypatch, "legacy")
+        fast = self._evaluate(monkeypatch, "numpy")
+        assert legacy == fast
+        for name in self.ESTIMATORS:
+            for field in (
+                "mean_estimate",
+                "mean_ratio_error",
+                "max_ratio_error",
+                "std_fraction",
+            ):
+                left = getattr(legacy[name], field)
+                right = getattr(fast[name], field)
+                assert left.hex() == right.hex(), (name, field)

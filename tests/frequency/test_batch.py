@@ -1,0 +1,110 @@
+"""Tests for the CSR profile batch and its bit-exact reduction helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.frequency import FrequencyProfile
+from repro.frequency.batch import (
+    FrequencyProfileBatch,
+    exact_exp,
+    gather_over_unique,
+    segment_sums,
+    segment_sums_int,
+)
+
+PROFILES = [
+    FrequencyProfile({1: 3, 2: 1, 5000: 1}),  # Theorem-1 heavy head + tail
+    FrequencyProfile({1: 500}),
+    FrequencyProfile({2: 50}),
+    FrequencyProfile({1: 1}),
+    FrequencyProfile({7: 2, 1: 4, 3: 3}),     # hand-built insertion order
+]
+
+
+class TestLayout:
+    def test_csr_roundtrip_preserves_insertion_order(self):
+        batch = FrequencyProfileBatch.from_profiles(PROFILES)
+        assert len(batch) == len(PROFILES)
+        for k, profile in enumerate(PROFILES):
+            start, stop = int(batch.indptr[k]), int(batch.indptr[k + 1])
+            pairs = list(
+                zip(
+                    batch.frequencies[start:stop].tolist(),
+                    batch.counts[start:stop].tolist(),
+                )
+            )
+            assert pairs == list(profile.counts.items())
+
+    def test_summary_vectors_match_scalar_properties(self):
+        batch = FrequencyProfileBatch.from_profiles(PROFILES)
+        for k, profile in enumerate(PROFILES):
+            assert batch.distinct[k] == profile.distinct
+            assert batch.sample_size[k] == profile.sample_size
+            assert batch.f1[k] == profile.f1
+            assert batch.f2[k] == profile.f2
+            assert batch.max_frequency[k] == profile.max_frequency
+
+    def test_subset_equals_rebuild(self):
+        batch = FrequencyProfileBatch.from_profiles(PROFILES)
+        for indices in ([], [0], [4, 1, 1], [2, 0, 3]):
+            sub = batch.subset(indices)
+            rebuilt = FrequencyProfileBatch.from_profiles(
+                [PROFILES[i] for i in indices]
+            )
+            assert sub.profiles == rebuilt.profiles
+            np.testing.assert_array_equal(sub.indptr, rebuilt.indptr)
+            np.testing.assert_array_equal(sub.frequencies, rebuilt.frequencies)
+            np.testing.assert_array_equal(sub.counts, rebuilt.counts)
+            np.testing.assert_array_equal(sub.sample_size, rebuilt.sample_size)
+
+    def test_broadcast_and_segment_ids(self):
+        batch = FrequencyProfileBatch.from_profiles(PROFILES)
+        per_profile = np.arange(len(PROFILES), dtype=np.float64)
+        np.testing.assert_array_equal(
+            batch.broadcast(per_profile),
+            per_profile[batch.segment_ids()],
+        )
+
+    def test_empty_batch(self):
+        batch = FrequencyProfileBatch.from_profiles([])
+        assert len(batch) == 0
+        assert batch.indptr.tolist() == [0]
+
+
+class TestHelpers:
+    def test_segment_sums_bitwise_matches_sequential_loop(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.0, 1e3, size=200)
+        indptr = np.array([0, 0, 1, 7, 7, 113, 200], dtype=np.int64)
+        result = segment_sums(values, indptr)
+        for k in range(indptr.size - 1):
+            total = 0.0
+            for v in values[indptr[k] : indptr[k + 1]].tolist():
+                total += v
+            assert result[k].hex() == float(total).hex()
+
+    def test_segment_sums_int_exact(self):
+        values = np.array([2**40, 1, 5, 0, 7, 3], dtype=np.int64)
+        indptr = np.array([0, 2, 2, 6], dtype=np.int64)
+        assert segment_sums_int(values, indptr).tolist() == [2**40 + 1, 0, 15]
+
+    def test_exact_exp_matches_math_exp(self):
+        args = np.array([-0.5, -700.0, 0.0, -0.5, -1e-12])
+        result = exact_exp(args)
+        for got, arg in zip(result.tolist(), args.tolist()):
+            assert got.hex() == math.exp(arg).hex()
+        assert exact_exp(np.empty(0)).size == 0
+
+    def test_exact_exp_clamps_to_nonpositive(self):
+        # Callers pass missed-mass exponents (always <= 0); the restated
+        # clamp makes overflow structurally impossible.
+        assert exact_exp(np.array([5.0]))[0] == 1.0
+
+    def test_gather_over_unique(self):
+        keys = np.array([5, 2, 5, 9], dtype=np.int64)
+        table = {2: 0.25, 5: -1.5, 9: 3.0}
+        assert gather_over_unique(keys, table).tolist() == [-1.5, 0.25, -1.5, 3.0]

@@ -1,0 +1,123 @@
+"""Tests for the reduction kernels and the ``REPRO_KERNEL`` knob.
+
+The contract is the one the module docstring states: every kernel is
+interchangeable with ``[FrequencyProfile.from_sample(s) for s in
+samples]`` — and with every other kernel — bit for bit, including the
+dict insertion order the estimators' accumulation loops depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.frequency import FrequencyProfile
+from repro.sampling import profiles_from_samples
+from repro.sampling.kernels import (
+    KERNELS,
+    available_kernels,
+    kernel_info,
+    numba_available,
+    realized_kernel,
+    reduce_samples,
+    requested_kernel,
+)
+
+rng = np.random.default_rng(11)
+
+
+def _trials_int(trials: int = 7, size: int = 900, domain: int = 150):
+    return [rng.integers(0, domain, size=size) for _ in range(trials)]
+
+
+ADVERSARIAL = [
+    # Ragged trial sizes (Bernoulli draws realize different r).
+    [rng.integers(0, 50, size=s) for s in (1, 17, 400, 3)],
+    # Huge sparse integer range: dense codes would explode, must fall
+    # back to the sort-based pass.
+    [np.array([0, 2**40, -(2**40), 7, 7], dtype=np.int64) for _ in range(3)],
+    # Negative integers (dense offset path).
+    [rng.integers(-30, 5, size=200) for _ in range(4)],
+    # Floats with NaN: np.unique's NaN semantics must be preserved.
+    [np.array([1.5, float("nan"), 1.5, float("nan"), 2.0]) for _ in range(3)],
+    # Strings and objects take the factorizing sort.
+    [np.array(["a", "b", "a", "c"], dtype=object) for _ in range(2)],
+    [np.array(["x", "x", "y"]) for _ in range(2)],
+    # Single trial, single row.
+    [np.array([42])],
+    # All values identical across all trials.
+    [np.full(64, 9) for _ in range(5)],
+    # Unsigned dtype.
+    [rng.integers(0, 12, size=33).astype(np.uint16) for _ in range(3)],
+]
+
+
+class TestKnob:
+    def test_default_is_auto_resolving_to_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert requested_kernel() == "auto"
+        assert realized_kernel() == "numpy"
+
+    def test_env_selection_and_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "legacy")
+        assert requested_kernel() == "legacy"
+        assert realized_kernel() == "legacy"
+        monkeypatch.setenv("REPRO_KERNEL", "turbo")
+        with pytest.raises(InvalidParameterError):
+            requested_kernel()
+
+    def test_numba_degrades_to_numpy_when_missing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numba")
+        realized = realized_kernel()
+        if numba_available():
+            assert realized == "numba"
+        else:
+            assert realized == "numpy"
+
+    def test_kernel_info_snapshot(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        info = kernel_info()
+        assert info["requested"] == "numpy"
+        assert info["realized"] == "numpy"
+        assert info["numba_available"] == numba_available()
+
+    def test_available_kernels_are_recognized(self):
+        assert set(available_kernels()) <= set(KERNELS)
+        assert "legacy" in available_kernels()
+        assert "numpy" in available_kernels()
+
+
+class TestKernelIdentity:
+    @pytest.mark.parametrize("kernel", ["legacy", "numpy", "numba"])
+    def test_matches_serial_from_sample(self, kernel):
+        arrays = _trials_int()
+        profiles = profiles_from_samples(arrays, kernel=kernel)
+        expected = [FrequencyProfile.from_sample(a) for a in arrays]
+        assert profiles == expected
+        # Insertion order, not just dict equality: estimators iterate
+        # counts.items() and accumulate floats in that order.
+        for got, want in zip(profiles, expected):
+            assert list(got.counts.items()) == list(want.counts.items())
+
+    @pytest.mark.parametrize("arrays", ADVERSARIAL, ids=lambda a: f"{len(a)}trials-{np.asarray(a[0]).dtype}")
+    @pytest.mark.parametrize("kernel", ["legacy", "numpy", "numba"])
+    def test_adversarial_inputs(self, arrays, kernel):
+        histograms = reduce_samples([np.asarray(a) for a in arrays], kernel)
+        expected = [FrequencyProfile.from_sample(np.asarray(a)) for a in arrays]
+        assert [FrequencyProfile(h) for h in histograms] == expected
+        for hist, want in zip(histograms, expected):
+            assert list(hist.items()) == list(want.counts.items())
+
+    def test_kernels_agree_pairwise(self):
+        arrays = _trials_int(trials=5, size=2_000, domain=10_000)
+        reference = reduce_samples(arrays, "legacy")
+        for kernel in ("numpy", "numba"):
+            assert reduce_samples(arrays, kernel) == reference
+
+    def test_env_knob_reaches_reduction(self, monkeypatch):
+        arrays = _trials_int(trials=3)
+        monkeypatch.setenv("REPRO_KERNEL", "legacy")
+        via_env = profiles_from_samples(arrays)
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        assert profiles_from_samples(arrays) == via_env
