@@ -18,8 +18,12 @@ Every run of the suite also writes a wall-time report to
 configuration, so CI can archive the numbers as an artifact and perf
 regressions show up as diffs between runs.  When the suite runs with
 ``REPRO_TELEMETRY=1`` the report additionally aggregates the run's
-telemetry — counter totals and per-name span time — under a
-``telemetry`` key (see ``docs/observability.md``).
+telemetry — counter totals, per-name span time, and per-name histogram
+quantiles — under a ``telemetry`` key, and every exhibit entry carries
+the p50/p99 of its per-point durations (``sweep.point``, or
+``harness.evaluate_column`` on the legacy serial path; ``null`` with
+telemetry off) so ``repro perfdiff`` can compare distributions, not
+just totals (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ import pytest
 
 from repro.experiments import config, run_experiment
 from repro.experiments.report import SeriesTable
-from repro.obs import OBS
+from repro.obs import OBS, LogHistogram
 from repro.resilience import atomic_write
 from repro.sampling.kernels import kernel_info
 
@@ -44,6 +48,15 @@ from repro.sampling.kernels import kernel_info
 # run_exhibit (the real-dataset figures share a module-scoped dataset).
 _EXHIBIT_TIMES: dict[str, float] = {}
 _TEST_TIMES: dict[str, float] = {}
+
+# Per-exhibit point-duration histograms, attributed by snapshot/subtract
+# around each :func:`run_exhibit` call (exact integer bucket arithmetic,
+# so attribution cannot drift).  ``sweep.point`` only exists on the
+# spawn-seeding executor path; the legacy serial runners loop directly,
+# so ``harness.evaluate_column`` is the fallback per-point span.  Empty
+# when the suite runs without REPRO_TELEMETRY=1.
+_POINT_SPANS = ("sweep.point", "harness.evaluate_column")
+_EXHIBIT_POINT_HISTS: dict[str, LogHistogram] = {}
 
 # Before/after timings of the kernel-tier microbenchmarks
 # (``bench_perf_kernels.py``): name -> {"legacy_seconds", "fast_seconds",
@@ -63,6 +76,9 @@ def record_kernel_times(name: str, legacy_seconds: float, fast_seconds: float) -
 
 def run_exhibit(benchmark, exhibit_id: str, **kwargs) -> SeriesTable:
     """Run one registered exhibit under the benchmark timer and print it."""
+    before = (
+        {name: OBS.histogram(name) for name in _POINT_SPANS} if OBS.enabled else None
+    )
     started = time.perf_counter()
     result = benchmark.pedantic(
         lambda: run_experiment(exhibit_id, **kwargs), rounds=1, iterations=1
@@ -70,6 +86,13 @@ def run_exhibit(benchmark, exhibit_id: str, **kwargs) -> SeriesTable:
     _EXHIBIT_TIMES[exhibit_id] = (
         _EXHIBIT_TIMES.get(exhibit_id, 0.0) + time.perf_counter() - started
     )
+    if before is not None:
+        for name in _POINT_SPANS:
+            contributed = OBS.histogram(name).subtract(before[name])
+            if contributed.count:
+                tally = _EXHIBIT_POINT_HISTS.setdefault(exhibit_id, LogHistogram())
+                tally.merge(contributed)
+                break
     print()
     print(result.render())
     return result
@@ -154,7 +177,30 @@ def _telemetry_totals() -> dict | None:
         "counters": {k: round(v, 4) for k, v in sorted(OBS.counters().items())},
         "gauges": {k: v for k, v in sorted(OBS.gauges().items())},
         "spans": dict(sorted(spans.items())),
+        "quantiles": {
+            name: histogram.summary()
+            for name, histogram in sorted(OBS.histograms().items())
+            if histogram.count
+        },
     }
+
+
+def _exhibit_entries() -> dict[str, dict[str, float | None]]:
+    """Per-exhibit report entries: total seconds plus per-point p50/p99.
+
+    The quantile columns are ``null`` when the suite ran without
+    telemetry (there is no histogram to attribute from).
+    """
+    entries: dict[str, dict[str, float | None]] = {}
+    for exhibit_id, seconds in sorted(_EXHIBIT_TIMES.items()):
+        histogram = _EXHIBIT_POINT_HISTS.get(exhibit_id)
+        populated = histogram is not None and histogram.count > 0
+        entries[exhibit_id] = {
+            "seconds": round(seconds, 4),
+            "p50": histogram.quantile(0.50) if populated else None,
+            "p99": histogram.quantile(0.99) if populated else None,
+        }
+    return entries
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -168,7 +214,7 @@ def pytest_sessionfinish(session, exitstatus):
         "workers": config.workers(),
         "seed_mode": config.seed_mode(),
         "kernel": kernel_info(),
-        "exhibits": {k: round(v, 4) for k, v in sorted(_EXHIBIT_TIMES.items())},
+        "exhibits": _exhibit_entries(),
         "tests": {k: round(v, 4) for k, v in sorted(_TEST_TIMES.items())},
         "total_seconds": round(sum(_TEST_TIMES.values()), 4),
     }

@@ -10,6 +10,10 @@ any tracked speedup falls more than ``tolerance`` (default 25%) below
 its baseline, which is how a silent scalar-path regression or a kernel
 that quietly stopped vectorizing shows up in CI.
 
+This script is a thin wrapper over :func:`repro.obs.perfdiff.gate_report`
+— the same check ``repro perfdiff --gate`` runs — kept for muscle memory
+and existing automation.
+
 Run after a benchmark pass::
 
     python -m pytest benchmarks/ --benchmark-only -q
@@ -24,6 +28,9 @@ import sys
 from pathlib import Path
 
 _ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.obs.perfdiff import gate_report  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -57,44 +64,12 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     report = json.loads(args.report.read_text(encoding="utf-8"))
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
-    tolerance = (
-        args.tolerance if args.tolerance is not None else baseline.get("tolerance", 0.25)
-    )
 
-    measured = report.get("kernels", {})
-    failures: list[str] = []
-    rows: list[tuple[str, str, str, str, str]] = []
-    for name, entry in sorted(baseline["kernels"].items()):
-        floor = entry["speedup"] * (1.0 - tolerance)
-        current = measured.get(name, {}).get("speedup")
-        if current is None:
-            rows.append((name, f"{entry['speedup']:.2f}x", f"{floor:.2f}x", "—", "MISSING"))
-            failures.append(f"{name}: not measured (missing from {args.report.name})")
-            continue
-        ok = current >= floor
-        rows.append(
-            (
-                name,
-                f"{entry['speedup']:.2f}x",
-                f"{floor:.2f}x",
-                f"{current:.2f}x",
-                "ok" if ok else "REGRESSED",
-            )
-        )
-        if not ok:
-            failures.append(
-                f"{name}: speedup {current:.2f}x is below the floor {floor:.2f}x "
-                f"(baseline {entry['speedup']:.2f}x - {tolerance:.0%})"
-            )
-
-    widths = [max(len(r[i]) for r in rows + [("kernel", "baseline", "floor", "now", "")]) for i in range(5)]
-    header = ("kernel", "baseline", "floor", "now", "")
-    for row in [header] + rows:
-        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
-
-    if failures:
+    result = gate_report(baseline, report, tolerance=args.tolerance)
+    print(result.table)
+    if result.failures:
         print(file=sys.stderr)
-        for failure in failures:
+        for failure in result.failures:
             print(f"FAIL {failure}", file=sys.stderr)
         print(
             "\nIf the regression is intentional, refresh "
@@ -103,7 +78,6 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"\nall {len(rows)} tracked kernel speedups within {tolerance:.0%} of baseline")
     return 0
 
 

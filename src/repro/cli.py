@@ -36,10 +36,17 @@ Commands
     (default ``src``); exits nonzero when findings remain.
 ``trace``
     Render the span tree of a telemetry run (``REPRO_TELEMETRY=1``
-    JSONL) with total/self times per span.
+    JSONL) with total/self times per span; ``--chrome out.json``
+    exports Chrome trace-event JSON (Perfetto / ``about:tracing``)
+    and ``--flame [out.folded]`` exports folded flamegraph stacks.
 ``stats``
-    Show the counters, gauges, span aggregates, and manifest of a
-    telemetry run.
+    Show the counters, gauges, histogram quantiles (p50/p90/p95/p99),
+    span aggregates, and manifest of a telemetry run.
+``perfdiff``
+    Diff two perf reports (``BENCH_perf.json``) or telemetry runs and
+    exit nonzero on regressions past ``--threshold``; ``--gate`` runs
+    the kernel-speedup floor check CI uses against
+    ``BENCH_perf.baseline.json``.
 
 Global flags: ``--log-level {debug,info,warning,error}`` (or ``-v`` /
 ``-vv``) control the ``repro`` package logger; any command run with
@@ -59,6 +66,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import os
 import sys
@@ -115,17 +123,27 @@ def _finalize_telemetry(args: argparse.Namespace) -> None:
 
     Writes ``<command>.jsonl`` (manifest embedded as the first record)
     plus a standalone ``<command>.manifest.json`` next to it; a no-op
-    when recording is off or nothing was recorded.
+    when recording is off or nothing was recorded.  Histogram summaries
+    (count + p50/p90/p95/p99 per name) land in the manifest's ``extra``
+    under ``quantiles``.
     """
     from repro.obs import OBS, build_manifest, telemetry_dir, write_manifest
 
     if not OBS.enabled or OBS.is_empty:
         return
     command = args.command or "run"
+    extra = dict(getattr(args, "_telemetry_extra", None) or {})
+    quantiles = {
+        name: histogram.summary()
+        for name, histogram in OBS.histograms().items()
+        if histogram.count
+    }
+    if quantiles:
+        extra["quantiles"] = quantiles
     manifest = build_manifest(
         seed=getattr(args, "seed", None),
         command=command,
-        extra=getattr(args, "_telemetry_extra", None),
+        extra=extra or None,
     )
     out_dir = telemetry_dir()
     run_path = OBS.write_run(out_dir / f"{command}.jsonl", manifest=manifest)
@@ -447,7 +465,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import load_run, render_trace
 
     run = load_run(args.run)
-    print(render_trace(run, min_fraction=args.min_fraction))
+    exported = False
+    if args.chrome:
+        from repro.obs.export import write_chrome_trace
+
+        out = write_chrome_trace(args.chrome, run)
+        print(f"wrote Chrome trace to {out}")
+        exported = True
+    if args.flame is not None:
+        from repro.obs.export import folded_stacks, write_folded
+
+        if args.flame == "-":
+            sys.stdout.write(folded_stacks(run))
+        else:
+            out = write_folded(args.flame, run)
+            print(f"wrote folded stacks to {out}")
+        exported = True
+    if not exported:
+        print(render_trace(run, min_fraction=args.min_fraction))
     return 0
 
 
@@ -457,6 +492,53 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     run = load_run(args.run)
     print(render_stats(run))
     return 0
+
+
+def _load_json_document(path: str) -> dict:
+    source = Path(path)
+    if not source.exists():
+        raise InvalidParameterError(f"no perf report at {source}")
+    try:
+        document = json.loads(source.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise InvalidParameterError(f"{source}: not JSON ({error.msg})") from None
+    if not isinstance(document, dict):
+        raise InvalidParameterError(f"{source}: expected a JSON object")
+    return document
+
+
+def _cmd_perfdiff(args: argparse.Namespace) -> int:
+    from repro.obs.perfdiff import (
+        diff_metrics,
+        gate_report,
+        load_metrics,
+        render_diff,
+    )
+
+    if args.gate:
+        result = gate_report(
+            _load_json_document(args.before),
+            _load_json_document(args.after),
+            tolerance=args.tolerance,
+        )
+        print(result.table)
+        if result.failures:
+            for failure in result.failures:
+                _log.error("FAIL %s", failure)
+            _log.error(
+                "if the change is intentional, refresh the baseline from the "
+                "current report (see docs/performance.md)"
+            )
+            return 1
+        return 0
+    diff = diff_metrics(
+        load_metrics(args.before),
+        load_metrics(args.after),
+        threshold=args.threshold,
+        min_value=args.min_value,
+    )
+    print(render_diff(diff))
+    return 1 if diff.regressions else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -655,14 +737,67 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="hide spans below this share of their root's time (e.g. 0.01)",
     )
+    trace.add_argument(
+        "--chrome",
+        metavar="OUT",
+        help="write Chrome trace-event JSON (Perfetto / about:tracing) here",
+    )
+    trace.add_argument(
+        "--flame",
+        nargs="?",
+        const="-",
+        metavar="OUT",
+        help="write folded flamegraph stacks here (stdout if no path given)",
+    )
     trace.set_defaults(func=_cmd_trace)
 
     stats = sub.add_parser(
         "stats",
-        help="show counters, gauges, and the manifest of a telemetry run",
+        help="show counters, gauges, quantiles, and the manifest of a "
+        "telemetry run",
     )
     stats.add_argument("run", help="telemetry JSONL file")
     stats.set_defaults(func=_cmd_stats)
+
+    perfdiff = sub.add_parser(
+        "perfdiff",
+        help="diff two perf reports or telemetry runs; exit 1 on regression",
+    )
+    perfdiff.add_argument(
+        "before", help="baseline BENCH_perf.json or telemetry JSONL"
+    )
+    perfdiff.add_argument(
+        "after", help="candidate BENCH_perf.json or telemetry JSONL"
+    )
+    perfdiff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional bad-direction move that counts as a regression "
+        "(default: 0.25)",
+    )
+    perfdiff.add_argument(
+        "--min-value",
+        type=float,
+        default=0.0,
+        dest="min_value",
+        help="ignore metrics below this absolute value on both sides "
+        "(noise floor for smoke-scale micro-timings)",
+    )
+    perfdiff.add_argument(
+        "--gate",
+        action="store_true",
+        help="kernel-speedup floor mode: BEFORE is the committed baseline, "
+        "AFTER the fresh report; every tracked kernel must keep "
+        "baseline*(1-tolerance)",
+    )
+    perfdiff.add_argument(
+        "--tolerance",
+        type=float,
+        help="gate-mode tolerance override (default: the baseline file's "
+        "own tolerance field, 0.25 if absent)",
+    )
+    perfdiff.set_defaults(func=_cmd_perfdiff)
     return parser
 
 

@@ -225,10 +225,10 @@ class DistinctValueEstimator(ABC):
             details=details,
         )
         if OBS.enabled:
+            elapsed = time.perf_counter() - started
             OBS.add(f"estimator.calls.{self.name}")
-            OBS.add(
-                f"estimator.seconds.{self.name}", time.perf_counter() - started
-            )
+            OBS.add(f"estimator.seconds.{self.name}", elapsed)
+            OBS.observe(f"estimator.seconds.{self.name}", elapsed)
         return result
 
     def estimate_batch(
@@ -326,10 +326,10 @@ class DistinctValueEstimator(ABC):
                 )
             results.append(result)
         if OBS.enabled:
+            elapsed = time.perf_counter() - started
             OBS.add(f"estimator.calls.{self.name}", len(results))
-            OBS.add(
-                f"estimator.seconds.{self.name}", time.perf_counter() - started
-            )
+            OBS.add(f"estimator.seconds.{self.name}", elapsed)
+            OBS.observe(f"estimator.seconds.{self.name}", elapsed)
         return results
 
     def _validate_batch(self, batch: FrequencyProfileBatch, n: int) -> None:

@@ -299,9 +299,11 @@ def _run_fast(
             outcomes = [future.result() for future in traced]
         # Absorb worker buffers in submission order once every point is
         # in, so the merged span sequence is deterministic regardless of
-        # pool scheduling.
-        for _, payload in outcomes:
-            OBS.absorb(payload, parent_id=sweep_span.id)
+        # pool scheduling.  Each payload gets its own track so trace
+        # exports keep worker timelines in separate lanes (worker clocks
+        # restart at begin_capture and only order within one payload).
+        for track, (_, payload) in enumerate(outcomes, start=1):
+            OBS.absorb(payload, parent_id=sweep_span.id, track=track)
         return [result for result, _ in outcomes]
 
 
@@ -375,8 +377,8 @@ def _run_supervised(
                 )
             # Absorb recomputed points' worker buffers in index order so
             # the merged sequence is deterministic for a fixed pending set.
-            for index in sorted(payloads):
-                OBS.absorb(payloads[index], parent_id=sweep_span.id)
+            for track, index in enumerate(sorted(payloads), start=1):
+                OBS.absorb(payloads[index], parent_id=sweep_span.id, track=track)
     finally:
         if owns_journal and journal_obj is not None:
             journal_obj.close()

@@ -1,0 +1,150 @@
+"""Exporting recorded runs: Chrome trace-event JSON and folded stacks.
+
+``repro trace`` renders a run as text; this module renders the same
+JSONL file for external profiling UIs:
+
+* :func:`chrome_trace` — the Chrome trace-event format (the JSON object
+  form, ``{"traceEvents": [...]}``), loadable in Perfetto and
+  ``about:tracing``.  Every span becomes one complete (``"ph": "X"``)
+  event with microsecond ``ts``/``dur``; metadata events name the
+  process and one thread lane per *track*.  Track 0 is the parent
+  process; absorbed worker payloads carry the track id their
+  ``Telemetry.absorb(..., track=N)`` call assigned, because worker
+  clocks restart at ``begin_capture`` and their span timestamps only
+  order correctly within their own lane.
+* :func:`folded_stacks` — one ``root;child;leaf <self-µs>`` line per
+  distinct span path, the input format of flamegraph builders
+  (``flamegraph.pl``, speedscope, inferno).  Weights are the span
+  *self* times in integer microseconds, aggregated over all occurrences
+  of a path.
+
+Both renderers are pure functions of :class:`~repro.obs.trace.RunData`
+(byte-stable output for a given run file), and both file writers land
+through :func:`~repro.resilience.atomic.atomic_write` like every other
+artifact in this repo — a killed export never leaves a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.trace import RunData, SpanNode, build_tree
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_events",
+    "folded_stacks",
+    "write_chrome_trace",
+    "write_folded",
+]
+
+#: ``pid`` used for every event: one recorded run is one logical process
+#: tree, whatever OS pids produced it.
+_TRACE_PID = 0
+
+
+def _microseconds(seconds: float) -> float:
+    """Seconds -> trace-event microseconds, rounded to a stable 0.1 µs."""
+    return round(seconds * 1e6, 1)
+
+
+def _track_name(track: int) -> str:
+    return "main" if track == 0 else f"worker task {track}"
+
+
+def chrome_trace_events(run: RunData) -> list[dict[str, Any]]:
+    """The trace-event list for a run, metadata first, spans in file order.
+
+    Output order is deterministic: process/thread metadata (tracks
+    ascending), then one ``X`` event per span record in the order the
+    recorder serialized them.
+    """
+    tracks = sorted({record.get("track", 0) for record in run.spans} | {0})
+    command = (run.manifest or {}).get("command")
+    process_name = f"repro {command}" if command else "repro"
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _TRACE_PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for track in tracks:
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _TRACE_PID,
+                "tid": track,
+                "args": {"name": _track_name(track)},
+            }
+        )
+    for record in run.spans:
+        event: dict[str, Any] = {
+            "ph": "X",
+            "name": record["name"],
+            "cat": "span",
+            "pid": _TRACE_PID,
+            "tid": record.get("track", 0),
+            "ts": _microseconds(record.get("t", 0.0)),
+            "dur": _microseconds(record.get("dur", 0.0)),
+        }
+        args = dict(record.get("attrs", {}))
+        if record.get("error"):
+            args["error"] = record["error"]
+        if args:
+            event["args"] = args
+        events.append(event)
+    return events
+
+
+def chrome_trace(run: RunData) -> str:
+    """The run as a Chrome trace-event JSON document (object form)."""
+    document = {
+        "traceEvents": chrome_trace_events(run),
+        "displayTimeUnit": "ms",
+    }
+    return json.dumps(document, sort_keys=True, indent=1) + "\n"
+
+
+def write_chrome_trace(path: str | Path, run: RunData) -> Path:
+    """Write :func:`chrome_trace` output atomically; returns the path."""
+    from repro.resilience.atomic import atomic_write
+
+    return atomic_write(path, chrome_trace(run))
+
+
+def _fold_node(
+    node: SpanNode, prefix: str, weights: dict[str, int]
+) -> None:
+    path = f"{prefix};{node.name}" if prefix else node.name
+    self_us = int(round(node.self_time * 1e6))
+    if self_us > 0:
+        weights[path] = weights.get(path, 0) + self_us
+    for child in node.children:
+        _fold_node(child, path, weights)
+
+
+def folded_stacks(run: RunData) -> str:
+    """The run as folded-stack lines (``a;b;c <self-µs>``), path-sorted.
+
+    Paths with zero integer-microsecond self time are dropped — a
+    flamegraph cell needs positive weight — so a run of only
+    instantaneous spans renders as an empty string.
+    """
+    weights: dict[str, int] = {}
+    for root in build_tree(run.spans):
+        _fold_node(root, "", weights)
+    lines = [f"{path} {weights[path]}" for path in sorted(weights)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_folded(path: str | Path, run: RunData) -> Path:
+    """Write :func:`folded_stacks` output atomically; returns the path."""
+    from repro.resilience.atomic import atomic_write
+
+    return atomic_write(path, folded_stacks(run))

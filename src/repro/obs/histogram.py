@@ -1,0 +1,242 @@
+"""Streaming log-bucket histograms: mergeable latency/size distributions.
+
+``repro.obs`` needs distributions, not just totals: the serve tier
+reports p50/p99 latency and the error atlas inspects multi-hour runs
+after the fact.  A quantile *sketch* (P², t-digest) would be
+order-sensitive — merging worker sketches in a different order changes
+the result — which breaks the subsystem's determinism contract.  This
+module instead uses **fixed logarithmic buckets**:
+
+* every observed value lands in the bucket ``i`` with
+  ``10^(i/K) <= value < 10^((i+1)/K)`` where ``K`` is
+  :data:`BUCKETS_PER_DECADE` — the bucket layout is a constant of the
+  format, never data-dependent;
+* a histogram is a sparse ``{bucket index: count}`` mapping of exact
+  integers, so merging is bucket-wise integer addition: associative,
+  commutative, and bit-identical regardless of worker count or merge
+  order (floats are deliberately **not** accumulated — a float
+  min/max/sum would re-introduce order sensitivity);
+* quantiles are reported as the geometric midpoint of the covering
+  bucket, so two histograms with equal bucket counts always report
+  byte-identical quantiles.
+
+Resolution: ``K = 20`` buckets per decade keeps any bucket's relative
+width under ``10^(1/20) ≈ 1.122``, i.e. quantiles are exact to ~12% —
+plenty for latency work where regressions of interest are 25%+ — while
+a full run's histogram stays a few dozen sparse entries.
+
+Nonpositive and non-finite observations (a zero-duration span, a clamped
+delta) fall outside the log scale and are tallied in a dedicated *zero*
+bucket that sorts below every log bucket and reports as ``0.0``.
+
+The module is stdlib-only, like the recorder: it must stay importable
+from every layer before the rest of the package initializes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "BUCKETS_PER_DECADE",
+    "SUMMARY_QUANTILES",
+    "LogHistogram",
+    "bucket_index",
+    "bucket_lower_bound",
+    "bucket_midpoint",
+]
+
+#: Buckets per factor of ten; a constant of the on-disk format.  Records
+#: carry it as ``k`` so a reader can reject histograms recorded under a
+#: different layout instead of silently mis-merging them.
+BUCKETS_PER_DECADE = 20
+
+#: Quantiles surfaced by :meth:`LogHistogram.summary`, ``repro stats``,
+#: and the run manifest.
+SUMMARY_QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99))
+
+
+def bucket_lower_bound(index: int) -> float:
+    """The inclusive lower edge of log bucket ``index``."""
+    return 10.0 ** (index / BUCKETS_PER_DECADE)
+
+
+def bucket_index(value: float) -> int:
+    """The log bucket covering ``value`` (which must be positive, finite).
+
+    The candidate index comes from ``floor(log10(value) * K)``; because
+    ``log10`` is inexact in the last ulp near bucket edges, the index is
+    then nudged until ``lower(i) <= value < lower(i + 1)`` holds — making
+    the bucketing a pure function of the value's bits, identical across
+    processes on the same platform.
+    """
+    index = math.floor(math.log10(value) * BUCKETS_PER_DECADE)
+    while value < bucket_lower_bound(index):
+        index -= 1
+    while value >= bucket_lower_bound(index + 1):
+        index += 1
+    return index
+
+
+def bucket_midpoint(index: int) -> float:
+    """The geometric midpoint of log bucket ``index`` (the quantile value).
+
+    Rounded to six significant digits so JSON round-trips and rendered
+    tables are stable across platforms.
+    """
+    return float(f"{10.0 ** ((index + 0.5) / BUCKETS_PER_DECADE):.6g}")
+
+
+class LogHistogram:
+    """A sparse fixed-log-bucket histogram of exact integer counts.
+
+    The only state is ``buckets`` (log-bucket index -> count) and
+    ``zero_count`` (observations at or below zero, or non-finite), so
+    equality, merging, and subtraction are all exact integer arithmetic.
+    """
+
+    __slots__ = ("buckets", "zero_count")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.zero_count = 0
+
+    # -- recording -----------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Tally one observation into its covering bucket."""
+        numeric = float(value)
+        if not (numeric > 0.0 and math.isfinite(numeric)):
+            self.zero_count += 1
+            return
+        index = bucket_index(numeric)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Tally every value in ``values``."""
+        for value in values:
+            self.observe(value)
+
+    # -- exact integer algebra -----------------------------------------
+    def merge(self, other: "LogHistogram") -> None:
+        """Add ``other``'s bucket counts into this histogram, in place.
+
+        Integer bucket addition is associative and commutative, so any
+        merge tree over the same observations yields identical state —
+        the property the worker drain/absorb protocol relies on.
+        """
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        self.zero_count += other.zero_count
+
+    def subtract(self, other: "LogHistogram") -> "LogHistogram":
+        """Return this histogram minus ``other``, bucket by bucket.
+
+        Exact because counts are integers; used to attribute a session
+        histogram to one exhibit (snapshot before, subtract after).
+        Raises :class:`ValueError` if ``other`` is not a sub-histogram.
+        """
+        result = LogHistogram()
+        result.zero_count = self.zero_count - other.zero_count
+        if result.zero_count < 0:
+            raise ValueError("subtrahend has more zero-bucket observations")
+        for index in set(self.buckets) | set(other.buckets):
+            count = self.buckets.get(index, 0) - other.buckets.get(index, 0)
+            if count < 0:
+                raise ValueError(f"subtrahend has more observations in bucket {index}")
+            if count:
+                result.buckets[index] = count
+        return result
+
+    def copy(self) -> "LogHistogram":
+        """An independent snapshot of the current state."""
+        duplicate = LogHistogram()
+        duplicate.buckets = dict(self.buckets)
+        duplicate.zero_count = self.zero_count
+        return duplicate
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogHistogram):
+            return NotImplemented
+        return self.buckets == other.buckets and self.zero_count == other.zero_count
+
+    def __repr__(self) -> str:
+        return (
+            f"LogHistogram(count={self.count}, zero={self.zero_count}, "
+            f"buckets={len(self.buckets)})"
+        )
+
+    # -- quantiles -----------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total number of observations, zero bucket included."""
+        return self.zero_count + sum(self.buckets.values())
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile as its covering bucket's geometric midpoint.
+
+        ``q`` must lie in [0, 1].  The rank is ``ceil(q * count)``
+        (clamped to at least 1), counted through the zero bucket first
+        and then the log buckets in ascending index order.  An empty
+        histogram reports ``0.0``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        total = self.count
+        if total == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * total))
+        if rank <= self.zero_count:
+            return 0.0
+        seen = self.zero_count
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if rank <= seen:
+                return bucket_midpoint(index)
+        return bucket_midpoint(max(self.buckets))  # pragma: no cover - rank <= count
+
+    def summary(self) -> dict[str, Any]:
+        """Count plus the standard quantiles, as manifest-ready JSON."""
+        result: dict[str, Any] = {"count": self.count}
+        for label, q in SUMMARY_QUANTILES:
+            result[label] = self.quantile(q)
+        return result
+
+    # -- serialization -------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """The picklable/JSON state carried by ``Telemetry.drain``."""
+        return {
+            "k": BUCKETS_PER_DECADE,
+            "zero": self.zero_count,
+            "buckets": [[index, self.buckets[index]] for index in sorted(self.buckets)],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "LogHistogram":
+        """Rebuild a histogram from :meth:`to_payload` state.
+
+        Rejects payloads recorded under a different bucket layout — a
+        merge across layouts would silently corrupt every quantile.
+        """
+        layout = payload.get("k", BUCKETS_PER_DECADE)
+        if layout != BUCKETS_PER_DECADE:
+            raise ValueError(
+                f"histogram uses {layout} buckets/decade, "
+                f"this build expects {BUCKETS_PER_DECADE}"
+            )
+        histogram = cls()
+        histogram.zero_count = int(payload.get("zero", 0))
+        for index, count in payload.get("buckets", []):
+            histogram.buckets[int(index)] = int(count)
+        return histogram
+
+    def to_record(self, name: str) -> dict[str, Any]:
+        """The JSONL record for a run file (``ev: "hist"``)."""
+        record: dict[str, Any] = {"ev": "hist", "name": name}
+        record.update(self.to_payload())
+        return record
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "LogHistogram":
+        """Rebuild a histogram from a JSONL ``hist`` record."""
+        return cls.from_payload(record)

@@ -22,9 +22,21 @@ Design constraints (see ``docs/observability.md``):
 
 A *span* is a named interval of wall time with a parent (nesting follows
 the with-statement stack), recorded at close.  A *counter* accumulates
-(``+=``); a *gauge* overwrites.  Timestamps are offsets from the
-recorder's start on the monotonic :func:`time.perf_counter` clock —
-durations are exact, absolute wall-clock time belongs in the manifest.
+(``+=``); a *gauge* overwrites.  A *histogram* tallies a distribution:
+every closed span feeds its duration into a per-name
+:class:`~repro.obs.histogram.LogHistogram`, and :meth:`Telemetry.observe`
+records arbitrary values (latencies, sizes) the same way; histograms
+merge across workers by exact bucket-count addition, so quantiles are
+invariant under worker count and merge order.  Timestamps are offsets
+from the recorder's start on the monotonic :func:`time.perf_counter`
+clock — durations are exact, absolute wall-clock time belongs in the
+manifest.
+
+Memory tracking is a second opt-in: with ``REPRO_TELEMETRY_MEM=1`` (and
+telemetry on) the recorder snapshots :mod:`tracemalloc` at span
+boundaries, annotating each span with current/peak/delta bytes and
+keeping process-level ``mem.*`` gauges.  Like the time path it never
+touches a generator, so the bit-identity guarantee extends to it.
 
 The recorder is deliberately not thread-safe: the project parallelizes
 with processes, and a per-process buffer needs no locks.
@@ -35,16 +47,21 @@ from __future__ import annotations
 import json
 import os
 import time
+import tracemalloc
 from pathlib import Path
 from types import TracebackType
 from typing import Any, Iterator, Mapping
 
+from repro.obs.histogram import LogHistogram
+
 __all__ = [
     "ENV_FLAG",
     "ENV_DIR",
+    "ENV_MEM",
     "OBS",
     "Telemetry",
     "env_enabled",
+    "env_mem_enabled",
     "telemetry_dir",
 ]
 
@@ -55,12 +72,21 @@ ENV_FLAG = "REPRO_TELEMETRY"
 #: Where CLI runs write their JSONL + manifest (default ``telemetry/``).
 ENV_DIR = "REPRO_TELEMETRY_DIR"
 
+#: Second opt-in: tracemalloc snapshots at span boundaries.  Only
+#: honored while telemetry itself is enabled.
+ENV_MEM = "REPRO_TELEMETRY_MEM"
+
 _DISABLED_VALUES = frozenset({"", "0", "false", "False", "off", "no"})
 
 
 def env_enabled() -> bool:
     """Whether ``REPRO_TELEMETRY`` asks for recording in this process."""
     return os.environ.get(ENV_FLAG, "") not in _DISABLED_VALUES
+
+
+def env_mem_enabled() -> bool:
+    """Whether ``REPRO_TELEMETRY_MEM`` asks for memory tracking."""
+    return os.environ.get(ENV_MEM, "") not in _DISABLED_VALUES
 
 
 def telemetry_dir() -> Path:
@@ -93,7 +119,7 @@ _NOOP_SPAN = _NoopSpan()
 class _Span:
     """One live span; records itself into the owning recorder at close."""
 
-    __slots__ = ("_recorder", "name", "attrs", "id", "parent", "_start")
+    __slots__ = ("_recorder", "name", "attrs", "id", "parent", "_start", "_mem_start")
 
     def __init__(
         self, recorder: "Telemetry", name: str, attrs: dict[str, Any]
@@ -104,6 +130,7 @@ class _Span:
         self.id: int | None = None
         self.parent: int | None = None
         self._start = 0.0
+        self._mem_start = 0
 
     def __enter__(self) -> "_Span":
         recorder = self._recorder
@@ -111,6 +138,8 @@ class _Span:
         recorder._next_id += 1
         self.parent = recorder._stack[-1] if recorder._stack else None
         recorder._stack.append(self.id)
+        if recorder.track_memory:
+            self._mem_start = tracemalloc.get_traced_memory()[0]
         self._start = time.perf_counter()
         return self
 
@@ -124,19 +153,30 @@ class _Span:
         recorder = self._recorder
         if recorder._stack and recorder._stack[-1] == self.id:
             recorder._stack.pop()
+        duration = round(ended - self._start, 6)
         record: dict[str, Any] = {
             "ev": "span",
             "id": self.id,
             "parent": self.parent,
             "name": self.name,
             "t": round(self._start - recorder._t0, 6),
-            "dur": round(ended - self._start, 6),
+            "dur": duration,
         }
+        if recorder.track_memory:
+            current, peak = tracemalloc.get_traced_memory()
+            self.attrs["mem_current_bytes"] = current
+            self.attrs["mem_peak_bytes"] = peak
+            self.attrs["mem_delta_bytes"] = current - self._mem_start
+            recorder._gauges["mem.current_bytes"] = current
+            recorder._gauges["mem.peak_bytes"] = max(
+                recorder._gauges.get("mem.peak_bytes", 0), peak
+            )
         if self.attrs:
             record["attrs"] = self.attrs
         if exc_type is not None:
             record["error"] = exc_type.__name__
         recorder._events.append(record)
+        recorder._observe(self.name, duration)
         return None
 
 
@@ -145,27 +185,47 @@ class Telemetry:
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
+        self.track_memory = False
         self._events: list[dict[str, Any]] = []
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, LogHistogram] = {}
         self._stack: list[int] = []
         self._next_id = 1
         self._t0 = time.perf_counter()
+        if enabled:
+            self._refresh_memory_tracking()
+
+    def _refresh_memory_tracking(self) -> None:
+        """Re-read ``REPRO_TELEMETRY_MEM`` and start tracemalloc if asked.
+
+        Called whenever recording turns on (including worker-side
+        :meth:`begin_capture`, so forked pool workers honor the knob
+        they inherited).  tracemalloc keeps running once started — other
+        recorders or tools may be reading it — recording merely stops
+        consulting it when the flag is off.
+        """
+        self.track_memory = self.enabled and env_mem_enabled()
+        if self.track_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
 
     # -- lifecycle -----------------------------------------------------
     def enable(self) -> None:
         """Turn recording on (idempotent; keeps any buffered data)."""
         self.enabled = True
+        self._refresh_memory_tracking()
 
     def disable(self) -> None:
         """Turn recording off without dropping buffered data."""
         self.enabled = False
+        self.track_memory = False
 
     def reset(self) -> None:
         """Drop all buffered data and restart ids and the clock."""
         self._events.clear()
         self._counters.clear()
         self._gauges.clear()
+        self._histograms.clear()
         self._stack.clear()
         self._next_id = 1
         self._t0 = time.perf_counter()
@@ -180,6 +240,7 @@ class Telemetry:
         """
         self.reset()
         self.enabled = True
+        self._refresh_memory_tracking()
 
     # -- recording -----------------------------------------------------
     def span(self, name: str, **attrs: Any) -> _Span | _NoopSpan:
@@ -200,11 +261,30 @@ class Telemetry:
             return
         self._gauges[name] = value
 
+    def observe(self, name: str, value: float) -> None:
+        """Tally ``value`` into histogram ``name`` (no-op when off).
+
+        The explicit-histogram API: latencies, batch sizes, per-request
+        costs.  Span durations flow into the same per-name histogram
+        table automatically at span close.
+        """
+        if not self.enabled:
+            return
+        self._observe(name, value)
+
+    def _observe(self, name: str, value: float) -> None:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = LogHistogram()
+        histogram.observe(value)
+
     # -- introspection -------------------------------------------------
     @property
     def is_empty(self) -> bool:
         """True when nothing has been recorded since the last reset."""
-        return not (self._events or self._counters or self._gauges)
+        return not (
+            self._events or self._counters or self._gauges or self._histograms
+        )
 
     def counters(self) -> dict[str, float]:
         """Snapshot of the counter table (name -> accumulated value)."""
@@ -218,6 +298,15 @@ class Telemetry:
         """Snapshot of the closed-span records, in close order."""
         return [dict(record) for record in self._events]
 
+    def histograms(self) -> dict[str, LogHistogram]:
+        """Snapshot of the histogram table (name -> independent copy)."""
+        return {name: hist.copy() for name, hist in self._histograms.items()}
+
+    def histogram(self, name: str) -> LogHistogram:
+        """A copy of one named histogram (empty if never observed)."""
+        histogram = self._histograms.get(name)
+        return histogram.copy() if histogram is not None else LogHistogram()
+
     # -- cross-process merge -------------------------------------------
     def drain(self) -> dict[str, Any]:
         """Detach everything recorded so far as a picklable payload.
@@ -229,23 +318,37 @@ class Telemetry:
             "events": self._events,
             "counters": self._counters,
             "gauges": self._gauges,
+            "histograms": {
+                name: hist.to_payload() for name, hist in self._histograms.items()
+            },
         }
         self._events = []
         self._counters = {}
         self._gauges = {}
+        self._histograms = {}
         self._stack = []
         self._next_id = 1
         return payload
 
-    def absorb(self, payload: Mapping[str, Any], parent_id: int | None = None) -> None:
+    def absorb(
+        self,
+        payload: Mapping[str, Any],
+        parent_id: int | None = None,
+        track: int = 0,
+    ) -> None:
         """Splice a drained worker payload into this recorder.
 
         Span ids are remapped past this recorder's id watermark so they
         stay unique; the payload's root spans (parent ``None``) are
         re-parented under ``parent_id``.  Counters accumulate, gauges
-        overwrite.  Callers absorb payloads in submission order, which
-        makes the merged event sequence deterministic for a fixed worker
-        count (see :mod:`repro.experiments.executor`).
+        overwrite, histograms merge by exact bucket addition (so the
+        merged distribution is invariant under worker count and merge
+        order).  A nonzero ``track`` tags every spliced span record —
+        worker payloads carry their own clock origin, so exporters place
+        each track on its own timeline lane (see
+        :mod:`repro.obs.export`).  Callers absorb payloads in submission
+        order, which makes the merged event sequence deterministic for a
+        fixed worker count (see :mod:`repro.experiments.executor`).
         """
         if not self.enabled:
             return
@@ -259,16 +362,25 @@ class Telemetry:
                 spliced["parent"] = parent_id
             else:
                 spliced["parent"] = spliced["parent"] + offset
+            if track:
+                spliced["track"] = track
             self._events.append(spliced)
         self._next_id = offset + highest + 1
         for name, value in payload["counters"].items():
             self._counters[name] = self._counters.get(name, 0) + value
         for name, value in payload["gauges"].items():
             self._gauges[name] = value
+        for name, state in payload.get("histograms", {}).items():
+            incoming = LogHistogram.from_payload(state)
+            existing = self._histograms.get(name)
+            if existing is None:
+                self._histograms[name] = incoming
+            else:
+                existing.merge(incoming)
 
     # -- serialization -------------------------------------------------
     def records(self, manifest: Mapping[str, Any] | None = None) -> Iterator[dict[str, Any]]:
-        """All JSONL records for the run, manifest first, counters sorted."""
+        """All JSONL records for the run, manifest first, tables sorted."""
         if manifest is not None:
             yield {"ev": "manifest", "data": dict(manifest)}
         yield from self._events
@@ -276,6 +388,8 @@ class Telemetry:
             yield {"ev": "counter", "name": name, "value": self._counters[name]}
         for name in sorted(self._gauges):
             yield {"ev": "gauge", "name": name, "value": self._gauges[name]}
+        for name in sorted(self._histograms):
+            yield self._histograms[name].to_record(name)
 
     def write_run(
         self, path: str | Path, manifest: Mapping[str, Any] | None = None

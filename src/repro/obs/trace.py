@@ -4,7 +4,10 @@
 each span's **total** time (its own duration) and **self** time (total
 minus the time covered by its children), so the question "where did the
 sweep's wall time go?" has a direct answer.  ``repro stats run.jsonl``
-renders the counter/gauge tables and the embedded manifest.
+renders the counter/gauge tables (sorted by value, largest first), the
+per-name histogram quantiles (p50/p90/p95/p99), and the embedded
+manifest.  For timeline and flamegraph views of the same file, see
+:mod:`repro.obs.export`.
 
 Rendering works purely from the JSONL records — no recorder state — so
 runs can be inspected from another process, another machine, or CI
@@ -22,6 +25,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import InvalidParameterError
+from repro.obs.histogram import SUMMARY_QUANTILES, LogHistogram
 
 __all__ = [
     "RunData",
@@ -66,6 +70,7 @@ class RunData:
     spans: list[dict[str, Any]]
     counters: dict[str, float]
     gauges: dict[str, float]
+    histograms: dict[str, LogHistogram] = field(default_factory=dict)
 
 
 def load_run(path: str | Path) -> RunData:
@@ -74,6 +79,7 @@ def load_run(path: str | Path) -> RunData:
     spans: list[dict[str, Any]] = []
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
+    histograms: dict[str, LogHistogram] = {}
     source = Path(path)
     if not source.exists():
         raise InvalidParameterError(f"no telemetry run at {source}")
@@ -97,11 +103,24 @@ def load_run(path: str | Path) -> RunData:
             counters[record["name"]] = record["value"]
         elif kind == "gauge":
             gauges[record["name"]] = record["value"]
+        elif kind == "hist":
+            try:
+                histograms[record["name"]] = LogHistogram.from_record(record)
+            except ValueError as error:
+                raise InvalidParameterError(
+                    f"{source}:{line_number}: {error}"
+                ) from None
         else:
             raise InvalidParameterError(
                 f"{source}:{line_number}: unknown record kind {kind!r}"
             )
-    return RunData(manifest=manifest, spans=spans, counters=counters, gauges=gauges)
+    return RunData(
+        manifest=manifest,
+        spans=spans,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+    )
 
 
 def build_tree(spans: list[dict[str, Any]]) -> list[SpanNode]:
@@ -200,22 +219,46 @@ def render_trace(run: RunData, min_fraction: float = 0.0) -> str:
 
 
 def _render_table(title: str, values: dict[str, float]) -> list[str]:
+    """One aligned name/value section, largest values first.
+
+    Big runs accumulate dozens of counters; value-descending order puts
+    the hot ones on top (ties break by name for stable output).
+    """
     lines = [title]
     width = max(len(name) for name in values)
-    for name in sorted(values):
+    for name in sorted(values, key=lambda name: (-values[name], name)):
         value = values[name]
         rendered = f"{value:g}" if isinstance(value, float) else str(value)
         lines.append(f"  {name:<{width}}  {rendered}")
     return lines
 
 
+def _render_quantiles(histograms: dict[str, LogHistogram]) -> list[str]:
+    """The per-name p50/p90/p95/p99 table (histograms with data only)."""
+    populated = {name: hist for name, hist in histograms.items() if hist.count}
+    if not populated:
+        return []
+    lines = ["quantiles:"]
+    width = max(len(name) for name in populated)
+    for name in sorted(populated):
+        histogram = populated[name]
+        cells = "  ".join(
+            f"{label}={histogram.quantile(q):g}" for label, q in SUMMARY_QUANTILES
+        )
+        lines.append(f"  {name:<{width}}  n={histogram.count:<6d}  {cells}")
+    return lines
+
+
 def render_stats(run: RunData) -> str:
-    """Render counters, gauges, and the manifest summary of a run."""
+    """Render counters, gauges, quantiles, and the manifest of a run."""
     sections: list[list[str]] = []
     if run.counters:
         sections.append(_render_table("counters:", run.counters))
     if run.gauges:
         sections.append(_render_table("gauges:", run.gauges))
+    quantile_lines = _render_quantiles(run.histograms)
+    if quantile_lines:
+        sections.append(quantile_lines)
     if run.spans:
         by_name: dict[str, tuple[int, float]] = {}
         for record in run.spans:

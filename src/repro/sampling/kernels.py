@@ -43,6 +43,7 @@ import numpy as np
 import numpy.typing as npt
 
 from repro.errors import InvalidParameterError
+from repro.obs.recorder import OBS
 
 __all__ = [
     "KERNELS",
@@ -151,7 +152,11 @@ def _factorize(
         high = int(flat.max())
         span = high - low + 1
         if span <= _dense_cap(total):
+            if OBS.enabled:
+                OBS.add("kernel.factorize_dense")
             return (flat - low).astype(np.int64, copy=False), span
+    if OBS.enabled:
+        OBS.add("kernel.factorize_sort")
     _, codes = np.unique(flat, return_inverse=True)
     codes = codes.astype(np.int64, copy=False)
     n_codes = max(int(codes.max()) + 1, 1)
@@ -221,9 +226,13 @@ def _pair_counts_dense(
     integer counts, so they are interchangeable bit for bit.
     """
     if key_space <= _dense_cap(occupied_bound):
+        if OBS.enabled:
+            OBS.add("kernel.dense")
         dense = np.bincount(keys, minlength=key_space)
         occupied = np.nonzero(dense)[0].astype(np.int64, copy=False)
         return occupied, dense[occupied].astype(np.int64, copy=False)
+    if OBS.enabled:
+        OBS.add("kernel.sort_fallback")
     unique_keys, counts = np.unique(keys, return_counts=True)
     return (
         unique_keys.astype(np.int64, copy=False),
@@ -336,5 +345,17 @@ def reduce_samples(
     arrays must be 1-D, non-empty in aggregate, and already validated —
     :func:`repro.sampling.batch.profiles_from_samples` is the public
     entry point.
+
+    With telemetry on, each reduction updates the ``kernel.batch_trials``
+    / ``kernel.batch_rows`` gauges (last batch shape), tallies the row
+    count into the ``kernel.batch_rows`` histogram, and the kernels
+    themselves count their branch selections (``kernel.dense`` vs
+    ``kernel.sort_fallback``, ``kernel.factorize_dense`` vs
+    ``kernel.factorize_sort``) — all visible in ``repro stats``.
     """
+    if OBS.enabled:
+        rows = sum(array.size for array in arrays)
+        OBS.gauge("kernel.batch_trials", len(arrays))
+        OBS.gauge("kernel.batch_rows", rows)
+        OBS.observe("kernel.batch_rows", rows)
     return _REDUCERS[realized_kernel(kernel)](arrays)

@@ -1,4 +1,10 @@
-"""R1201 fixture: three raw truncating writes, three sanctioned forms."""
+"""R1201 fixture: raw truncating writes vs the sanctioned forms.
+
+The trace-export pair mirrors ``repro/obs/export.py``: an exporter that
+opens its output for truncation loses the whole artifact on a
+mid-serialization kill, while rendering to a string and landing it
+through ``atomic_write`` never leaves a torn file.
+"""
 
 import io
 import json
@@ -36,3 +42,12 @@ def good_buffer_then_atomic(path, values):
 def good_read(path):
     with open(path) as handle:
         return handle.read()
+
+
+def bad_trace_export(path, events):
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events}, handle)
+
+
+def good_trace_export(path, events):
+    return atomic_write(path, json.dumps({"traceEvents": events}))

@@ -72,18 +72,33 @@ class TestRawArtifactWrite:
 
     def test_flags_each_raw_write(self):
         lines = [finding.line for finding in self.findings()]
-        # open(..., "w"), Path.write_text, np.save to a real path.
-        assert lines == [13, 18, 22]
+        # open(..., "w"), Path.write_text, np.save to a real path, and
+        # the raw trace exporter.
+        assert lines == [19, 24, 28, 48]
 
     def test_messages_route_to_atomic_write(self):
         for finding in self.findings():
             assert finding.code == "R1201"
             assert "atomic_write" in finding.message
 
-    def test_append_read_and_buffered_writes_are_clean(self):
-        # good_append_journal, good_buffer_then_atomic, good_read
-        # contribute no findings: lines 25+ stay silent.
-        assert all(finding.line < 25 for finding in self.findings())
+    def test_append_read_buffered_and_atomic_exports_are_clean(self):
+        # good_append_journal, good_buffer_then_atomic, good_read, and
+        # good_trace_export contribute no findings.
+        assert [finding.line for finding in self.findings()] == [19, 24, 28, 48]
+
+    def test_obs_exporters_must_use_atomic_write(self):
+        # The real exporters live in repro/obs/export.py — not an exempt
+        # package, so a raw write there is a finding (the shipped module
+        # renders to a string and lands it through atomic_write).
+        findings = lint_text(
+            "import json\n"
+            "def write_chrome_trace(path, events):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        json.dump({'traceEvents': events}, handle)\n",
+            ["R1201"],
+            virtual_path="repro/obs/export.py",
+        )
+        assert [finding.line for finding in findings] == [3]
 
     def test_resilience_package_is_exempt(self):
         assert not lint_text(

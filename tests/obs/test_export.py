@@ -1,0 +1,154 @@
+"""Golden-file tests for the Chrome trace-event and folded-stack exports.
+
+The exporters are pure functions of the run file, so their output for a
+fixed synthetic run is pinned byte for byte under ``tests/obs/golden/``.
+A diff here means the export format changed — update the goldens only
+with a corresponding note in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import chrome_trace, chrome_trace_events, folded_stacks, load_run
+from repro.obs.export import write_chrome_trace, write_folded
+
+_GOLDEN = Path(__file__).parent / "golden"
+
+# A fixed two-worker sweep run: children recorded before their parent
+# (spans serialize at close), worker points on tracks 1 and 2, one
+# failed span, one histogram record.
+_RECORDS = [
+    {"ev": "manifest", "data": {"command": "exhibit", "seed": 0}},
+    {
+        "ev": "span",
+        "id": 2,
+        "name": "sweep.point",
+        "parent": 1,
+        "t": 0.0012,
+        "dur": 0.0105,
+        "attrs": {"index": 0},
+        "track": 1,
+    },
+    {
+        "ev": "span",
+        "id": 3,
+        "name": "sweep.point",
+        "parent": 1,
+        "t": 0.0008,
+        "dur": 0.0208,
+        "attrs": {"index": 1},
+        "track": 2,
+        "error": "TimeoutError",
+    },
+    {
+        "ev": "span",
+        "id": 1,
+        "name": "sweep.run",
+        "parent": None,
+        "t": 0.0,
+        "dur": 0.05,
+        "attrs": {"points": 2},
+    },
+    {"ev": "counter", "name": "estimator.calls.GEE", "value": 10},
+    {"ev": "gauge", "name": "sweep.realized_workers", "value": 2},
+    {
+        "ev": "hist",
+        "name": "sweep.point",
+        "k": 20,
+        "zero": 0,
+        "buckets": [[-40, 1], [-34, 1]],
+    },
+]
+
+
+@pytest.fixture
+def run(tmp_path):
+    path = tmp_path / "run.jsonl"
+    path.write_text(
+        "".join(json.dumps(record) + "\n" for record in _RECORDS), encoding="utf-8"
+    )
+    return load_run(path)
+
+
+class TestChromeTrace:
+    def test_matches_golden(self, run):
+        assert chrome_trace(run) == (_GOLDEN / "chrome_trace.json").read_text(
+            encoding="utf-8"
+        )
+
+    def test_document_schema(self, run):
+        document = json.loads(chrome_trace(run))
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert all(event["ph"] in ("M", "X") for event in events)
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            if event["ph"] == "X":
+                assert event["cat"] == "span"
+                assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_worker_tracks_get_their_own_lane(self, run):
+        events = chrome_trace_events(run)
+        thread_names = {
+            event["tid"]: event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert thread_names == {0: "main", 1: "worker task 1", 2: "worker task 2"}
+        spans = {event["name"]: event for event in events if event["ph"] == "X"}
+        assert spans["sweep.run"]["tid"] == 0
+
+    def test_error_and_attrs_land_in_args(self, run):
+        events = chrome_trace_events(run)
+        failed = [
+            event
+            for event in events
+            if event["ph"] == "X" and event.get("args", {}).get("error")
+        ]
+        assert len(failed) == 1
+        assert failed[0]["args"] == {"index": 1, "error": "TimeoutError"}
+
+    def test_process_name_carries_the_command(self, run):
+        events = chrome_trace_events(run)
+        assert events[0]["name"] == "process_name"
+        assert events[0]["args"] == {"name": "repro exhibit"}
+
+    def test_write_is_loadable_json(self, run, tmp_path):
+        out = write_chrome_trace(tmp_path / "trace.json", run)
+        assert json.loads(out.read_text(encoding="utf-8"))["traceEvents"]
+
+
+class TestFoldedStacks:
+    def test_matches_golden(self, run):
+        assert folded_stacks(run) == (_GOLDEN / "stacks.folded").read_text(
+            encoding="utf-8"
+        )
+
+    def test_weights_are_integer_self_microseconds(self, run):
+        weights = dict(
+            line.rsplit(" ", 1) for line in folded_stacks(run).splitlines()
+        )
+        # sweep.run self time: 50000 - 10500 - 20800 µs.
+        assert int(weights["sweep.run"]) == 18700
+        assert int(weights["sweep.run;sweep.point"]) == 10500 + 20800
+
+    def test_zero_weight_runs_render_empty(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        record = {
+            "ev": "span",
+            "id": 1,
+            "name": "instant",
+            "parent": None,
+            "t": 0.0,
+            "dur": 0.0,
+        }
+        path.write_text(json.dumps(record) + "\n", encoding="utf-8")
+        assert folded_stacks(load_run(path)) == ""
+
+    def test_write_round_trips(self, run, tmp_path):
+        out = write_folded(tmp_path / "stacks.folded", run)
+        assert out.read_text(encoding="utf-8") == folded_stacks(run)

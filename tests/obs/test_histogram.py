@@ -1,0 +1,175 @@
+"""LogHistogram: bucket math, exact merge algebra, quantiles, round-trips.
+
+The histogram's whole reason to exist is determinism: identical
+observation multisets must produce identical bucket states — and hence
+identical serialized records and quantiles — no matter how the
+observations were split across workers or in what order partial
+histograms merged.  The property tests pin exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.histogram import (
+    BUCKETS_PER_DECADE,
+    LogHistogram,
+    bucket_index,
+    bucket_lower_bound,
+    bucket_midpoint,
+)
+
+# Positive finite floats over the full useful range (nanoseconds to
+# hours, and far beyond).
+_values = st.floats(
+    min_value=1e-12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+def _hist(values) -> LogHistogram:
+    histogram = LogHistogram()
+    histogram.observe_many(values)
+    return histogram
+
+
+class TestBucketMath:
+    @given(_values)
+    def test_value_lands_inside_its_bucket(self, value):
+        index = bucket_index(value)
+        assert bucket_lower_bound(index) <= value < bucket_lower_bound(index + 1)
+
+    def test_exact_powers_of_ten(self):
+        for exponent in (-9, -3, 0, 3, 9):
+            assert bucket_index(10.0**exponent) == exponent * BUCKETS_PER_DECADE
+
+    def test_relative_bucket_width(self):
+        ratio = bucket_lower_bound(1) / bucket_lower_bound(0)
+        assert math.isclose(ratio, 10 ** (1 / BUCKETS_PER_DECADE))
+
+    @given(_values)
+    def test_midpoint_is_inside_the_bucket(self, value):
+        index = bucket_index(value)
+        assert (
+            bucket_lower_bound(index)
+            <= bucket_midpoint(index)
+            <= bucket_lower_bound(index + 1)
+        )
+
+
+class TestObserve:
+    def test_nonpositive_and_nonfinite_go_to_the_zero_bucket(self):
+        histogram = _hist([0.0, -1.5, float("nan"), float("inf"), -0.0])
+        assert histogram.zero_count == 5
+        assert histogram.buckets == {}
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_count_sums_all_buckets(self):
+        histogram = _hist([0.5, 1.5, 0.0])
+        assert histogram.count == 3
+
+
+class TestMergeAlgebra:
+    @given(st.lists(_values), st.lists(_values))
+    @settings(max_examples=50)
+    def test_merge_equals_joint_observation(self, left, right):
+        merged = _hist(left)
+        merged.merge(_hist(right))
+        assert merged == _hist(left + right)
+
+    @given(st.lists(_values), st.lists(_values), st.lists(_values))
+    @settings(max_examples=50)
+    def test_merge_is_associative_and_commutative(self, a, b, c):
+        left = _hist(a)
+        left.merge(_hist(b))
+        left.merge(_hist(c))
+        right = _hist(c)
+        inner = _hist(b)
+        inner.merge(_hist(a))
+        right.merge(inner)
+        assert left == right
+        assert json.dumps(left.to_payload()) == json.dumps(right.to_payload())
+
+    @given(st.lists(_values), st.lists(_values))
+    @settings(max_examples=50)
+    def test_subtract_inverts_merge(self, base, extra):
+        merged = _hist(base)
+        merged.merge(_hist(extra))
+        assert merged.subtract(_hist(extra)) == _hist(base)
+
+    def test_subtract_refuses_to_go_negative(self):
+        with pytest.raises(ValueError):
+            _hist([1.0]).subtract(_hist([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            _hist([1.0]).subtract(_hist([0.0]))
+
+    def test_copy_is_independent(self):
+        original = _hist([1.0])
+        duplicate = original.copy()
+        duplicate.observe(2.0)
+        assert original != duplicate
+
+
+class TestQuantiles:
+    def test_quantiles_are_monotone(self):
+        histogram = _hist([0.001 * (i + 1) for i in range(100)])
+        quantiles = [histogram.quantile(q) for q in (0.0, 0.5, 0.9, 0.95, 0.99, 1.0)]
+        assert quantiles == sorted(quantiles)
+
+    def test_quantile_accuracy_within_bucket_width(self):
+        values = [0.0001 * (i + 1) for i in range(1000)]
+        histogram = _hist(values)
+        exact_p50 = values[499]
+        width = 10 ** (1 / BUCKETS_PER_DECADE)
+        assert exact_p50 / width <= histogram.quantile(0.5) <= exact_p50 * width
+
+    def test_out_of_range_quantile_raises(self):
+        with pytest.raises(ValueError):
+            _hist([1.0]).quantile(1.5)
+
+    def test_empty_histogram_reports_zero(self):
+        assert LogHistogram().quantile(0.99) == 0.0
+        assert LogHistogram().summary() == {
+            "count": 0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+
+    @given(st.lists(_values, min_size=1))
+    @settings(max_examples=50)
+    def test_equal_state_means_byte_identical_summary(self, values):
+        first = _hist(values)
+        second = _hist(list(reversed(values)))
+        assert json.dumps(first.summary()) == json.dumps(second.summary())
+
+
+class TestSerialization:
+    @given(st.lists(_values))
+    @settings(max_examples=50)
+    def test_payload_round_trip(self, values):
+        histogram = _hist(values + [0.0])
+        assert LogHistogram.from_payload(histogram.to_payload()) == histogram
+
+    def test_record_round_trip(self):
+        histogram = _hist([0.25, 4.0])
+        record = histogram.to_record("latency")
+        assert record["ev"] == "hist"
+        assert record["name"] == "latency"
+        assert LogHistogram.from_record(record) == histogram
+
+    def test_payload_buckets_are_sorted(self):
+        payload = _hist([100.0, 0.001, 1.0]).to_payload()
+        indices = [index for index, _ in payload["buckets"]]
+        assert indices == sorted(indices)
+
+    def test_layout_mismatch_is_rejected(self):
+        payload = _hist([1.0]).to_payload()
+        payload["k"] = 7
+        with pytest.raises(ValueError):
+            LogHistogram.from_payload(payload)

@@ -20,7 +20,10 @@ def _profile_and_estimate(enabled: bool):
     from repro.data import zipf_column
 
     OBS.reset()
-    OBS.enabled = enabled
+    if enabled:
+        # enable() (not a bare attribute write) so REPRO_TELEMETRY_MEM
+        # is honored when the memory-identity test sets it.
+        OBS.enable()
     try:
         rng = np.random.default_rng(123)
         column = zipf_column(20_000, z=1.0, duplication=10, rng=rng)
@@ -38,7 +41,8 @@ def _profile_and_estimate(enabled: bool):
 
 def _run_exhibit(enabled: bool) -> str:
     OBS.reset()
-    OBS.enabled = enabled
+    if enabled:
+        OBS.enable()
     clear_memo()
     try:
         return run_experiment("fig5", seed=0, trials=2, n_rows=2000).to_csv()
@@ -56,6 +60,18 @@ class TestBitIdentity:
 
     def test_exhibit_csv_is_invariant(self):
         assert _run_exhibit(True) == _run_exhibit(False)
+
+    def test_memory_tracking_is_invariant(self, monkeypatch):
+        # tracemalloc snapshots at span boundaries must not perturb the
+        # computation either: REPRO_TELEMETRY_MEM=1 runs stay
+        # bit-identical to untracked ones.
+        off_estimates, off_state = _profile_and_estimate(False)
+        off_csv = _run_exhibit(False)
+        monkeypatch.setenv("REPRO_TELEMETRY_MEM", "1")
+        mem_estimates, mem_state = _profile_and_estimate(True)
+        assert mem_estimates == off_estimates
+        assert mem_state == off_state
+        assert _run_exhibit(True) == off_csv
 
     def test_recording_happened_at_all(self):
         # Guard against the on-path silently not recording (which would

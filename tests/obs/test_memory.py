@@ -1,0 +1,90 @@
+"""REPRO_TELEMETRY_MEM: tracemalloc snapshots at span boundaries.
+
+Memory tracking is a second opt-in on top of ``REPRO_TELEMETRY``: it
+annotates every span with current/peak/delta bytes and keeps
+process-level ``mem.*`` gauges, and must stay completely inert unless
+both flags are set (the identity test in ``test_identity.py`` pins that
+tracking never perturbs computed results).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import OBS, Telemetry
+from repro.obs.recorder import ENV_MEM, env_mem_enabled
+
+_MEM_ATTRS = ("mem_current_bytes", "mem_peak_bytes", "mem_delta_bytes")
+
+
+@pytest.fixture
+def mem_obs(monkeypatch):
+    """The singleton recorder with telemetry + memory tracking on."""
+    monkeypatch.setenv(ENV_MEM, "1")
+    OBS.reset()
+    OBS.enable()
+    yield OBS
+    OBS.disable()
+    OBS.reset()
+
+
+class TestEnvFlag:
+    def test_parsing(self, monkeypatch):
+        monkeypatch.delenv(ENV_MEM, raising=False)
+        assert not env_mem_enabled()
+        for off in ("", "0", "false", "off", "no"):
+            monkeypatch.setenv(ENV_MEM, off)
+            assert not env_mem_enabled()
+        monkeypatch.setenv(ENV_MEM, "1")
+        assert env_mem_enabled()
+
+
+class TestMemoryTracking:
+    def test_off_without_the_env_flag(self, obs):
+        assert not obs.track_memory
+        with obs.span("work"):
+            pass
+        attrs = obs.span_records()[0].get("attrs", {})
+        assert not any(key in attrs for key in _MEM_ATTRS)
+        assert "mem.peak_bytes" not in obs.gauges()
+
+    def test_spans_carry_memory_attributes(self, mem_obs):
+        assert mem_obs.track_memory
+        with mem_obs.span("alloc"):
+            blob = [0] * 100_000
+        del blob
+        attrs = mem_obs.span_records()[0]["attrs"]
+        for key in _MEM_ATTRS:
+            assert isinstance(attrs[key], int)
+        assert attrs["mem_peak_bytes"] >= attrs["mem_current_bytes"] >= 0
+
+    def test_allocation_shows_up_in_the_peak(self, mem_obs):
+        with mem_obs.span("alloc"):
+            blob = bytearray(1_000_000)
+            del blob
+        attrs = mem_obs.span_records()[0]["attrs"]
+        # Traced memory reached start + ~1MB inside the span, so the
+        # process peak must sit at least that far above the span's start.
+        start = attrs["mem_current_bytes"] - attrs["mem_delta_bytes"]
+        assert attrs["mem_peak_bytes"] - start >= 900_000
+
+    def test_process_gauges_are_kept(self, mem_obs):
+        with mem_obs.span("work"):
+            pass
+        gauges = mem_obs.gauges()
+        assert gauges["mem.peak_bytes"] >= gauges["mem.current_bytes"] >= 0
+
+    def test_disable_clears_tracking(self, mem_obs):
+        mem_obs.disable()
+        assert not mem_obs.track_memory
+
+    def test_begin_capture_refreshes_tracking(self, monkeypatch):
+        # Pool workers call begin_capture, not enable: the env flag they
+        # inherited must take effect there too.
+        monkeypatch.setenv(ENV_MEM, "1")
+        worker = Telemetry(enabled=True)
+        worker.begin_capture()
+        try:
+            assert worker.track_memory
+        finally:
+            worker.disable()

@@ -9,6 +9,8 @@ counters are identical; only timings and scheduling-dependent tallies
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -23,6 +25,9 @@ def _task(point: int, rng: np.random.Generator) -> float:
     with OBS.span("test.work", point=point):
         OBS.add("test.points")
         OBS.add("test.rows", 10 * (point + 1))
+        # Deterministic observation per point: the merged histogram must
+        # be bit-identical whatever worker count recorded it.
+        OBS.observe("test.latency", 0.001 * (point + 1))
     return point * point + float(rng.random())
 
 
@@ -34,10 +39,11 @@ def _sweep_with_telemetry(workers: int):
         spans = OBS.span_records()
         counters = OBS.counters()
         gauges = OBS.gauges()
+        histograms = OBS.histograms()
     finally:
         OBS.disable()
         OBS.reset()
-    return results, spans, counters, gauges
+    return results, spans, counters, gauges, histograms
 
 
 def _structure(spans):
@@ -57,29 +63,29 @@ class TestDeterministicMerge:
     @pytest.mark.parametrize("workers", [1, 2, 4])
     def test_results_match_the_serial_sweep(self, workers):
         baseline = run_sweep(_task, _POINTS, seed=9, workers=1)
-        results, _, _, _ = _sweep_with_telemetry(workers)
+        results, _, _, _, _ = _sweep_with_telemetry(workers)
         assert results == baseline
 
     @pytest.mark.parametrize("workers", [2, 4])
     def test_span_structure_matches_the_serial_run(self, workers):
-        _, serial_spans, _, _ = _sweep_with_telemetry(1)
-        _, parallel_spans, _, _ = _sweep_with_telemetry(workers)
+        _, serial_spans, _, _, _ = _sweep_with_telemetry(1)
+        _, parallel_spans, _, _, _ = _sweep_with_telemetry(workers)
         assert _structure(parallel_spans) == _structure(serial_spans)
 
     @pytest.mark.parametrize("workers", [1, 2, 4])
     def test_work_proportional_counters_are_invariant(self, workers):
-        _, _, counters, _ = _sweep_with_telemetry(workers)
+        _, _, counters, _, _ = _sweep_with_telemetry(workers)
         assert counters["test.points"] == len(_POINTS)
         assert counters["test.rows"] == sum(10 * (p + 1) for p in _POINTS)
 
     @pytest.mark.parametrize("workers", [1, 2, 4])
     def test_realized_worker_gauge(self, workers):
-        _, _, _, gauges = _sweep_with_telemetry(workers)
+        _, _, _, gauges, _ = _sweep_with_telemetry(workers)
         expected = 1 if workers == 1 else min(workers, len(_POINTS))
         assert gauges["sweep.realized_workers"] == expected
 
     def test_every_point_is_rooted_under_sweep_run(self):
-        _, spans, _, _ = _sweep_with_telemetry(4)
+        _, spans, _, _, _ = _sweep_with_telemetry(4)
         structure = _structure(spans)
         points = [entry for entry in structure if entry[0] == "sweep.point"]
         assert len(points) == len(_POINTS)
@@ -89,8 +95,8 @@ class TestDeterministicMerge:
         assert all(parent == "sweep.point" for _, parent, _ in leaves)
 
     def test_repeated_runs_are_identical(self):
-        _, first, counters_a, _ = _sweep_with_telemetry(2)
-        _, second, counters_b, _ = _sweep_with_telemetry(2)
+        _, first, counters_a, _, _ = _sweep_with_telemetry(2)
+        _, second, counters_b, _, _ = _sweep_with_telemetry(2)
         assert _structure(first) == _structure(second)
         assert counters_a == counters_b
 
@@ -99,3 +105,44 @@ class TestDeterministicMerge:
         results = run_sweep(_task, _POINTS, seed=9, workers=2)
         assert OBS.is_empty
         assert results == run_sweep(_task, _POINTS, seed=9, workers=1)
+
+
+class TestHistogramMerge:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_observed_histogram_is_byte_identical_across_worker_counts(
+        self, workers
+    ):
+        # The observations are deterministic per point, so the merged
+        # bucket state — and therefore the serialized record and every
+        # quantile — must not depend on how the points were distributed.
+        _, _, _, _, serial = _sweep_with_telemetry(1)
+        _, _, _, _, merged = _sweep_with_telemetry(workers)
+        reference = json.dumps(serial["test.latency"].to_record("test.latency"))
+        candidate = json.dumps(merged["test.latency"].to_record("test.latency"))
+        assert candidate == reference
+        assert merged["test.latency"].summary() == serial["test.latency"].summary()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_duration_histogram_counts_are_invariant(self, workers):
+        # Real span durations differ run to run, but every sweep.point
+        # and test.work close lands exactly one observation.
+        _, _, _, _, histograms = _sweep_with_telemetry(workers)
+        assert histograms["sweep.point"].count == len(_POINTS)
+        assert histograms["test.work"].count == len(_POINTS)
+
+    def test_worker_spans_carry_their_track(self):
+        _, spans, _, _, _ = _sweep_with_telemetry(4)
+        point_tracks = [
+            record.get("track", 0)
+            for record in spans
+            if record["name"] == "sweep.point"
+        ]
+        # Every absorbed payload gets its own nonzero lane, in
+        # submission order.
+        assert point_tracks == list(range(1, len(_POINTS) + 1))
+        serial_spans = _sweep_with_telemetry(1)[1]
+        assert all(
+            record.get("track", 0) == 0
+            for record in serial_spans
+            if record["name"] == "sweep.run"
+        )

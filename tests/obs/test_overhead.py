@@ -25,7 +25,14 @@ class TestDisabledOverhead:
         for _ in range(1000):
             recorder.add("n", 5)
             recorder.gauge("g", 1.0)
+            recorder.observe("h", 0.5)
         assert recorder.is_empty
+
+    def test_memory_tracking_stays_off_when_disabled(self):
+        # REPRO_TELEMETRY_MEM only takes effect on an *enabled* recorder;
+        # a disabled one must never consult tracemalloc in its spans.
+        recorder = Telemetry(enabled=False)
+        assert not recorder.track_memory
 
     def test_disabled_loop_is_fast(self):
         # 100k disabled span+counter round-trips should take well under a

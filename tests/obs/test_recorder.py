@@ -169,7 +169,9 @@ class TestWriteRun:
         lines = [json.loads(line) for line in path.read_text().splitlines()]
         assert lines[0] == {"ev": "manifest", "data": {"seed": 0}}
         kinds = [line["ev"] for line in lines]
-        assert kinds == ["manifest", "span", "counter", "counter", "gauge"]
+        # The span's duration also lands in a per-name histogram record.
+        assert kinds == ["manifest", "span", "counter", "counter", "gauge", "hist"]
+        assert lines[-1]["name"] == "work"
         # Counters serialize in name order for stable diffs.
         assert [line["name"] for line in lines if line["ev"] == "counter"] == [
             "a_counter",

@@ -255,7 +255,15 @@ class TestTraceAndStats:
                 "dur": 1.0,
             },
             {"ev": "counter", "name": "sample.trials", "value": 10},
+            {"ev": "counter", "name": "estimator.calls.GEE", "value": 500},
             {"ev": "gauge", "name": "sweep.realized_workers", "value": 2},
+            {
+                "ev": "hist",
+                "name": "sample.srswor",
+                "k": 20,
+                "zero": 0,
+                "buckets": [[-13, 9], [-12, 1]],
+            },
         ]
         path = tmp_path / "run.jsonl"
         path.write_text("\n".join(json.dumps(record) for record in records) + "\n")
@@ -283,6 +291,40 @@ class TestTraceAndStats:
         assert "sweep.realized_workers" in out
         assert "command: exhibit" in out
         assert "knob REPRO_SCALE=2" in out
+
+    def test_stats_sorts_counters_by_value_descending(self, tmp_path, capsys):
+        assert main(["stats", str(self._run_file(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert out.index("estimator.calls.GEE") < out.index("sample.trials")
+
+    def test_stats_renders_histogram_quantiles(self, tmp_path, capsys):
+        assert main(["stats", str(self._run_file(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "quantiles:" in out
+        assert "n=10" in out
+        assert "p50=" in out and "p99=" in out
+
+    def test_trace_chrome_export(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["trace", str(self._run_file(tmp_path)), "--chrome", str(out_path)]
+        ) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        names = [e["name"] for e in document["traceEvents"] if e["ph"] == "X"]
+        assert names == ["sample.srswor", "sweep.run"]
+
+    def test_trace_flame_to_file_and_stdout(self, tmp_path, capsys):
+        run = self._run_file(tmp_path)
+        out_path = tmp_path / "stacks.folded"
+        assert main(["trace", str(run), "--flame", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(run), "--flame"]) == 0
+        stdout = capsys.readouterr().out
+        assert stdout == out_path.read_text()
+        assert "sweep.run;sample.srswor 250000" in stdout
 
     def test_trace_missing_file_is_clean_error(self, capsys):
         assert main(["trace", "/no/such/run.jsonl"]) == 2
@@ -365,6 +407,108 @@ class TestTelemetryFlush:
             main(["generate", "--rows", "1000", "--z", "1", "--out", str(out)]) == 0
         )
         assert not tdir.exists()
+
+    def test_manifest_carries_histogram_quantiles(self, tmp_path, monkeypatch):
+        out = tmp_path / "col.npy"
+        tdir = self._flush_run(
+            tmp_path,
+            monkeypatch,
+            ["generate", "--rows", "1000", "--z", "1", "--out", str(out)],
+        )
+        from repro.obs import read_manifest
+
+        manifest = read_manifest(tdir / "generate.manifest.json")
+        quantiles = manifest["quantiles"]
+        # Every span name recorded a duration histogram; summaries carry
+        # the standard quantile set.
+        assert "data.zipf_column" in quantiles
+        summary = quantiles["data.zipf_column"]
+        assert summary["count"] >= 1
+        assert set(summary) == {"count", "p50", "p90", "p95", "p99"}
+
+
+class TestPerfdiff:
+    def _write(self, tmp_path, name, document):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_no_regression_exits_zero(self, tmp_path, capsys):
+        before = self._write(
+            tmp_path, "before.json", {"exhibits": {"fig1": 1.0}, "total_seconds": 1.0}
+        )
+        after = self._write(
+            tmp_path, "after.json", {"exhibits": {"fig1": 1.1}, "total_seconds": 1.1}
+        )
+        assert main(["perfdiff", before, after]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        before = self._write(tmp_path, "before.json", {"exhibits": {"fig1": 1.0}})
+        after = self._write(tmp_path, "after.json", {"exhibits": {"fig1": 2.0}})
+        assert main(["perfdiff", before, after]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        before = self._write(tmp_path, "before.json", {"exhibits": {"fig1": 1.0}})
+        after = self._write(tmp_path, "after.json", {"exhibits": {"fig1": 1.5}})
+        assert main(["perfdiff", before, after, "--threshold", "0.6"]) == 0
+        assert main(["perfdiff", before, after, "--threshold", "0.4"]) == 1
+
+    def test_missing_input_is_clean_error(self, tmp_path, capsys):
+        after = self._write(tmp_path, "after.json", {"exhibits": {}})
+        assert main(["perfdiff", str(tmp_path / "absent.json"), after]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_gate_mode_passes_and_fails(self, tmp_path, capsys):
+        baseline = self._write(
+            tmp_path,
+            "baseline.json",
+            {"tolerance": 0.25, "kernels": {"reduction": {"speedup": 2.0}}},
+        )
+        good = self._write(
+            tmp_path, "good.json", {"kernels": {"reduction": {"speedup": 1.9}}}
+        )
+        bad = self._write(
+            tmp_path, "bad.json", {"kernels": {"reduction": {"speedup": 1.0}}}
+        )
+        assert main(["perfdiff", "--gate", baseline, good]) == 0
+        capsys.readouterr()
+        assert main(["perfdiff", "--gate", baseline, bad]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "FAIL" in captured.err
+
+    def test_gate_script_delegates_to_the_same_check(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        baseline = self._write(
+            tmp_path,
+            "baseline.json",
+            {"tolerance": 0.25, "kernels": {"reduction": {"speedup": 2.0}}},
+        )
+        bad = self._write(
+            tmp_path, "bad.json", {"kernels": {"reduction": {"speedup": 1.0}}}
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "scripts/check_perf_baseline.py",
+                "--baseline", baseline,
+                "--report", bad,
+            ],
+            capture_output=True,
+            text=True,
+            cwd=str(Path(__file__).resolve().parent.parent),
+        )
+        assert proc.returncode == 1
+        assert "REGRESSED" in proc.stdout
+        assert "FAIL" in proc.stderr
 
 
 class TestReportManifest:
